@@ -1,0 +1,32 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark regenerates one paper figure/table: the benchmarked
+callable computes the figure's data, and the resulting rows are written
+to ``benchmarks/results/<name>.txt`` and echoed to stdout (visible with
+``pytest -s``), so ``pytest benchmarks/ --benchmark-only`` reproduces
+the paper's evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit_result():
+    """Persist and echo an :class:`ExperimentResult`."""
+
+    def emit(name: str, result: ExperimentResult) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.to_text()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return emit

@@ -1,0 +1,59 @@
+"""Benches: the DESIGN.md §5 ablations (beyond the paper's figures)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_strategies(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run_strategy_ablation(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # Case 2 uses an exact DP, so the hybrid choice can never lose
+        # to a forced pure strategy under the shared evaluation.
+        assert (
+            row["case2_hybrid_mb"]
+            <= row["case2_inclusive_mb"] + 1e-9
+        )
+        assert (
+            row["case2_hybrid_mb"]
+            <= row["case2_exclusive_mb"] + 1e-9
+        )
+        # Case 3 is a greedy heuristic: the hybrid pricing usually
+        # helps but carries no dominance guarantee; just sanity-bound.
+        assert row["case3_hybrid_mb"] > 0
+    emit_result("ablation_strategies", result)
+
+
+def test_ablation_costmodel(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run_costmodel_ablation(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # A complement-blind model can only choose a cut that is as
+        # good or worse once re-priced under the true model.
+        assert row["penalty_pct"] >= -1e-6
+    emit_result("ablation_costmodel", result)
+
+
+def test_ablation_kcut_replacement(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run_kcut_replacement_ablation(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # Replacement never hurts (the no-replacement cuts are a
+        # subset of the shapes the full rule explores), and the
+        # split/merge/add/swap polish never loses to plain k-Cut.
+        assert row["gain_pct"] >= -1e-6
+        assert (
+            row["polished_mb"]
+            <= row["with_replacement_mb"] + 1e-9
+        )
+    emit_result("ablation_kcut_replacement", result)

@@ -1,0 +1,21 @@
+"""Bench: extension — WAH vs Roaring density→size curves."""
+
+from __future__ import annotations
+
+from repro.experiments import compression
+
+
+def test_compression_schemes(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: compression.run(num_bits=1_000_000),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["density"]: row for row in result.rows}
+    # Roaring's array containers win decisively on sparse bitmaps ...
+    assert rows[0.001]["roaring_mb"] < 0.6 * rows[0.001]["wah_mb"]
+    # ... and both converge near the raw bitset size when dense.
+    dense = rows[0.5]
+    assert dense["wah_mb"] <= 1.2 * dense["raw_mb"] * (32 / 31)
+    assert dense["roaring_mb"] <= 1.2 * dense["raw_mb"]
+    emit_result("compression_schemes", result)

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 1 (cost model vs measured WAH sizes)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_costmodel
+
+
+def test_fig01_costmodel(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig01_costmodel.run(num_bits=1_000_000),
+        rounds=1,
+        iterations=1,
+    )
+    errors = result.column("relative_error")
+    assert max(errors) < 0.6, "model diverges from measured WAH sizes"
+    # The measured curve is (weakly) increasing in effective density,
+    # like Fig. 1's.
+    measured = result.column("wah_measured_mb")
+    densities = result.column("density")
+    sparse = [
+        size
+        for density, size in zip(densities, measured)
+        if min(density, 1 - density) <= 0.01
+    ]
+    assert sparse == sorted(sparse)
+    emit_result("fig01_costmodel", result)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 2(a-f) (Case-1 strategies, both datasets)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig02_case1_strategies
+
+
+def test_fig02_case1_strategies(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig02_case1_strategies.run(runs=10),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # The paper's headline Case-1 shape: hybrid dominates both
+        # pure strategies and the leaf-only baseline everywhere.
+        assert row["hybrid_mb"] <= row["inclusive_mb"] + 1e-9
+        assert row["hybrid_mb"] <= row["exclusive_mb"] + 1e-9
+        assert row["hybrid_mb"] <= row["leaf_only_mb"] + 1e-9
+        if row["range_pct"] == 90:
+            # §4.1: exclusive wins for large ranges.
+            assert row["exclusive_mb"] <= row["inclusive_mb"] + 1e-9
+    emit_result("fig02_case1_strategies", result)

@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 3 (H-CS vs exhaustive/average/worst)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig03_case1_optimality
+
+
+def test_fig03_case1_optimality(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig03_case1_optimality.run(runs=10),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # H-CS returns exactly the exhaustively-found optimal cut.
+        assert row["hybrid_mb"] == pytest.approx(
+            row["exhaustive_mb"]
+        )
+        assert row["exhaustive_mb"] <= row["average_mb"] + 1e-9
+        assert row["average_mb"] <= row["worst_mb"] + 1e-9
+    # Random cuts degrade toward the worst cut as ranges grow (§4.1).
+    by_range = {row["range_pct"]: row for row in result.rows}
+    gap_small = (
+        by_range[10]["average_mb"] / max(by_range[10]["worst_mb"], 1)
+    )
+    gap_large = (
+        by_range[90]["average_mb"] / max(by_range[90]["worst_mb"], 1)
+    )
+    assert gap_large >= gap_small * 0.5
+    emit_result("fig03_case1_optimality", result)

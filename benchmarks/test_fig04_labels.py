@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 4 (hybrid-cut label distribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig04_label_distribution
+
+
+def test_fig04_label_distribution(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig04_label_distribution.run(runs=10),
+        rounds=1,
+        iterations=1,
+    )
+    by_range = {row["range_pct"]: row for row in result.rows}
+    for row in result.rows:
+        assert (
+            row["inclusive_preferred"]
+            + row["exclusive_preferred"]
+            + row["empty"]
+        ) == pytest.approx(1.0)
+    # Small ranges: processing happens near the leaves, most cut
+    # nodes are empty; large ranges: exclusive dominates (paper §4.1).
+    assert by_range[10]["empty"] >= 0.4
+    assert by_range[90]["exclusive_preferred"] >= 0.5
+    assert (
+        by_range[10]["exclusive_preferred"]
+        <= by_range[90]["exclusive_preferred"]
+    )
+    emit_result("fig04_label_distribution", result)

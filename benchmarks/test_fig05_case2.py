@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 5(a-c) (Case-2 multi-query workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig05_case2_multi
+
+
+def test_fig05_case2_multi(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig05_case2_multi.run(runs=10),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # Alg. 3 returns the optimal cut for every workload size.
+        assert row["hybrid_mb"] == pytest.approx(row["optimal_mb"])
+        assert row["optimal_mb"] <= row["average_mb"] + 1e-9
+        assert row["optimal_mb"] <= row["leaf_only_mb"] + 1e-9
+        assert row["average_mb"] <= row["worst_mb"] + 1e-9
+    # Gains are strongest for large ranges, where overlap gives the
+    # cache the most reuse opportunities (§4.2).
+    by_key = {
+        (row["range_pct"], row["num_queries"]): row
+        for row in result.rows
+    }
+    large = by_key[(90, 25)]
+    small = by_key[(10, 25)]
+    large_gain = large["leaf_only_mb"] / max(large["hybrid_mb"], 1)
+    small_gain = small["leaf_only_mb"] / max(small["hybrid_mb"], 1)
+    assert large_gain >= small_gain
+    emit_result("fig05_case2_multi", result)

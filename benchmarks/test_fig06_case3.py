@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig. 6(a-c) (Case-3 memory-availability sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig06_case3_memory
+
+
+def test_fig06_case3_memory(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig06_case3_memory.run(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        assert row["exhaustive_mb"] <= row["one_cut_mb"] + 1e-9
+        assert row["exhaustive_mb"] <= row["k_cut_mb"] + 1e-9
+        assert row["k_cut_mb"] <= row["one_cut_mb"] + 1e-9
+        assert row["exhaustive_mb"] <= row["average_mb"] + 1e-9
+        assert row["average_mb"] <= row["worst_mb"] + 1e-9
+    # Under tight memory (10%) the greedy is (near) optimal (§4.3).
+    for row in result.rows:
+        if row["memory_pct"] == 10:
+            assert (
+                row["one_cut_mb"]
+                <= row["exhaustive_mb"] * 1.10 + 1e-9
+            )
+    # More memory never hurts the optimum.
+    for range_pct in {row["range_pct"] for row in result.rows}:
+        series = [
+            row["exhaustive_mb"]
+            for row in result.rows
+            if row["range_pct"] == range_pct
+        ]
+        assert series == sorted(series, reverse=True)
+    emit_result("fig06_case3_memory", result)

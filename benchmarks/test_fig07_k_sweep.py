@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 7 (k-cut / exhaustive cost ratios)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_k_sweep
+
+
+def test_fig07_k_sweep(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig07_k_sweep.run(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        assert row["ratio_1_cut"] >= 1.0 - 1e-9
+        assert row["ratio_5_cut"] >= 1.0 - 1e-9
+        assert row["ratio_10_cut"] >= 1.0 - 1e-9
+        # Larger k never loses to 1-Cut; the auto-stop rule matches
+        # or beats 1-Cut without fixing k in advance (§3.3.3).
+        assert row["ratio_10_cut"] <= row["ratio_1_cut"] + 1e-9
+        assert row["ratio_5_cut"] <= row["ratio_1_cut"] + 1e-9
+        assert row["ratio_auto_stop"] <= row["ratio_1_cut"] + 1e-9
+    # Tight memory: even 1-Cut is close to optimal.
+    by_memory = {row["memory_pct"]: row for row in result.rows}
+    assert by_memory[10]["ratio_1_cut"] <= 1.10
+    emit_result("fig07_k_sweep", result)

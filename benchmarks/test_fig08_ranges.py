@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 8 (Case-3 robustness vs range size)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_case3_ranges
+
+
+def test_fig08_case3_ranges(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig08_case3_ranges.run(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        assert row["exhaustive_mb"] <= row["k_cut_mb"] + 1e-9
+        assert row["k_cut_mb"] <= row["average_mb"] + 1e-9
+        assert row["average_mb"] <= row["worst_mb"] + 1e-9
+        # The multi-cut strategy stays within a modest factor of the
+        # optimum across all range sizes (robustness claim, §4.3).
+        assert row["k_cut_mb"] <= row["exhaustive_mb"] * 2.5 + 1e-9
+    emit_result("fig08_case3_ranges", result)

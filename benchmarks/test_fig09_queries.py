@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 9 (Case-3 robustness vs workload size)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_case3_queries
+
+
+def test_fig09_case3_queries(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig09_case3_queries.run(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        assert row["exhaustive_mb"] <= row["k_cut_mb"] + 1e-9
+        assert row["k_cut_mb"] <= row["average_mb"] + 1e-9
+        assert row["average_mb"] <= row["worst_mb"] + 1e-9
+    # More queries mean more (re-read) work for every strategy.
+    optimal_series = result.column("exhaustive_mb")
+    assert optimal_series == sorted(optimal_series)
+    emit_result("fig09_case3_queries", result)

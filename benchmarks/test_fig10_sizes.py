@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 10 (Case-3 robustness vs hierarchy size)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_case3_sizes
+
+
+def test_fig10_case3_sizes(benchmark, emit_result):
+    result = benchmark.pedantic(
+        lambda: fig10_case3_sizes.run(runs=5),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.column("num_leaves") == [20, 50, 100]
+    for row in result.rows:
+        assert row["exhaustive_mb"] <= row["k_cut_mb"] + 1e-9
+        assert row["exhaustive_mb"] <= row["average_mb"] + 1e-9
+        assert row["average_mb"] <= row["worst_mb"] + 1e-9
+    emit_result("fig10_case3_sizes", result)

@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 11 (optimization time vs hierarchy size).
+
+This one is a true timing benchmark: the benchmarked callable is a
+single Alg. 3 cut selection at the paper's largest setting, and the
+figure sweep is produced alongside.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_opt_time_hierarchy
+from repro.experiments.common import catalog_for
+from repro.core.multi import select_cut_multi
+from repro.workload.generator import fraction_workload
+
+
+def test_fig11_sweep(benchmark, emit_result):
+    result = benchmark.pedantic(
+        fig11_opt_time_hierarchy.run, rounds=1, iterations=1
+    )
+    times = result.column("time_ms")
+    sizes = result.column("num_leaves")
+    # Linear growth (paper §4.4): time per leaf stays within a small
+    # constant band across the sweep.
+    per_leaf = [t / s for t, s in zip(times, sizes)]
+    assert max(per_leaf) <= 12 * min(per_leaf)
+    emit_result("fig11_opt_time_hierarchy", result)
+
+
+def test_fig11_selection_timing(benchmark):
+    catalog = catalog_for("tpch", 3000, height=4)
+    workload = fraction_workload(3000, 0.5, 200, seed=0)
+    benchmark(lambda: select_cut_multi(catalog, workload))

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 12 (optimization time vs number of queries)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_opt_time_queries
+from repro.experiments.common import catalog_for
+from repro.core.multi import select_cut_multi
+from repro.workload.generator import fraction_workload
+
+
+def test_fig12_sweep(benchmark, emit_result):
+    result = benchmark.pedantic(
+        fig12_opt_time_queries.run, rounds=1, iterations=1
+    )
+    times = result.column("time_ms")
+    counts = result.column("num_queries")
+    # Linear growth in the workload size (paper §4.4).
+    per_query = [t / c for t, c in zip(times, counts)]
+    assert max(per_query) <= 12 * min(per_query)
+    emit_result("fig12_opt_time_queries", result)
+
+
+def test_fig12_selection_timing(benchmark):
+    catalog = catalog_for("tpch", 2000, height=4)
+    workload = fraction_workload(2000, 0.5, 1200, seed=0)
+    benchmark.pedantic(
+        lambda: select_cut_multi(catalog, workload),
+        rounds=2,
+        iterations=1,
+    )

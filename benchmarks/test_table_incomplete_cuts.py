@@ -1,0 +1,18 @@
+"""Bench: regenerate the §4.3 table of incomplete-cut counts."""
+
+from __future__ import annotations
+
+from repro.experiments import table_incomplete_cuts
+
+
+def test_table_incomplete_cuts(benchmark, emit_result):
+    result = benchmark.pedantic(
+        table_incomplete_cuts.run, rounds=1, iterations=1
+    )
+    by_leaves = {row["num_leaves"]: row for row in result.rows}
+    # Exact reproduction of the published counts.
+    assert by_leaves[20]["incomplete_cuts"] == 154
+    assert by_leaves[50]["incomplete_cuts"] == 296_381
+    assert by_leaves[100]["incomplete_cuts"] == 1_185_922
+    assert by_leaves[20]["enumerated"] == 154
+    emit_result("table_incomplete_cuts", result)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Calibrate the IO cost model against this machine's WAH bitmaps.
+
+Reproduces the methodology of the paper's Fig. 1: build random bitmaps
+across a density sweep, measure their compressed on-disk sizes, fit the
+piecewise model of §2.2.1, and print measured-vs-model side by side —
+then contrast the fitted constants with the paper's published ones.
+
+Run:  python examples/calibrate_cost_model.py [num_bits]
+"""
+
+import sys
+
+from repro import CostModel
+from repro.storage.calibration import calibrate_cost_model
+
+DEFAULT_NUM_BITS = 2_000_000
+
+
+def main() -> None:
+    num_bits = (
+        int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_NUM_BITS
+    )
+    print(f"measuring WAH sizes on {num_bits:,}-row bitmaps ...")
+    fitted, sizes = calibrate_cost_model(num_bits)
+
+    print(f"\n{'density':>8} | {'measured MB':>11} | {'model MB':>9}")
+    print("-" * 36)
+    for density, measured in sorted(sizes.items()):
+        print(
+            f"{density:>8.4f} | {measured:>11.4f} | "
+            f"{fitted.read_cost_mb(density):>9.4f}"
+        )
+
+    paper = CostModel.paper_2014()
+    print("\nconstants        fitted (this machine)   paper (150M rows)")
+    for name in ("a", "b", "k1", "k2", "k3"):
+        print(
+            f"{name:>9}  {getattr(fitted, name):>20.4f}"
+            f"   {getattr(paper, name):>16.4f}"
+        )
+    print(
+        "\nThe fitted slope scales with the row count (the paper's "
+        "constants\nwere measured on 150M-row bitmaps); the *shape* — "
+        "linear region up\nto Dx1, then plateaus — is what the "
+        "cut-selection algorithms rely on."
+    )
+
+
+if __name__ == "__main__":
+    main()

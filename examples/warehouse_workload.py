@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Data-warehouse workload under a memory budget (the paper's Case 3).
+
+A nightly reporting workload of range queries hits a 150M-row TPC-H
+style account-balance column.  Only a fraction of the bitmap index fits
+in memory, so the question is *which* hierarchy bitmaps to cache.  This
+example sweeps the memory budget and compares:
+
+* leaf-only execution (cache nothing),
+* the greedy 1-Cut selection (Alg. 4),
+* the k-Cut selection with k=10 (Alg. 5),
+* the τ auto-stop variant (§3.3.3), and
+* the exhaustive optimum (feasible at this hierarchy size).
+
+Run:  python examples/warehouse_workload.py
+"""
+
+from repro import (
+    CostModel,
+    CutSelector,
+    ModeledNodeCatalog,
+    fraction_workload,
+    tpch_acctbal_leaf_probabilities,
+)
+from repro.core import exhaustive_constrained_optimum
+from repro.core.workload_cost import WorkloadNodeStats
+from repro.hierarchy import max_weight_complete_cut, paper_hierarchy
+
+NUM_QUERIES = 15
+RANGE_FRACTION = 0.5
+
+
+def main() -> None:
+    hierarchy = paper_hierarchy(100)
+    catalog = ModeledNodeCatalog(
+        hierarchy,
+        tpch_acctbal_leaf_probabilities(100),
+        CostModel.paper_2014(),
+        num_rows=150_000_000,
+    )
+    workload = fraction_workload(
+        100, RANGE_FRACTION, NUM_QUERIES, seed=42
+    )
+    stats = WorkloadNodeStats(catalog, workload)
+    selector = CutSelector(catalog)
+
+    max_cut_mb, _members = max_weight_complete_cut(
+        hierarchy, catalog.size_array()
+    )
+    leaf_only = stats.leaf_only_cost_case3()
+    print(
+        f"workload: {NUM_QUERIES} queries x "
+        f"{int(RANGE_FRACTION * 100)}% ranges over "
+        f"{catalog.num_rows:,} rows"
+    )
+    print(f"maximum cut footprint: {max_cut_mb:.0f} MB")
+    print(f"leaf-only (no caching) workload IO: {leaf_only:.0f} MB\n")
+
+    header = (
+        f"{'memory':>7} | {'1-Cut':>8} | {'10-Cut':>8} | "
+        f"{'auto(k)':>10} | {'optimal':>8} | {'saved':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for pct in (10, 30, 50, 70, 90):
+        budget = pct / 100.0 * max_cut_mb
+        one = selector.select(workload, budget_mb=budget, k=1)
+        ten = selector.select(workload, budget_mb=budget, k=10)
+        auto = selector.select(workload, budget_mb=budget, k=None)
+        optimum = exhaustive_constrained_optimum(
+            catalog, workload, budget, stats
+        )
+        best = min(one.cost, ten.cost, auto.cost)
+        saved = 100.0 * (1.0 - best / leaf_only)
+        print(
+            f"{pct:>6}% | {one.cost:>7.0f}M | {ten.cost:>7.0f}M | "
+            f"{auto.cost:>5.0f}M k={auto.k} | "
+            f"{optimum.cost:>7.0f}M | {saved:>5.1f}%"
+        )
+
+    # Show what the selector actually decided to cache at 50%.
+    budget = 0.5 * max_cut_mb
+    choice = selector.select(workload, budget_mb=budget, k=10)
+    print(
+        f"\nat 50% memory the 10-Cut selection caches "
+        f"{len(choice.cut)} bitmaps ({choice.used_mb:.0f} of "
+        f"{budget:.0f} MB):"
+    )
+    for node_id in sorted(choice.cut.node_ids):
+        node = hierarchy.node(node_id)
+        print(
+            f"  node {node_id:3d}: leaves "
+            f"[{node.leaf_lo:3d},{node.leaf_hi:3d}], "
+            f"density {catalog.density(node_id):.3f}, "
+            f"size {catalog.size_mb(node_id):5.1f} MB"
+        )
+
+
+if __name__ == "__main__":
+    main()

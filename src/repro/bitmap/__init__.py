@@ -1,0 +1,38 @@
+"""Bitmap substrate: WAH compression, a plain reference bitvector, index
+construction from data columns, and the on-disk serialization format."""
+
+from .builder import (
+    bitmap_for_leaf_set,
+    build_leaf_bitmaps,
+    build_span_bitmap,
+)
+from .index import HierarchicalBitmapIndex
+from .plain import PlainBitmap
+from .roaring import (
+    ARRAY_CONTAINER_LIMIT,
+    CHUNK_BITS,
+    RoaringBitmap,
+)
+from .serialization import (
+    HEADER_SIZE_BYTES,
+    deserialize_wah,
+    serialize_wah,
+)
+from .wah import LITERAL_PAYLOAD_MASK, WORD_PAYLOAD_BITS, WahBitmap
+
+__all__ = [
+    "WahBitmap",
+    "PlainBitmap",
+    "WORD_PAYLOAD_BITS",
+    "LITERAL_PAYLOAD_MASK",
+    "HEADER_SIZE_BYTES",
+    "serialize_wah",
+    "deserialize_wah",
+    "build_leaf_bitmaps",
+    "build_span_bitmap",
+    "bitmap_for_leaf_set",
+    "HierarchicalBitmapIndex",
+    "RoaringBitmap",
+    "CHUNK_BITS",
+    "ARRAY_CONTAINER_LIMIT",
+]

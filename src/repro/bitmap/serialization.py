@@ -1,0 +1,69 @@
+"""On-disk format for WAH bitmaps.
+
+The simulated secondary storage stores each hierarchy node's bitmap as one
+file whose size drives the paper's IO cost accounting.  The format is
+deliberately simple and self-describing:
+
+``[magic: 4 bytes][version: u16][reserved: u16][num_bits: u64]``
+``[num_words: u64][words: num_words * u32 little-endian]``
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import BitmapDecodeError
+from .wah import WahBitmap
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "HEADER_SIZE_BYTES",
+    "serialize_wah",
+    "deserialize_wah",
+]
+
+MAGIC = b"WAHB"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHHQQ")
+HEADER_SIZE_BYTES = _HEADER.size
+
+
+def serialize_wah(bitmap: WahBitmap) -> bytes:
+    """Serialize a :class:`WahBitmap` to its on-disk byte representation."""
+    words = np.asarray(bitmap.words, dtype=np.uint32)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, 0, bitmap.num_bits, words.size
+    )
+    return header + words.tobytes()
+
+
+def deserialize_wah(payload: bytes) -> WahBitmap:
+    """Parse bytes produced by :func:`serialize_wah` back into a bitmap."""
+    if len(payload) < HEADER_SIZE_BYTES:
+        raise BitmapDecodeError(
+            f"payload too short: {len(payload)} bytes < header size "
+            f"{HEADER_SIZE_BYTES}"
+        )
+    magic, version, _reserved, num_bits, num_words = _HEADER.unpack_from(
+        payload
+    )
+    if magic != MAGIC:
+        raise BitmapDecodeError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    if version != FORMAT_VERSION:
+        raise BitmapDecodeError(
+            f"unsupported format version {version}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    expected = HEADER_SIZE_BYTES + 4 * num_words
+    if len(payload) != expected:
+        raise BitmapDecodeError(
+            f"payload length {len(payload)} does not match header "
+            f"({num_words} words => {expected} bytes)"
+        )
+    words = np.frombuffer(
+        payload, dtype="<u4", count=num_words, offset=HEADER_SIZE_BYTES
+    )
+    return WahBitmap([int(word) for word in words], int(num_bits))

@@ -1,0 +1,128 @@
+"""The paper's contribution: cut-selection algorithms, cost functions,
+plan construction, baselines, and the execution engine."""
+
+from .adaptive import AdaptationDecision, AdaptiveCutMaintainer
+from .advisor import MaterializationPlan, recommend_materialization
+from .baselines import (
+    CutCost,
+    average_constrained_cut_cost,
+    average_multi_cut_cost,
+    average_single_cut_cost,
+    exhaustive_constrained_optimum,
+    exhaustive_multi_optimum,
+    exhaustive_single_optimum,
+    leaf_only_single_cost,
+    sample_antichain,
+    sample_complete_cut,
+    worst_constrained_cut,
+    worst_multi_cut,
+    worst_single_cut,
+)
+from .constrained import (
+    ConstrainedCutResult,
+    auto_k_cut_selection,
+    c_node_cost,
+    candidate_nodes,
+    k_cut_selection,
+    one_cut_selection,
+    polish_cut,
+)
+from .costs import (
+    StrategyLabel,
+    cached_node_usage,
+    node_caching_saving,
+    node_exclusive_cost,
+    node_hybrid_cost,
+    node_inclusive_cost,
+)
+from .executor import ExecutionResult, QueryExecutor, scan_answer
+from .multi import MultiQueryCutResult, nc_node_cost, select_cut_multi
+from .opnodes import (
+    PlanAtom,
+    QueryPlan,
+    build_query_plan,
+    leaf_only_plan,
+)
+from .planner import CutSelector
+from .simulate import (
+    QueryTrace,
+    WorkloadSimulation,
+    simulate_workload,
+)
+from .single import (
+    SingleQueryCutResult,
+    exclusive_cut,
+    hybrid_cut,
+    inclusive_cut,
+    select_cut_single,
+)
+from .stats import NodeClass, QueryNodeStats
+from .table import Table
+from .verify import PlanVerificationError, verify_plan
+from .workload_cost import (
+    WorkloadNodeStats,
+    case2_cut_cost,
+    case3_cut_cost,
+    single_query_cut_cost,
+)
+
+__all__ = [
+    "CutSelector",
+    "StrategyLabel",
+    "NodeClass",
+    "QueryNodeStats",
+    "WorkloadNodeStats",
+    "node_inclusive_cost",
+    "node_exclusive_cost",
+    "node_hybrid_cost",
+    "cached_node_usage",
+    "node_caching_saving",
+    "nc_node_cost",
+    "c_node_cost",
+    "SingleQueryCutResult",
+    "select_cut_single",
+    "inclusive_cut",
+    "exclusive_cut",
+    "hybrid_cut",
+    "MultiQueryCutResult",
+    "select_cut_multi",
+    "ConstrainedCutResult",
+    "one_cut_selection",
+    "k_cut_selection",
+    "auto_k_cut_selection",
+    "polish_cut",
+    "candidate_nodes",
+    "PlanAtom",
+    "QueryPlan",
+    "build_query_plan",
+    "leaf_only_plan",
+    "single_query_cut_cost",
+    "case2_cut_cost",
+    "case3_cut_cost",
+    "CutCost",
+    "leaf_only_single_cost",
+    "exhaustive_single_optimum",
+    "worst_single_cut",
+    "average_single_cut_cost",
+    "exhaustive_multi_optimum",
+    "worst_multi_cut",
+    "average_multi_cut_cost",
+    "exhaustive_constrained_optimum",
+    "worst_constrained_cut",
+    "average_constrained_cut_cost",
+    "sample_complete_cut",
+    "sample_antichain",
+    "QueryExecutor",
+    "ExecutionResult",
+    "scan_answer",
+    "QueryTrace",
+    "WorkloadSimulation",
+    "simulate_workload",
+    "MaterializationPlan",
+    "recommend_materialization",
+    "AdaptiveCutMaintainer",
+    "AdaptationDecision",
+    "Table",
+    "verify_plan",
+    "PlanVerificationError",
+]

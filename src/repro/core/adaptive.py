@@ -1,0 +1,186 @@
+"""Adaptive cut maintenance for drifting workloads (extension).
+
+The paper selects a cut for a *known* workload.  Real query streams
+drift; this module keeps a cut fresh online: queries are observed into
+a sliding window, and every few arrivals the current cut's cost over
+the window is compared against the cost of a freshly selected cut —
+when the relative regret exceeds a threshold the cut is swapped.
+
+Re-selection cost is the linear-time Alg. 3 (or k-Cut when a memory
+budget applies), so maintenance stays cheap relative to query IO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..storage.catalog import NodeCatalog
+from ..workload.query import RangeQuery, Workload
+from .constrained import k_cut_selection
+from .multi import select_cut_multi
+from .workload_cost import (
+    WorkloadNodeStats,
+    case2_cut_cost,
+    case3_cut_cost,
+)
+
+__all__ = ["AdaptationDecision", "AdaptiveCutMaintainer"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptationDecision:
+    """Outcome of one periodic check.
+
+    Attributes:
+        queries_seen: total queries observed so far.
+        current_cost_mb: window cost of the cut in place.
+        candidate_cost_mb: window cost of the freshly selected cut.
+        switched: whether the maintainer adopted the candidate.
+    """
+
+    queries_seen: int
+    current_cost_mb: float
+    candidate_cost_mb: float
+    switched: bool
+
+    @property
+    def regret(self) -> float:
+        """Relative excess cost of the incumbent over the candidate."""
+        if self.candidate_cost_mb <= 0:
+            return 0.0
+        return (
+            self.current_cost_mb - self.candidate_cost_mb
+        ) / self.candidate_cost_mb
+
+
+class AdaptiveCutMaintainer:
+    """Keeps a cut near-optimal as the query stream drifts.
+
+    Args:
+        catalog: node costs/sizes.
+        window: number of recent queries the cut is optimized for.
+        check_every: how many arrivals between re-evaluations.
+        threshold: relative regret that triggers a switch (0.1 = 10%).
+        budget_mb: optional memory budget (switches the selector to
+            k-Cut and the evaluator to the Eq. 4 objective).
+        k: candidate cuts for the budgeted selector.
+    """
+
+    def __init__(
+        self,
+        catalog: NodeCatalog,
+        window: int = 50,
+        check_every: int = 10,
+        threshold: float = 0.10,
+        budget_mb: float | None = None,
+        k: int = 10,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if check_every < 1:
+            raise ValueError(
+                f"check_every must be >= 1, got {check_every}"
+            )
+        if threshold < 0:
+            raise ValueError(
+                f"threshold must be >= 0, got {threshold}"
+            )
+        self._catalog = catalog
+        self._window: deque[RangeQuery] = deque(maxlen=window)
+        self._check_every = check_every
+        self._threshold = threshold
+        self._budget_mb = budget_mb
+        self._k = k
+        self._current_cut: frozenset[int] = frozenset()
+        self._queries_seen = 0
+        self._reselections = 0
+        self._history: list[AdaptationDecision] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def current_cut(self) -> frozenset[int]:
+        """The cut currently in force (empty = leaf-only)."""
+        return self._current_cut
+
+    @property
+    def queries_seen(self) -> int:
+        """Total queries observed."""
+        return self._queries_seen
+
+    @property
+    def reselections(self) -> int:
+        """How many times the cut was swapped."""
+        return self._reselections
+
+    @property
+    def history(self) -> tuple[AdaptationDecision, ...]:
+        """Every periodic check's decision, in order."""
+        return tuple(self._history)
+
+    # ------------------------------------------------------------------
+    def _select(
+        self, workload: Workload, stats: WorkloadNodeStats
+    ) -> frozenset[int]:
+        if self._budget_mb is None:
+            return frozenset(
+                select_cut_multi(
+                    self._catalog, workload, stats
+                ).cut.node_ids
+            )
+        return frozenset(
+            k_cut_selection(
+                self._catalog,
+                workload,
+                self._budget_mb,
+                self._k,
+                stats,
+            ).cut.node_ids
+        )
+
+    def _evaluate(
+        self, stats: WorkloadNodeStats, members: frozenset[int]
+    ) -> float:
+        if self._budget_mb is None:
+            return case2_cut_cost(stats, members)
+        return case3_cut_cost(stats, members)
+
+    def observe(
+        self, query: RangeQuery
+    ) -> AdaptationDecision | None:
+        """Record an arriving query; maybe re-evaluate the cut.
+
+        Returns the check's decision when one ran, else ``None``.
+        """
+        self._window.append(query)
+        self._queries_seen += 1
+        if self._queries_seen % self._check_every != 0:
+            return None
+        workload = Workload(list(self._window))
+        stats = WorkloadNodeStats(self._catalog, workload)
+        candidate = self._select(workload, stats)
+        current_cost = self._evaluate(stats, self._current_cut)
+        candidate_cost = self._evaluate(stats, candidate)
+        switch = (
+            candidate != self._current_cut
+            and current_cost - candidate_cost
+            > self._threshold * max(candidate_cost, 1e-12)
+        )
+        if switch:
+            self._current_cut = candidate
+            self._reselections += 1
+        decision = AdaptationDecision(
+            queries_seen=self._queries_seen,
+            current_cost_mb=current_cost,
+            candidate_cost_mb=candidate_cost,
+            switched=switch,
+        )
+        self._history.append(decision)
+        return decision
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveCutMaintainer(seen={self._queries_seen}, "
+            f"cut={len(self._current_cut)} members, "
+            f"reselections={self._reselections})"
+        )

@@ -1,0 +1,133 @@
+"""Materialization advisor (extension beyond the paper).
+
+The paper assumes every hierarchy node's bitmap already exists on disk
+and asks which to *cache*.  A prior question — which internal bitmaps
+to *materialize* at all, given a disk budget — is the bitmap-selection
+problem of the paper's related work [19].  This advisor answers it by
+greedy marginal analysis over the same machinery: the benefit of adding
+one internal bitmap is the drop in the optimal Eq. 3 workload cost when
+Alg. 3 is restricted to the materialized set
+(:func:`~repro.core.multi.select_cut_multi` with ``allowed_node_ids``).
+
+Leaf bitmaps are always materialized (they *are* the index); only
+internal nodes compete for the disk budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.catalog import NodeCatalog
+from ..workload.query import Workload
+from .multi import select_cut_multi
+from .workload_cost import WorkloadNodeStats
+
+__all__ = ["MaterializationPlan", "recommend_materialization"]
+
+
+@dataclass(frozen=True)
+class MaterializationPlan:
+    """Which internal bitmaps to build, and what they buy.
+
+    Attributes:
+        node_ids: internal nodes to materialize, in pick order.
+        disk_mb: total disk the chosen bitmaps occupy.
+        baseline_cost_mb: optimal workload IO with leaves only.
+        optimized_cost_mb: optimal workload IO with the chosen set.
+    """
+
+    node_ids: tuple[int, ...]
+    disk_mb: float
+    baseline_cost_mb: float
+    optimized_cost_mb: float
+
+    @property
+    def saving_mb(self) -> float:
+        """Workload IO saved by materializing the chosen bitmaps."""
+        return self.baseline_cost_mb - self.optimized_cost_mb
+
+    @property
+    def saving_fraction(self) -> float:
+        """Saving relative to the leaf-only baseline."""
+        if self.baseline_cost_mb <= 0:
+            return 0.0
+        return self.saving_mb / self.baseline_cost_mb
+
+
+def recommend_materialization(
+    catalog: NodeCatalog,
+    workload: Workload,
+    disk_budget_mb: float,
+    stats: WorkloadNodeStats | None = None,
+    max_picks: int | None = None,
+) -> MaterializationPlan:
+    """Greedily pick internal bitmaps to materialize under a budget.
+
+    Each round evaluates every remaining affordable candidate's
+    marginal benefit (restricted-DP cost drop) per MB of disk and picks
+    the best; rounds stop when no candidate helps or fits.
+
+    Args:
+        catalog: node densities/costs (sizes = disk footprint).
+        workload: the target workload.
+        disk_budget_mb: disk available for internal bitmaps.
+        stats: optional precomputed workload statistics.
+        max_picks: optional cap on the number of chosen bitmaps.
+    """
+    if disk_budget_mb < 0:
+        raise ValueError(
+            f"disk_budget_mb must be >= 0, got {disk_budget_mb}"
+        )
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    hierarchy = catalog.hierarchy
+
+    def restricted_cost(allowed: set[int]) -> float:
+        return select_cut_multi(
+            catalog, workload, stats, allowed_node_ids=allowed
+        ).cost
+
+    chosen: list[int] = []
+    chosen_set: set[int] = set()
+    remaining = float(disk_budget_mb)
+    baseline = restricted_cost(set())
+    current = baseline
+    candidates = [
+        node_id
+        for node_id in hierarchy.internal_ids_postorder()
+        if stats.touched[node_id]
+    ]
+    while candidates:
+        if max_picks is not None and len(chosen) >= max_picks:
+            break
+        best_node = None
+        best_ratio = 0.0
+        best_cost = current
+        for node_id in candidates:
+            size = catalog.size_mb(node_id)
+            if size > remaining:
+                continue
+            cost = restricted_cost(chosen_set | {node_id})
+            benefit = current - cost
+            if benefit <= 1e-12:
+                continue
+            # Zero-size bitmaps (fully compressed) are free wins.
+            ratio = benefit / size if size > 0 else float("inf")
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_node = node_id
+                best_cost = cost
+        if best_node is None:
+            break
+        chosen.append(best_node)
+        chosen_set.add(best_node)
+        remaining -= catalog.size_mb(best_node)
+        current = best_cost
+        candidates.remove(best_node)
+
+    return MaterializationPlan(
+        node_ids=tuple(chosen),
+        disk_mb=float(disk_budget_mb) - remaining,
+        baseline_cost_mb=baseline,
+        optimized_cost_mb=current,
+    )

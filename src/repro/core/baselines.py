@@ -1,0 +1,431 @@
+"""Baselines: leaf-only plans, random ("average") cuts, worst cuts, and
+exhaustively-found optimal cuts (paper §4's comparison lines).
+
+All baselines price cuts with the same evaluators as the paper's
+algorithms (:mod:`repro.core.workload_cost`), so "H-CS equals the
+exhaustive optimum" is a meaningful, exact statement.
+
+For the memory-constrained case the exhaustive search runs as a
+depth-first search over the internal nodes in preorder: including a node
+skips its whole (contiguous) subtree block, which enforces the antichain
+constraint for free, and suffix-sum bounds prune hopeless branches.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hierarchy.enumeration import iter_complete_cuts
+from ..hierarchy.tree import Hierarchy
+from ..storage.catalog import NodeCatalog
+from ..workload.query import RangeQuery, Workload
+from .stats import QueryNodeStats
+from .workload_cost import (
+    WorkloadNodeStats,
+    case2_cut_cost,
+    case3_cut_cost,
+    single_query_cut_cost,
+)
+
+__all__ = [
+    "CutCost",
+    "leaf_only_single_cost",
+    "exhaustive_single_optimum",
+    "worst_single_cut",
+    "average_single_cut_cost",
+    "exhaustive_multi_optimum",
+    "worst_multi_cut",
+    "average_multi_cut_cost",
+    "exhaustive_constrained_optimum",
+    "worst_constrained_cut",
+    "average_constrained_cut_cost",
+    "sample_complete_cut",
+    "sample_antichain",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CutCost:
+    """A cut (as a frozenset of node ids) with its evaluated cost."""
+
+    node_ids: frozenset[int]
+    cost: float
+
+
+# ----------------------------------------------------------------------
+# Case 1 — single query, no memory constraint
+# ----------------------------------------------------------------------
+def leaf_only_single_cost(
+    catalog: NodeCatalog, query: RangeQuery
+) -> float:
+    """Cost of answering from leaf bitmaps only (no internal nodes)."""
+    stats = QueryNodeStats(catalog, query)
+    return stats.total_range_cost
+
+
+def _extremal_complete_cut(
+    catalog: NodeCatalog,
+    evaluate,
+    minimize: bool,
+) -> CutCost:
+    best: CutCost | None = None
+    for members in iter_complete_cuts(catalog.hierarchy):
+        cost = evaluate(members)
+        if (
+            best is None
+            or (minimize and cost < best.cost)
+            or (not minimize and cost > best.cost)
+        ):
+            best = CutCost(members, cost)
+    assert best is not None  # every hierarchy has the root cut
+    return best
+
+
+def exhaustive_single_optimum(
+    catalog: NodeCatalog, query: RangeQuery
+) -> CutCost:
+    """The Eq. 1 optimum over every complete cut, by enumeration."""
+    stats = QueryNodeStats(catalog, query)
+    return _extremal_complete_cut(
+        catalog,
+        lambda members: single_query_cut_cost(
+            catalog, query, members, stats
+        ),
+        minimize=True,
+    )
+
+
+def worst_single_cut(
+    catalog: NodeCatalog, query: RangeQuery
+) -> CutCost:
+    """The most expensive complete cut for a single query."""
+    stats = QueryNodeStats(catalog, query)
+    return _extremal_complete_cut(
+        catalog,
+        lambda members: single_query_cut_cost(
+            catalog, query, members, stats
+        ),
+        minimize=False,
+    )
+
+
+def average_single_cut_cost(
+    catalog: NodeCatalog,
+    query: RangeQuery,
+    num_samples: int = 50,
+    seed: int = 0,
+) -> float:
+    """Mean Eq. 1 cost of uniformly random complete cuts."""
+    stats = QueryNodeStats(catalog, query)
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(num_samples):
+        members = sample_complete_cut(catalog.hierarchy, rng)
+        total += single_query_cut_cost(catalog, query, members, stats)
+    return total / num_samples
+
+
+# ----------------------------------------------------------------------
+# Case 2 — multiple queries, no memory constraint
+# ----------------------------------------------------------------------
+def exhaustive_multi_optimum(
+    catalog: NodeCatalog,
+    workload: Workload,
+    stats: WorkloadNodeStats | None = None,
+) -> CutCost:
+    """The Eq. 3 optimum over every complete cut, by enumeration."""
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    return _extremal_complete_cut(
+        catalog,
+        lambda members: case2_cut_cost(stats, members),
+        minimize=True,
+    )
+
+
+def worst_multi_cut(
+    catalog: NodeCatalog,
+    workload: Workload,
+    stats: WorkloadNodeStats | None = None,
+) -> CutCost:
+    """The most expensive complete cut under Eq. 3's literal pricing
+    (a naive system reads every cached member, useful or not)."""
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    return _extremal_complete_cut(
+        catalog,
+        lambda members: case2_cut_cost(stats, members, literal=True),
+        minimize=False,
+    )
+
+
+def average_multi_cut_cost(
+    catalog: NodeCatalog,
+    workload: Workload,
+    num_samples: int = 50,
+    seed: int = 0,
+    stats: WorkloadNodeStats | None = None,
+) -> float:
+    """Mean literal Eq. 3 cost of uniformly random complete cuts."""
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(num_samples):
+        members = sample_complete_cut(catalog.hierarchy, rng)
+        total += case2_cut_cost(stats, members, literal=True)
+    return total / num_samples
+
+
+# ----------------------------------------------------------------------
+# Case 3 — multiple queries under a memory budget
+# ----------------------------------------------------------------------
+def _preorder_internal(
+    hierarchy: Hierarchy,
+) -> tuple[list[int], list[int]]:
+    """Internal node ids in preorder, plus each node's subtree-block end.
+
+    ``block_end[i]`` is the preorder index just past node ``i``'s
+    internal descendants, so "include node i, skip its subtree" is a
+    jump to ``block_end[i]``.
+    """
+    order: list[int] = []
+    block_end: list[int] = []
+
+    def visit(node_id: int) -> None:
+        index = len(order)
+        order.append(node_id)
+        block_end.append(-1)
+        for child in hierarchy.internal_children(node_id):
+            visit(child)
+        block_end[index] = len(order)
+
+    root = hierarchy.root_id
+    if not hierarchy.node(root).is_leaf:
+        visit(root)
+    return order, block_end
+
+
+def _extremal_budgeted_antichain(
+    stats: WorkloadNodeStats,
+    budget_mb: float,
+    maximize_saving: bool,
+) -> CutCost:
+    """Exact extremal antichain under the budget, by pruned DFS.
+
+    Maximizing finds the Eq. 4 exhaustive optimum under rational
+    pricing (only nodes with positive saving can help); otherwise it
+    finds the *worst* cut under literal pricing — the cut whose
+    unconditional member reads waste the most IO.
+    """
+    catalog = stats.catalog
+    hierarchy = catalog.hierarchy
+    order, block_end = _preorder_internal(hierarchy)
+    sizes = catalog.size_array()
+
+    if maximize_saving:
+        per_node_gain = stats.case3_saving
+    else:
+        # Harm of adding a member under literal pricing.
+        per_node_gain = stats.case3_literal - stats.sum_range_cost
+    gains = [
+        float(per_node_gain[node_id]) for node_id in order
+    ]
+    node_sizes = [float(sizes[node_id]) for node_id in order]
+    eligible = [
+        gain > 0.0 and size <= budget_mb
+        for gain, size in zip(gains, node_sizes)
+    ]
+    # Optimistic suffix bound: sum of every eligible gain at or after i.
+    suffix = [0.0] * (len(order) + 1)
+    for i in range(len(order) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + (gains[i] if eligible[i] else 0.0)
+
+    best_gain = 0.0
+    best_members: tuple[int, ...] = ()
+    chosen: list[int] = []
+
+    def dfs(index: int, remaining: float, gain: float) -> None:
+        nonlocal best_gain, best_members
+        if gain > best_gain:
+            best_gain = gain
+            best_members = tuple(chosen)
+        if index >= len(order):
+            return
+        if gain + suffix[index] <= best_gain:
+            return
+        if eligible[index] and node_sizes[index] <= remaining:
+            chosen.append(order[index])
+            dfs(
+                block_end[index],
+                remaining - node_sizes[index],
+                gain + gains[index],
+            )
+            chosen.pop()
+        dfs(index + 1, remaining, gain)
+
+    dfs(0, float(budget_mb), 0.0)
+    members = frozenset(best_members)
+    return CutCost(
+        members,
+        case3_cut_cost(
+            stats, members, literal=not maximize_saving
+        ),
+    )
+
+
+def exhaustive_constrained_optimum(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    stats: WorkloadNodeStats | None = None,
+) -> CutCost:
+    """The Eq. 4 optimum over every budget-feasible (incomplete) cut."""
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    return _extremal_budgeted_antichain(
+        stats, budget_mb, maximize_saving=True
+    )
+
+
+def worst_constrained_cut(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    stats: WorkloadNodeStats | None = None,
+) -> CutCost:
+    """The most harmful budget-feasible cut under Eq. 4 (caches the
+    nodes whose reads least pay for themselves)."""
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    return _extremal_budgeted_antichain(
+        stats, budget_mb, maximize_saving=False
+    )
+
+
+def average_constrained_cut_cost(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    num_samples: int = 50,
+    seed: int = 0,
+    stats: WorkloadNodeStats | None = None,
+) -> float:
+    """Mean literal Eq. 4 cost of random budget-feasible antichains."""
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    hierarchy = catalog.hierarchy
+    sizes = catalog.size_array()
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(num_samples):
+        members = sample_antichain(
+            hierarchy,
+            rng,
+            prune=lambda node_id: sizes[node_id] > budget_mb,
+        )
+        members = _trim_to_budget(members, sizes, budget_mb, rng)
+        total += case3_cut_cost(stats, members, literal=True)
+    return total / num_samples
+
+
+def _trim_to_budget(
+    members: frozenset[int],
+    sizes: np.ndarray,
+    budget_mb: float,
+    rng: np.random.Generator,
+) -> frozenset[int]:
+    """Randomly drop members until the antichain fits the budget."""
+    current = list(members)
+    used = float(sum(sizes[m] for m in current))
+    while current and used > budget_mb:
+        index = int(rng.integers(0, len(current)))
+        used -= float(sizes[current[index]])
+        current.pop(index)
+    return frozenset(current)
+
+
+# ----------------------------------------------------------------------
+# Random cut samplers
+# ----------------------------------------------------------------------
+def sample_complete_cut(
+    hierarchy: Hierarchy, rng: np.random.Generator
+) -> frozenset[int]:
+    """Draw a uniformly random complete cut.
+
+    Uses the counting DP (``C(n) = 1 + prod C(children)``): node ``n``
+    is taken alone with probability ``1 / C(n)``, otherwise each child
+    subtree is sampled independently — which yields the uniform
+    distribution over complete cuts.
+    """
+    counts: dict[int, int] = {}
+
+    def count(node_id: int) -> int:
+        internal_children = hierarchy.internal_children(node_id)
+        if not internal_children or hierarchy.leaf_children(node_id):
+            counts[node_id] = 1
+            return 1
+        product = 1
+        for child in internal_children:
+            product *= count(child)
+        counts[node_id] = 1 + product
+        return counts[node_id]
+
+    count(hierarchy.root_id)
+
+    members: list[int] = []
+
+    def sample(node_id: int) -> None:
+        total = counts[node_id]
+        if total == 1 or rng.integers(0, total) == 0:
+            members.append(node_id)
+            return
+        for child in hierarchy.internal_children(node_id):
+            sample(child)
+
+    sample(hierarchy.root_id)
+    return frozenset(members)
+
+
+def sample_antichain(
+    hierarchy: Hierarchy,
+    rng: np.random.Generator,
+    prune=None,
+) -> frozenset[int]:
+    """Draw a uniformly random antichain of internal nodes.
+
+    Uses the antichain-counting DP (``A(n) = 1 + prod A(children)``,
+    the "+1" being the antichain ``{n}``); ``prune(node_id)`` removes a
+    node (but not its descendants) from consideration.
+    """
+    counts: dict[int, int] = {}
+
+    def count(node_id: int) -> int:
+        product = 1
+        for child in hierarchy.internal_children(node_id):
+            product *= count(child)
+        own = 0 if (prune is not None and prune(node_id)) else 1
+        counts[node_id] = own + product
+        return counts[node_id]
+
+    root = hierarchy.root_id
+    if hierarchy.node(root).is_leaf:
+        return frozenset()
+    count(root)
+
+    members: list[int] = []
+
+    def sample(node_id: int) -> None:
+        total = counts[node_id]
+        own = 0 if (prune is not None and prune(node_id)) else 1
+        if own and rng.integers(0, total) == 0:
+            members.append(node_id)
+            return
+        for child in hierarchy.internal_children(node_id):
+            sample(child)
+
+    sample(root)
+    return frozenset(members)

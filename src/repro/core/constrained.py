@@ -1,0 +1,437 @@
+"""Case 3 — cut selection for multiple queries under a memory budget.
+
+Implements §3.3's greedy algorithms:
+
+* **1-Cut Selection** (Alg. 4): greedily add the internal node with the
+  lowest constrained node cost (``CNodeCost``) that still fits the
+  remaining budget and does not conflict (share a root-to-leaf path)
+  with an already-chosen member.
+* **k-Cut Selection** (Alg. 5): maintain up to ``k`` candidate cuts;
+  a node conflicting inside one cut spawns a copy into an empty slot
+  with the conflicting members replaced, so several competing cut
+  shapes are explored; the cheapest survives.
+* **τ auto-stop** (§3.3.3): grow ``k`` until an extra cut stops paying.
+
+Ranking detail: ``CNodeCost(n, Q)`` differs from the per-node *saving*
+(``sum_q rangeLeafCost(n,q)`` minus the node's Case-3 contribution) only
+by a workload-wide constant, so ascending ``CNodeCost`` order equals
+descending saving order; we rank by saving.  The paper's *unused* label
+(§3.3.1) skips nodes no query uses; nodes whose caching cannot pay for
+their own read (saving <= 0) can only increase the Eq. 4 objective, so
+they are skipped under the same label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from ..hierarchy.cuts import Cut
+from ..storage.catalog import NodeCatalog
+from ..workload.query import Workload
+from .workload_cost import WorkloadNodeStats, case3_cut_cost
+
+__all__ = [
+    "ConstrainedCutResult",
+    "c_node_cost",
+    "candidate_nodes",
+    "one_cut_selection",
+    "k_cut_selection",
+    "auto_k_cut_selection",
+    "polish_cut",
+]
+
+
+@dataclass(frozen=True)
+class ConstrainedCutResult:
+    """Outcome of a Case-3 (memory-budgeted) cut selection.
+
+    Attributes:
+        cut: the selected cut (may be incomplete, even empty).
+        cost: workload IO (MB) under Eq. 4.
+        budget_mb: the memory budget ``S_total``.
+        used_mb: memory consumed by the selected members.
+        k: number of candidate cuts explored (``None`` for 1-Cut run
+            through its dedicated entry point).
+        stats: the shared per-node workload statistics.
+    """
+
+    cut: Cut
+    cost: float
+    budget_mb: float
+    used_mb: float
+    k: int | None
+    stats: WorkloadNodeStats = field(repr=False, compare=False)
+
+
+def c_node_cost(stats: WorkloadNodeStats, node_id: int) -> float:
+    """``CNodeCost(n, Q)`` of §3.3: cache ``n``, re-read everything else
+    per query (the ``CON_{n,q}`` sets)."""
+    outside = (
+        stats.total_sum_range_cost
+        - float(stats.sum_range_cost[node_id])
+    )
+    return float(stats.case3_contrib[node_id]) + outside
+
+
+def candidate_nodes(
+    stats: WorkloadNodeStats, budget_mb: float
+) -> list[int]:
+    """Internal nodes worth considering, best (lowest ``CNodeCost``)
+    first.
+
+    Filters out *unused* nodes (saving <= 0) and nodes that cannot fit
+    the budget even alone.
+    """
+    catalog = stats.catalog
+    hierarchy = catalog.hierarchy
+    savings = stats.case3_saving
+    candidates = [
+        node_id
+        for node_id in hierarchy.internal_ids_postorder()
+        if savings[node_id] > 0.0
+        and catalog.size_mb(node_id) <= budget_mb
+    ]
+    candidates.sort(key=lambda node_id: (-savings[node_id], node_id))
+    return candidates
+
+
+def one_cut_selection(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    stats: WorkloadNodeStats | None = None,
+) -> ConstrainedCutResult:
+    """Alg. 4: greedy single-cut selection under a memory budget."""
+    if budget_mb < 0:
+        raise ValueError(f"budget_mb must be >= 0, got {budget_mb}")
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    hierarchy = catalog.hierarchy
+    members: list[int] = []
+    available = float(budget_mb)
+    for node_id in candidate_nodes(stats, budget_mb):
+        size = catalog.size_mb(node_id)
+        if size > available:
+            continue
+        if any(
+            hierarchy.on_same_root_leaf_path(node_id, member)
+            for member in members
+        ):
+            continue
+        members.append(node_id)
+        available -= size
+    cut = Cut(hierarchy, members)
+    return ConstrainedCutResult(
+        cut=cut,
+        cost=case3_cut_cost(stats, members),
+        budget_mb=float(budget_mb),
+        used_mb=float(budget_mb) - available,
+        k=1,
+        stats=stats,
+    )
+
+
+class _CutState:
+    """One growing candidate cut inside the k-Cut search."""
+
+    __slots__ = ("members", "size_mb", "saving")
+
+    def __init__(self) -> None:
+        self.members: set[int] = set()
+        self.size_mb = 0.0
+        self.saving = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.members
+
+    def key(self) -> frozenset[int]:
+        return frozenset(self.members)
+
+
+def k_cut_selection(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    k: int,
+    stats: WorkloadNodeStats | None = None,
+    enable_replacement: bool = True,
+    polish: bool = False,
+) -> ConstrainedCutResult:
+    """Alg. 5: greedy selection exploring up to ``k`` candidate cuts.
+
+    Nodes are offered, best first, to every candidate cut.  A node that
+    conflicts with members of a cut spawns a modified copy of that cut
+    (conflicting members replaced by the node) into an unused slot, so
+    the search keeps alternative shapes alive.  The cut list is re-
+    sorted by cost after every node so cheaper cuts get first claim on
+    subsequent nodes.
+
+    Args:
+        enable_replacement: when false, the Alg. 5 replacement step
+            (lines 16-17) is disabled and conflicting nodes are simply
+            skipped — the ablation quantifying what the replacement
+            rule buys.
+        polish: run the split/merge/add hill-climb
+            (:func:`polish_cut`) on the winner — an enhancement beyond
+            the paper that narrows the high-memory optimality gap.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if budget_mb < 0:
+        raise ValueError(f"budget_mb must be >= 0, got {budget_mb}")
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    catalog_sizes = catalog.size_array()
+    hierarchy = catalog.hierarchy
+    savings = stats.case3_saving
+
+    cut_list = [_CutState() for _ in range(k)]
+    seen_shapes: set[frozenset[int]] = set()
+
+    def try_add(state: _CutState, node_id: int) -> None:
+        state.members.add(node_id)
+        state.size_mb += float(catalog_sizes[node_id])
+        state.saving += float(savings[node_id])
+        seen_shapes.add(state.key())
+
+    for node_id in candidate_nodes(stats, budget_mb):
+        node_size = float(catalog_sizes[node_id])
+        seeded_empty = False
+        for state in list(cut_list):
+            if node_id in state.members:
+                continue
+            if state.size_mb + node_size > budget_mb:
+                continue
+            conflicts = [
+                member
+                for member in state.members
+                if hierarchy.on_same_root_leaf_path(node_id, member)
+            ]
+            if not conflicts:
+                if state.is_empty:
+                    if seeded_empty:
+                        continue  # Alg. 5 line 11: one empty seed per node
+                    seeded_empty = True
+                try_add(state, node_id)
+            else:
+                if not enable_replacement:
+                    continue
+                # Replacement (Alg. 5 lines 16-17): copy the cut into an
+                # unused slot with the conflicting members swapped out.
+                empty_slot = next(
+                    (
+                        other
+                        for other in cut_list
+                        if other.is_empty and other is not state
+                    ),
+                    None,
+                )
+                if empty_slot is None:
+                    continue
+                new_members = (
+                    state.members - set(conflicts)
+                ) | {node_id}
+                new_size = float(
+                    sum(catalog_sizes[m] for m in new_members)
+                )
+                if new_size > budget_mb:
+                    continue
+                shape = frozenset(new_members)
+                if shape in seen_shapes:
+                    continue
+                empty_slot.members = set(new_members)
+                empty_slot.size_mb = new_size
+                empty_slot.saving = float(
+                    sum(savings[m] for m in new_members)
+                )
+                seen_shapes.add(shape)
+        # Alg. 5 line 21: prefer cheaper cuts on the next iteration.
+        cut_list.sort(key=lambda state: -state.saving)
+
+    best = max(cut_list, key=lambda state: state.saving)
+    members = sorted(best.members)
+    if polish:
+        members = sorted(
+            polish_cut(catalog, stats, members, budget_mb)
+        )
+    cut = Cut(hierarchy, members)
+    return ConstrainedCutResult(
+        cut=cut,
+        cost=case3_cut_cost(stats, members),
+        budget_mb=float(budget_mb),
+        used_mb=float(
+            sum(catalog_sizes[member] for member in members)
+        ),
+        k=k,
+        stats=stats,
+    )
+
+
+def polish_cut(
+    catalog: NodeCatalog,
+    stats: WorkloadNodeStats,
+    members,
+    budget_mb: float,
+    max_rounds: int = 20,
+) -> frozenset[int]:
+    """Hill-climb a budget-feasible cut with split/merge/add moves.
+
+    An enhancement beyond the paper's greedy: repeatedly try to
+
+    * **split** a member into its internal children,
+    * **merge** a set of members into their common parent, or
+    * **add** any non-conflicting affordable node,
+
+    keeping any move that increases total saving while fitting the
+    budget.  Never returns a worse cut than its input.
+    """
+    hierarchy = catalog.hierarchy
+    sizes = catalog.size_array()
+    savings = stats.case3_saving
+    current: set[int] = set(members)
+
+    def used() -> float:
+        return float(sum(sizes[m] for m in current))
+
+    def conflicts(node_id: int, exclude: set[int]) -> bool:
+        return any(
+            hierarchy.on_same_root_leaf_path(node_id, member)
+            for member in current - exclude
+        )
+
+    for _ in range(max_rounds):
+        improved = False
+        # Split: replace a member with its internal children.
+        for member in sorted(current):
+            children = hierarchy.internal_children(member)
+            if not children or hierarchy.leaf_children(member):
+                continue
+            gain = float(
+                sum(savings[child] for child in children)
+                - savings[member]
+            )
+            delta_size = float(
+                sum(sizes[child] for child in children)
+                - sizes[member]
+            )
+            if gain > 1e-12 and used() + delta_size <= budget_mb:
+                current.discard(member)
+                current.update(children)
+                improved = True
+        # Merge: replace all in-cut children of a parent with it.
+        parents = {
+            hierarchy.node(member).parent_id
+            for member in current
+        } - {None}
+        for parent in sorted(parents):
+            in_cut_children = [
+                child
+                for child in hierarchy.node(parent).children
+                if child in current
+            ]
+            if not in_cut_children:
+                continue
+            gain = float(
+                savings[parent]
+                - sum(savings[child] for child in in_cut_children)
+            )
+            delta_size = float(
+                sizes[parent]
+                - sum(sizes[child] for child in in_cut_children)
+            )
+            if (
+                gain > 1e-12
+                and used() + delta_size <= budget_mb
+                and not conflicts(parent, set(in_cut_children))
+            ):
+                current.difference_update(in_cut_children)
+                current.add(parent)
+                improved = True
+        # Add: any non-conflicting affordable positive-saving node.
+        for node_id in hierarchy.internal_ids_postorder():
+            if node_id in current or savings[node_id] <= 0:
+                continue
+            if sizes[node_id] > budget_mb - used():
+                continue
+            if conflicts(node_id, set()):
+                continue
+            current.add(node_id)
+            improved = True
+        if improved:
+            continue
+        # Swap: drop one member and refill greedily — escapes
+        # knapsack-shaped local optima the local moves cannot.
+        ranked = sorted(
+            (
+                node_id
+                for node_id in hierarchy.internal_ids_postorder()
+                if savings[node_id] > 0
+            ),
+            key=lambda node_id: -float(savings[node_id]),
+        )
+        base_saving = float(sum(savings[m] for m in current))
+        best_trial: set[int] | None = None
+        best_saving = base_saving
+        for member in sorted(current):
+            trial = set(current)
+            trial.discard(member)
+            remaining = budget_mb - float(
+                sum(sizes[m] for m in trial)
+            )
+            for node_id in ranked:
+                if node_id in trial or node_id == member:
+                    continue
+                if float(sizes[node_id]) > remaining:
+                    continue
+                if any(
+                    hierarchy.on_same_root_leaf_path(
+                        node_id, other
+                    )
+                    for other in trial
+                ):
+                    continue
+                trial.add(node_id)
+                remaining -= float(sizes[node_id])
+            trial_saving = float(sum(savings[m] for m in trial))
+            if trial_saving > best_saving + 1e-12:
+                best_saving = trial_saving
+                best_trial = trial
+        if best_trial is None:
+            break
+        current = best_trial
+    return frozenset(current)
+
+
+def auto_k_cut_selection(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    tau: float = 0.0,
+    max_k: int = 32,
+    stats: WorkloadNodeStats | None = None,
+) -> ConstrainedCutResult:
+    """§3.3.3's τ auto-stop: grow ``k`` until the marginal gain of one
+    more candidate cut drops below ``tau`` (MB).
+
+    With ``tau=0`` (the paper's setting) the search stops as soon as an
+    extra cut stops strictly improving the cost.
+    """
+    if max_k < 1:
+        raise ValueError(f"max_k must be >= 1, got {max_k}")
+    if tau < 0:
+        raise ValueError(f"tau must be >= 0, got {tau}")
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    best = k_cut_selection(catalog, workload, budget_mb, 1, stats)
+    previous_cost = best.cost
+    for k in range(2, max_k + 1):
+        result = k_cut_selection(catalog, workload, budget_mb, k, stats)
+        if result.cost < best.cost:
+            best = result
+        gain = previous_cost - result.cost
+        previous_cost = result.cost
+        if gain <= tau:
+            break
+    return best

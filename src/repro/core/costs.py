@@ -1,0 +1,155 @@
+"""The paper's per-node cost functions (§3.1, §3.2, §3.3).
+
+All functions price one internal node against one query (or workload)
+using :class:`~repro.core.stats.QueryNodeStats`; infinities mark nodes a
+strategy cannot or need not use (empty nodes).
+
+Two comparison conventions appear in the paper and are kept distinct:
+
+* **Case 1** (node not pre-read): the exclusive option is charged
+  ``readCost(n) + nonRangeLeafCost``, the inclusive option only
+  ``rangeLeafCost`` — Alg. 2's comparison.
+* **Cases 2/3** (node already resident in the cut, Eq. 3/4 charge
+  ``readCost(n)`` up front for every cut member): using the cached node
+  is free, so the per-query comparison is ``rangeLeafCost`` vs
+  ``nonRangeLeafCost``.  This is the reading under which the hybrid DP is
+  exactly optimal for the Eq. 3 objective, matching the paper's Fig. 5
+  claim.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+from .stats import NodeClass, QueryNodeStats
+
+__all__ = [
+    "StrategyLabel",
+    "node_inclusive_cost",
+    "node_exclusive_cost",
+    "node_hybrid_cost",
+    "cached_node_usage",
+    "node_caching_saving",
+]
+
+INF = math.inf
+
+
+class StrategyLabel(Enum):
+    """How a cut node participates in query execution (§3.1.3)."""
+
+    EMPTY = "empty"          # ignored: no range leaves underneath
+    COMPLETE = "complete"    # the node's bitmap is the exact answer part
+    INCLUSIVE = "inclusive"  # OR together the range leaves underneath
+    EXCLUSIVE = "exclusive"  # node ANDNOT (OR of non-range leaves)
+
+
+def node_inclusive_cost(
+    stats: QueryNodeStats, node_id: int
+) -> float:
+    """``nodeInclCost(n, q)`` of §3.1.1.
+
+    Infinite for empty nodes; the node's own read cost when complete;
+    otherwise the cost of reading the range leaves underneath.
+    """
+    node_class = stats.classify(node_id)
+    if node_class is NodeClass.EMPTY:
+        return INF
+    if node_class is NodeClass.COMPLETE:
+        return stats.catalog.read_cost_mb(node_id)
+    return float(stats.range_leaf_cost[node_id])
+
+
+def node_exclusive_cost(
+    stats: QueryNodeStats, node_id: int
+) -> float:
+    """``nodeExclCost(n, q)`` of §3.1.2.
+
+    Infinite for empty nodes; the node's own read cost when complete;
+    otherwise the node's read cost plus that of the non-range leaves that
+    must be ANDNOT-ed away.
+    """
+    node_class = stats.classify(node_id)
+    if node_class is NodeClass.EMPTY:
+        return INF
+    if node_class is NodeClass.COMPLETE:
+        return stats.catalog.read_cost_mb(node_id)
+    return (
+        stats.catalog.read_cost_mb(node_id)
+        + stats.non_range_leaf_cost(node_id)
+    )
+
+
+def node_hybrid_cost(
+    stats: QueryNodeStats, node_id: int
+) -> tuple[float, StrategyLabel]:
+    """``nodeHybridCost(n, q)`` of §3.1.3, with the winning label.
+
+    Ties go to the inclusive strategy, mirroring the ``<=`` in Alg. 2
+    line 11.
+    """
+    node_class = stats.classify(node_id)
+    if node_class is NodeClass.EMPTY:
+        return INF, StrategyLabel.EMPTY
+    if node_class is NodeClass.COMPLETE:
+        return (
+            stats.catalog.read_cost_mb(node_id),
+            StrategyLabel.COMPLETE,
+        )
+    inclusive = node_inclusive_cost(stats, node_id)
+    exclusive = node_exclusive_cost(stats, node_id)
+    if inclusive <= exclusive:
+        return inclusive, StrategyLabel.INCLUSIVE
+    return exclusive, StrategyLabel.EXCLUSIVE
+
+
+def cached_node_usage(
+    stats: QueryNodeStats, node_id: int, strategy: str = "hybrid"
+) -> tuple[float, StrategyLabel]:
+    """Best way one query uses a node that is already in memory.
+
+    Returns the *extra* leaf IO the query pays under the node (the node's
+    own read cost is charged once by Eq. 3/4's first term) and the chosen
+    strategy.  Empty nodes cost nothing and are ignored; complete nodes
+    answer from the cached bitmap for free; partial nodes pick the
+    cheaper of reading the range leaves (inclusive) or the non-range
+    leaves (exclusive, the cached node being free).
+
+    Args:
+        strategy: ``"hybrid"`` (default) takes the per-query minimum;
+            ``"inclusive"`` / ``"exclusive"`` force one side at partial
+            nodes — the pure-strategy ablation of DESIGN.md §5.
+    """
+    node_class = stats.classify(node_id)
+    if node_class is NodeClass.EMPTY:
+        return 0.0, StrategyLabel.EMPTY
+    if node_class is NodeClass.COMPLETE:
+        return 0.0, StrategyLabel.COMPLETE
+    inclusive = float(stats.range_leaf_cost[node_id])
+    exclusive = stats.non_range_leaf_cost(node_id)
+    if strategy == "inclusive":
+        return inclusive, StrategyLabel.INCLUSIVE
+    if strategy == "exclusive":
+        return exclusive, StrategyLabel.EXCLUSIVE
+    if strategy != "hybrid":
+        raise ValueError(
+            f"strategy must be hybrid/inclusive/exclusive, "
+            f"got {strategy!r}"
+        )
+    if inclusive <= exclusive:
+        return inclusive, StrategyLabel.INCLUSIVE
+    return exclusive, StrategyLabel.EXCLUSIVE
+
+
+def node_caching_saving(
+    stats: QueryNodeStats, node_id: int
+) -> float:
+    """IO one query saves when the node is cached versus leaf-only.
+
+    Without the node, the query reads its range leaves under the node
+    (``rangeLeafCost``); with it, it pays :func:`cached_node_usage`'s
+    extra.  The difference is always non-negative.
+    """
+    extra, _label = cached_node_usage(stats, node_id)
+    return float(stats.range_leaf_cost[node_id]) - extra

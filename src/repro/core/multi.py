@@ -1,0 +1,143 @@
+"""Case 2 — cut selection for multiple queries, no memory constraint.
+
+Implements the Hybrid Cut Multiple Query Algorithm (Alg. 3) as a
+bottom-up DP over the *no-constraint node cost* (``NCNodeCost``, §3.2):
+the cost of caching a node once and letting every query reuse it, where
+leaf bitmaps fetched for one query are cached for the rest of the
+workload (Eq. 3's union semantics).
+
+The paper's pseudo-code omits the recursive call on line 12 (an obvious
+typo — ``costChild`` is never assigned); we implement the intended
+recursion, identical in structure to Alg. 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..hierarchy.cuts import Cut
+from ..storage.catalog import NodeCatalog
+from ..workload.query import Workload
+from .workload_cost import WorkloadNodeStats, case2_cut_cost
+
+__all__ = ["MultiQueryCutResult", "select_cut_multi", "nc_node_cost"]
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class MultiQueryCutResult:
+    """Outcome of a Case-2 cut selection.
+
+    Attributes:
+        cut: the selected (complete) cut.
+        cost: predicted workload IO (MB) under Eq. 3.
+        stats: the shared per-node workload statistics.
+    """
+
+    cut: Cut
+    cost: float
+    stats: WorkloadNodeStats = field(repr=False, compare=False)
+
+
+def nc_node_cost(
+    stats: WorkloadNodeStats, node_id: int
+) -> float:
+    """``NCNodeCost(n, Q)`` of §3.2 under the shared evaluation
+    semantics: infinite when no query touches the node, otherwise the
+    node's Case-2 contribution (member read cost, when its bitmap is
+    actually used, plus the union of the per-query leaf extras)."""
+    if not stats.touched[node_id]:
+        return INF
+    return float(stats.case2_contrib[node_id])
+
+
+def select_cut_multi(
+    catalog: NodeCatalog,
+    workload: Workload,
+    stats: WorkloadNodeStats | None = None,
+    allowed_node_ids=None,
+) -> MultiQueryCutResult:
+    """Run Alg. 3: the hybrid cut for a workload without memory limits.
+
+    The returned cut minimizes the Eq. 3 objective exactly (the
+    objective decomposes per cut member, so the bottom-up min is the
+    global min over all complete cuts).
+
+    Args:
+        allowed_node_ids: when given, only these internal nodes may be
+            *used* as cut members (others are placed structurally but
+            answered from their leaves) — the restriction the
+            materialization advisor optimizes over.
+    """
+    if stats is None:
+        stats = WorkloadNodeStats(catalog, workload)
+    hierarchy = catalog.hierarchy
+    allowed = (
+        None if allowed_node_ids is None else set(allowed_node_ids)
+    )
+
+    best_cost: dict[int, float] = {}
+    best_cut: dict[int, list[int]] = {}
+
+    for node_id in hierarchy.internal_ids_postorder():
+        if allowed is not None and node_id not in allowed:
+            # The node's bitmap is not materialized: its subtree can
+            # still be answered from the leaves (union semantics).
+            if stats.touched[node_id]:
+                node = hierarchy.node(node_id)
+                own_cost = stats.union_range_cost_in_span(
+                    node.leaf_lo, node.leaf_hi
+                )
+            else:
+                own_cost = INF
+        else:
+            own_cost = nc_node_cost(stats, node_id)
+        internal_children = hierarchy.internal_children(node_id)
+
+        if not internal_children:
+            children_cost = INF
+        else:
+            children_cost = 0.0
+            has_content = False
+            for child in internal_children:
+                child_cost = best_cost[child]
+                if not math.isinf(child_cost):
+                    children_cost += child_cost
+                    has_content = True
+            for leaf in hierarchy.leaf_children(node_id):
+                leaf_value = hierarchy.node(leaf).leaf_lo
+                if stats.union_query.is_range_leaf(leaf_value):
+                    children_cost += catalog.read_cost_mb(leaf)
+                    has_content = True
+            if not has_content:
+                children_cost = INF
+
+        if not internal_children or own_cost <= children_cost:
+            best_cost[node_id] = own_cost
+            best_cut[node_id] = [node_id]
+        else:
+            best_cost[node_id] = children_cost
+            merged: list[int] = []
+            for child in internal_children:
+                merged.extend(best_cut[child])
+            best_cut[node_id] = merged
+
+    root_id = hierarchy.root_id
+    members = best_cut[root_id]
+    cut = Cut(hierarchy, members)
+    if allowed is None:
+        cost = case2_cut_cost(stats, members)
+    else:
+        # Restricted runs keep the DP's own accounting: members that
+        # are not materialized answer from their leaves, which the
+        # shared evaluator would misprice.
+        cost = best_cost[root_id]
+        if math.isinf(cost):
+            cost = 0.0  # workload touches nothing
+    return MultiQueryCutResult(
+        cut=cut,
+        cost=cost,
+        stats=stats,
+    )

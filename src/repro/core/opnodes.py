@@ -1,0 +1,229 @@
+"""Alg. 2 — from a labeled cut to operation nodes and an executable plan.
+
+The cut-selection algorithms return a cut, not the operation nodes; this
+module performs the post-processing step of §3.1.3: for every cut member
+it emits a *plan atom* describing how the member participates —
+
+* ``COMPLETE``: the member's bitmap is OR-ed into the answer;
+* ``INCLUSIVE`` (partial): the member's in-range leaf bitmaps are OR-ed;
+* ``EXCLUSIVE`` (partial): the member's bitmap, ANDNOT the OR of its
+  non-range leaf bitmaps, is OR-ed.
+
+Range leaves not covered by any cut member (possible for the incomplete
+cuts of Case 3) are read directly, like a leaf-only plan would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..storage.catalog import NodeCatalog
+from ..workload.query import RangeQuery
+from .costs import StrategyLabel, cached_node_usage, node_hybrid_cost
+from .stats import QueryNodeStats
+
+__all__ = ["PlanAtom", "QueryPlan", "build_query_plan", "leaf_only_plan"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlanAtom:
+    """One OR-term of the answer expression.
+
+    Attributes:
+        label: how the atom is evaluated (never ``EMPTY``).
+        node_id: the cut member (or ``None`` for uncovered leaves).
+        leaf_values: for ``INCLUSIVE`` atoms, the range leaves to OR;
+            for ``EXCLUSIVE`` atoms, the non-range leaves to ANDNOT away;
+            empty for ``COMPLETE`` atoms.
+    """
+
+    label: StrategyLabel
+    node_id: int | None
+    leaf_values: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable plan: atoms plus the operation-node bookkeeping."""
+
+    query: RangeQuery
+    atoms: tuple[PlanAtom, ...]
+    operation_node_ids: frozenset[int]
+    predicted_cost_mb: float
+
+    @property
+    def num_operation_nodes(self) -> int:
+        """``|ON_q|`` for this plan."""
+        return len(self.operation_node_ids)
+
+    def explain(self, catalog: "NodeCatalog | None" = None) -> str:
+        """Human-readable rendering of the plan's bitmap algebra.
+
+        With a catalog, each atom is annotated with its node's leaf
+        span, name (when set), and read cost.  The output mirrors the
+        paper's plan notation, e.g. ``CA OR (AZ ANDNOT (Tempe OR
+        Tucson))``.
+        """
+
+        def describe(node_id: int | None) -> str:
+            if node_id is None:
+                return "leaves"
+            if catalog is None:
+                return f"node{node_id}"
+            node = catalog.hierarchy.node(node_id)
+            return node.name or f"node{node_id}"
+
+        def leaves_text(values: tuple[int, ...]) -> str:
+            if catalog is not None:
+                names = []
+                for value in values:
+                    leaf = catalog.hierarchy.node(
+                        catalog.hierarchy.leaf_node_id(value)
+                    )
+                    names.append(leaf.name or f"leaf{value}")
+            else:
+                names = [f"leaf{value}" for value in values]
+            if len(names) > 6:
+                names = names[:5] + [f"... {len(values) - 5} more"]
+            return " OR ".join(names) if names else "(nothing)"
+
+        lines = [f"plan for {self.query!r}:"]
+        for atom in self.atoms:
+            if atom.label is StrategyLabel.COMPLETE:
+                term = describe(atom.node_id)
+                kind = "complete "
+            elif atom.label is StrategyLabel.INCLUSIVE:
+                term = leaves_text(atom.leaf_values)
+                kind = "inclusive"
+            else:
+                term = (
+                    f"{describe(atom.node_id)} ANDNOT "
+                    f"({leaves_text(atom.leaf_values)})"
+                )
+                kind = "exclusive"
+            lines.append(f"  OR [{kind}] {term}")
+        lines.append(
+            f"  => {self.num_operation_nodes} operation nodes, "
+            f"predicted IO {self.predicted_cost_mb:.2f} MB"
+        )
+        return "\n".join(lines)
+
+
+def _atoms_for_member(
+    stats: QueryNodeStats,
+    node_id: int,
+    label: StrategyLabel,
+) -> PlanAtom | None:
+    # Re-derive the empty/complete structure from the query itself so a
+    # stale or strategy-generic label can never produce a wasteful atom
+    # (a complete member is always answered from its own bitmap).
+    if stats.is_empty(node_id):
+        return None
+    if stats.is_complete(node_id):
+        return PlanAtom(StrategyLabel.COMPLETE, node_id, ())
+    if label is StrategyLabel.EMPTY:
+        return None
+    if label is StrategyLabel.COMPLETE:
+        return PlanAtom(StrategyLabel.COMPLETE, node_id, ())
+    if label is StrategyLabel.INCLUSIVE:
+        leaves = tuple(stats.range_leaf_values(node_id))
+        return PlanAtom(StrategyLabel.INCLUSIVE, node_id, leaves)
+    leaves = tuple(stats.non_range_leaf_values(node_id))
+    return PlanAtom(StrategyLabel.EXCLUSIVE, node_id, leaves)
+
+
+def build_query_plan(
+    catalog: NodeCatalog,
+    query: RangeQuery,
+    cut_node_ids: Iterable[int],
+    labels: dict[int, StrategyLabel] | None = None,
+    node_is_cached: bool = False,
+    stats: QueryNodeStats | None = None,
+) -> QueryPlan:
+    """Find the operation nodes for a query given a (possibly incomplete)
+    cut, following Alg. 2.
+
+    Args:
+        catalog: per-node costs.
+        query: the range query.
+        cut_node_ids: the cut members.
+        labels: per-member strategy labels; members without a label (or
+            with ``labels=None``) are re-labeled on the fly by comparing
+            the inclusive and exclusive costs, exactly as Alg. 2 does
+            when it recomputes both costs for a partial node.
+        node_is_cached: choose strategies under the Cases-2/3 assumption
+            that cut members are already resident (their read cost is
+            sunk), i.e. compare ``rangeLeafCost`` vs ``nonRangeLeafCost``.
+        stats: optional precomputed coverage statistics.
+
+    Returns:
+        The plan, including the predicted IO cost: the read costs of all
+        distinct operation nodes (cut members are excluded from the
+        prediction when ``node_is_cached``).
+    """
+    if stats is None:
+        stats = QueryNodeStats(catalog, query)
+    hierarchy = catalog.hierarchy
+    members = sorted(set(cut_node_ids))
+    atoms: list[PlanAtom] = []
+    covered: list[tuple[int, int]] = []
+    for node_id in members:
+        if labels is not None and node_id in labels:
+            label = labels[node_id]
+        elif node_is_cached:
+            _extra, label = cached_node_usage(stats, node_id)
+        else:
+            _cost, label = node_hybrid_cost(stats, node_id)
+        atom = _atoms_for_member(stats, node_id, label)
+        node = hierarchy.node(node_id)
+        covered.append((node.leaf_lo, node.leaf_hi))
+        if atom is not None:
+            atoms.append(atom)
+
+    # Range leaves outside every member's span are read directly.
+    covered.sort()
+    uncovered: list[int] = []
+    cursor = 0
+    for lo, hi in covered + [(hierarchy.num_leaves, hierarchy.num_leaves)]:
+        if cursor < lo:
+            for spec in query.clipped_specs(cursor, lo - 1):
+                uncovered.extend(range(spec.start, spec.end + 1))
+        cursor = max(cursor, hi + 1)
+    if uncovered:
+        atoms.append(
+            PlanAtom(StrategyLabel.INCLUSIVE, None, tuple(uncovered))
+        )
+
+    operation_ids: set[int] = set()
+    for atom in atoms:
+        if atom.label is not StrategyLabel.INCLUSIVE and (
+            atom.node_id is not None
+        ):
+            operation_ids.add(atom.node_id)
+        if atom.label is StrategyLabel.EXCLUSIVE and (
+            atom.node_id is not None
+        ):
+            operation_ids.add(atom.node_id)
+        for leaf_value in atom.leaf_values:
+            operation_ids.add(hierarchy.leaf_node_id(leaf_value))
+
+    predicted = 0.0
+    member_set = set(members)
+    for node_id in operation_ids:
+        if node_is_cached and node_id in member_set:
+            continue
+        predicted += catalog.read_cost_mb(node_id)
+    return QueryPlan(
+        query=query,
+        atoms=tuple(atoms),
+        operation_node_ids=frozenset(operation_ids),
+        predicted_cost_mb=predicted,
+    )
+
+
+def leaf_only_plan(
+    catalog: NodeCatalog, query: RangeQuery
+) -> QueryPlan:
+    """The baseline plan: OR together every range leaf's bitmap."""
+    return build_query_plan(catalog, query, cut_node_ids=())

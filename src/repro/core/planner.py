@@ -1,0 +1,141 @@
+"""High-level facade: the :class:`CutSelector`.
+
+Most users only need this class: give it a catalog, hand it a query or a
+workload (plus, optionally, a memory budget), and it dispatches to the
+right algorithm from the paper:
+
+============================  =================================
+Input                         Algorithm
+============================  =================================
+single query, no budget       H-CS (Alg. 1, hybrid) — optimal
+workload, no budget           Alg. 3 — optimal for Eq. 3
+workload + budget, k=1        1-Cut (Alg. 4)
+workload + budget, k>1        k-Cut (Alg. 5)
+workload + budget, k=None     τ auto-stop (§3.3.3)
+============================  =================================
+"""
+
+from __future__ import annotations
+
+from ..storage.catalog import NodeCatalog
+from ..workload.query import RangeQuery, Workload
+from .constrained import (
+    ConstrainedCutResult,
+    auto_k_cut_selection,
+    k_cut_selection,
+    one_cut_selection,
+)
+from .multi import MultiQueryCutResult, select_cut_multi
+from .opnodes import QueryPlan, build_query_plan
+from .single import SingleQueryCutResult, select_cut_single
+
+__all__ = ["CutSelector"]
+
+
+class CutSelector:
+    """One-stop cut selection over a node catalog.
+
+    Example::
+
+        selector = CutSelector(catalog)
+        result = selector.select(query)                  # H-CS
+        result = selector.select(workload)               # Alg. 3
+        result = selector.select(workload, budget_mb=64) # k-Cut
+        plan = selector.plan(query, result)              # Alg. 2
+    """
+
+    def __init__(self, catalog: NodeCatalog):
+        self._catalog = catalog
+
+    @property
+    def catalog(self) -> NodeCatalog:
+        """The catalog cut selection runs against."""
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        target: RangeQuery | Workload,
+        strategy: str = "hybrid",
+        budget_mb: float | None = None,
+        k: int | None = 10,
+        tau: float = 0.0,
+    ) -> (
+        SingleQueryCutResult
+        | MultiQueryCutResult
+        | ConstrainedCutResult
+    ):
+        """Select a cut for a query or workload.
+
+        Args:
+            target: a single :class:`RangeQuery` or a :class:`Workload`.
+            strategy: for single queries only — ``"inclusive"``,
+                ``"exclusive"``, or ``"hybrid"`` (I-CS / E-CS / H-CS).
+            budget_mb: memory budget; ``None`` selects the
+                unconstrained algorithms.
+            k: number of candidate cuts for the constrained case
+                (``1`` = Alg. 4, ``None`` = τ auto-stop).
+            tau: auto-stop gain threshold, used when ``k`` is ``None``.
+        """
+        if isinstance(target, RangeQuery):
+            if budget_mb is not None:
+                return self.select(
+                    Workload([target]),
+                    budget_mb=budget_mb,
+                    k=k,
+                    tau=tau,
+                )
+            return select_cut_single(self._catalog, target, strategy)
+        if not isinstance(target, Workload):
+            raise TypeError(
+                f"target must be a RangeQuery or Workload, got "
+                f"{type(target).__name__}"
+            )
+        if strategy != "hybrid":
+            raise ValueError(
+                "multi-query cut selection is hybrid-only (paper §3.2)"
+            )
+        if budget_mb is None:
+            return select_cut_multi(self._catalog, target)
+        if k is None:
+            return auto_k_cut_selection(
+                self._catalog, target, budget_mb, tau=tau
+            )
+        if k == 1:
+            return one_cut_selection(self._catalog, target, budget_mb)
+        return k_cut_selection(self._catalog, target, budget_mb, k)
+
+    def plan(
+        self,
+        query: RangeQuery,
+        result=None,
+        node_is_cached: bool | None = None,
+    ) -> QueryPlan:
+        """Build the executable plan (Alg. 2) for a query.
+
+        Args:
+            query: the query to plan.
+            result: a prior selection result whose cut to use; ``None``
+                plans leaf-only.
+            node_is_cached: override the cached-members assumption
+                (defaults to ``True`` for workload results, ``False``
+                for single-query results).
+        """
+        if result is None:
+            return build_query_plan(self._catalog, query, ())
+        cut_ids = result.cut.node_ids
+        labels = getattr(result, "labels", None)
+        if node_is_cached is None:
+            node_is_cached = not isinstance(
+                result, SingleQueryCutResult
+            )
+        if node_is_cached:
+            # Resident members: re-label under the free-node comparison.
+            labels = None
+        return build_query_plan(
+            self._catalog,
+            query,
+            cut_ids,
+            labels=labels,
+            node_is_cached=node_is_cached,
+        )

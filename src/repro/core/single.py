@@ -1,0 +1,190 @@
+"""Case 1 — cut selection for a single query, no memory constraint.
+
+Implements the three linear-time bottom-up dynamic programs of §3.1:
+
+* **I-CS** (Alg. 1) with the inclusive node cost,
+* **E-CS** with the exclusive node cost,
+* **H-CS** with the hybrid node cost and per-node strategy labels.
+
+Each algorithm visits every internal node once, comparing the node's own
+strategy cost against the combined best cost of its internal children;
+empty subtrees keep their topmost node in the cut (with an infinite, but
+never-executed, cost) exactly as Alg. 1's ∞ handling implies, so the
+returned cut is complete.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..hierarchy.cuts import Cut
+from ..storage.catalog import NodeCatalog
+from ..workload.query import RangeQuery
+from .costs import (
+    StrategyLabel,
+    node_exclusive_cost,
+    node_hybrid_cost,
+    node_inclusive_cost,
+)
+from .stats import QueryNodeStats
+
+__all__ = [
+    "SingleQueryCutResult",
+    "select_cut_single",
+    "inclusive_cut",
+    "exclusive_cut",
+    "hybrid_cut",
+]
+
+INF = math.inf
+
+_STRATEGIES = ("inclusive", "exclusive", "hybrid")
+
+
+@dataclass(frozen=True)
+class SingleQueryCutResult:
+    """Outcome of a Case-1 cut selection.
+
+    Attributes:
+        cut: the selected (complete) cut.
+        labels: strategy label for every cut member.
+        cost: predicted IO cost (MB) of executing the query with this
+            cut — the DP objective value.
+        strategy: which algorithm produced the result.
+        stats: the per-node coverage statistics (reused by Alg. 2).
+    """
+
+    cut: Cut
+    labels: dict[int, StrategyLabel]
+    cost: float
+    strategy: str
+    stats: QueryNodeStats = field(repr=False, compare=False)
+
+    def label_counts(self) -> dict[StrategyLabel, int]:
+        """How many cut members carry each strategy label (Fig. 4)."""
+        counts = {label: 0 for label in StrategyLabel}
+        for label in self.labels.values():
+            counts[label] += 1
+        return counts
+
+
+def _node_cost(stats: QueryNodeStats, node_id: int, strategy: str):
+    if strategy == "hybrid":
+        return node_hybrid_cost(stats, node_id)
+    if strategy == "inclusive":
+        cost = node_inclusive_cost(stats, node_id)
+        preferred = StrategyLabel.INCLUSIVE
+    else:
+        cost = node_exclusive_cost(stats, node_id)
+        preferred = StrategyLabel.EXCLUSIVE
+    if math.isinf(cost):
+        return cost, StrategyLabel.EMPTY
+    if stats.is_complete(node_id):
+        # Both strategies answer a complete node from its own bitmap.
+        return cost, StrategyLabel.COMPLETE
+    return cost, preferred
+
+
+def select_cut_single(
+    catalog: NodeCatalog,
+    query: RangeQuery,
+    strategy: str = "hybrid",
+) -> SingleQueryCutResult:
+    """Run Alg. 1 with the chosen node-cost function.
+
+    Args:
+        catalog: per-node densities/costs.
+        query: the range query.
+        strategy: ``"inclusive"``, ``"exclusive"``, or ``"hybrid"``.
+
+    Returns:
+        The optimal cut under the chosen strategy's cost function,
+        together with per-member labels and the predicted IO cost.
+    """
+    if strategy not in _STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+        )
+    hierarchy = catalog.hierarchy
+    stats = QueryNodeStats(catalog, query)
+
+    best_cost: dict[int, float] = {}
+    best_cut: dict[int, list[int]] = {}
+    best_labels: dict[int, dict[int, StrategyLabel]] = {}
+
+    for node_id in hierarchy.internal_ids_postorder():
+        own_cost, own_label = _node_cost(stats, node_id, strategy)
+        internal_children = hierarchy.internal_children(node_id)
+
+        if not internal_children and not hierarchy.leaf_children(node_id):
+            # Cannot happen for a valid internal node, but keep the DP
+            # total if a degenerate tree slips through.
+            children_cost = INF
+        elif not internal_children:
+            children_cost = INF  # leaf-parent: Alg. 1's base case
+        else:
+            children_cost = 0.0
+            has_content = False
+            for child in internal_children:
+                child_cost = best_cost[child]
+                if not math.isinf(child_cost):
+                    children_cost += child_cost
+                    has_content = True
+            # Leaf children outside any deeper cut are read directly;
+            # only their in-range bitmaps cost anything.  (Balanced
+            # hierarchies have no mixed nodes, so this is usually 0.)
+            for leaf in hierarchy.leaf_children(node_id):
+                leaf_value = hierarchy.node(leaf).leaf_lo
+                if query.is_range_leaf(leaf_value):
+                    children_cost += catalog.read_cost_mb(leaf)
+                    has_content = True
+            if not has_content:
+                children_cost = INF  # Alg. 1 line 17: all-empty subtree
+
+        take_node = (
+            not internal_children or own_cost <= children_cost
+        )
+        if take_node:
+            best_cost[node_id] = own_cost
+            best_cut[node_id] = [node_id]
+            best_labels[node_id] = {node_id: own_label}
+        else:
+            best_cost[node_id] = children_cost
+            merged_cut: list[int] = []
+            merged_labels: dict[int, StrategyLabel] = {}
+            for child in internal_children:
+                merged_cut.extend(best_cut[child])
+                merged_labels.update(best_labels[child])
+            best_cut[node_id] = merged_cut
+            best_labels[node_id] = merged_labels
+
+    root_id = hierarchy.root_id
+    return SingleQueryCutResult(
+        cut=Cut(hierarchy, best_cut[root_id]),
+        labels=best_labels[root_id],
+        cost=best_cost[root_id],
+        strategy=strategy,
+        stats=stats,
+    )
+
+
+def inclusive_cut(
+    catalog: NodeCatalog, query: RangeQuery
+) -> SingleQueryCutResult:
+    """I-CS (Alg. 1 with the inclusive node cost)."""
+    return select_cut_single(catalog, query, "inclusive")
+
+
+def exclusive_cut(
+    catalog: NodeCatalog, query: RangeQuery
+) -> SingleQueryCutResult:
+    """E-CS (§3.1.2)."""
+    return select_cut_single(catalog, query, "exclusive")
+
+
+def hybrid_cut(
+    catalog: NodeCatalog, query: RangeQuery
+) -> SingleQueryCutResult:
+    """H-CS (§3.1.3) — optimal over all cuts for the Eq. 1 objective."""
+    return select_cut_single(catalog, query, "hybrid")

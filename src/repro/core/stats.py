@@ -1,0 +1,118 @@
+"""Per-node query coverage statistics.
+
+Every cost formula in the paper reduces to a handful of per-node
+quantities: how many of the node's leaf descendants are *range nodes* for
+a query (``G_{q,m}`` aggregated over ``leafDesc(n)``), and the total read
+cost of those range / non-range leaves.  :class:`QueryNodeStats`
+precomputes all of them in ``O(num_nodes * num_specs)`` using the
+catalog's leaf-cost prefix sums, after which each cost lookup is O(1).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..storage.catalog import NodeCatalog
+from ..workload.query import RangeQuery
+
+__all__ = ["NodeClass", "QueryNodeStats"]
+
+
+class NodeClass(Enum):
+    """Classification of a node with respect to one query (§3.1.3)."""
+
+    EMPTY = "empty"        # no leaf descendant is a range node
+    PARTIAL = "partial"    # some, but not all, are range nodes
+    COMPLETE = "complete"  # every leaf descendant is a range node
+
+
+class QueryNodeStats:
+    """Coverage statistics of one query over one catalog's hierarchy."""
+
+    __slots__ = (
+        "catalog",
+        "query",
+        "range_count",
+        "span_count",
+        "range_leaf_cost",
+        "total_leaf_cost",
+        "total_range_cost",
+    )
+
+    def __init__(self, catalog: NodeCatalog, query: RangeQuery):
+        self.catalog = catalog
+        self.query = query
+        hierarchy = catalog.hierarchy
+        # Vectorized over all nodes at once: each spec's overlap with
+        # every node span is one numpy expression, and overlap costs
+        # come from the leaf-cost prefix sums.
+        span_lo, span_hi = catalog.node_span_arrays()
+        prefix = catalog.leaf_cost_prefix
+        self.span_count = span_hi - span_lo + 1
+        self.total_leaf_cost = prefix[span_hi + 1] - prefix[span_lo]
+        range_count = np.zeros(span_lo.shape, dtype=np.int64)
+        range_cost = np.zeros(span_lo.shape, dtype=float)
+        for spec in query.specs:
+            start = np.maximum(span_lo, spec.start)
+            end = np.minimum(span_hi, spec.end)
+            valid = end >= start
+            start_safe = np.where(valid, start, 0)
+            end_safe = np.where(valid, end, -1)
+            range_count += np.where(valid, end - start + 1, 0)
+            range_cost += np.where(
+                valid,
+                prefix[end_safe + 1] - prefix[start_safe],
+                0.0,
+            )
+        self.range_count = range_count
+        self.range_leaf_cost = range_cost
+        root_id = hierarchy.root_id
+        self.total_range_cost = float(self.range_leaf_cost[root_id])
+
+    # ------------------------------------------------------------------
+    def classify(self, node_id: int) -> NodeClass:
+        """Empty / partial / complete status of the node for this query."""
+        count = self.range_count[node_id]
+        if count == 0:
+            return NodeClass.EMPTY
+        if count == self.span_count[node_id]:
+            return NodeClass.COMPLETE
+        return NodeClass.PARTIAL
+
+    def is_empty(self, node_id: int) -> bool:
+        """Whether no leaf under the node is a range node."""
+        return self.range_count[node_id] == 0
+
+    def is_complete(self, node_id: int) -> bool:
+        """Whether every leaf under the node is a range node."""
+        return (
+            self.range_count[node_id] != 0
+            and self.range_count[node_id] == self.span_count[node_id]
+        )
+
+    def non_range_leaf_cost(self, node_id: int) -> float:
+        """Total read cost of the node's non-range leaf descendants."""
+        return float(
+            self.total_leaf_cost[node_id]
+            - self.range_leaf_cost[node_id]
+        )
+
+    def range_leaf_values(self, node_id: int) -> list[int]:
+        """Range leaf values under the node (as domain values)."""
+        node = self.catalog.hierarchy.node(node_id)
+        out: list[int] = []
+        for spec in self.query.clipped_specs(node.leaf_lo, node.leaf_hi):
+            out.extend(range(spec.start, spec.end + 1))
+        return out
+
+    def non_range_leaf_values(self, node_id: int) -> list[int]:
+        """Non-range leaf values under the node (as domain values)."""
+        node = self.catalog.hierarchy.node(node_id)
+        in_range = set(self.range_leaf_values(node_id))
+        return [
+            value
+            for value in range(node.leaf_lo, node.leaf_hi + 1)
+            if value not in in_range
+        ]

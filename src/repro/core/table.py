@@ -1,0 +1,199 @@
+"""``Table`` — the friendly, end-to-end facade.
+
+For users who just want a hierarchically-indexed column that answers
+range selections and aggregates efficiently, without touching cuts,
+catalogs, or buffer pools directly::
+
+    table = Table(hierarchy, column, measures={"amount": amounts})
+    table.optimize_for(workload, memory_budget_mb=32)
+    rows = table.select((10, 49))
+    total = table.aggregate((10, 49), measure="amount", agg="sum")
+    print(table.io_report())
+
+Internally this wires together the materialized catalog, the cut
+selector, Alg. 2 planning, and the budgeted buffer pool, so everything
+the paper promises (optimal cut, byte-accounted IO) happens under the
+hood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..hierarchy.tree import Hierarchy
+from ..storage.cache import BufferPool
+from ..storage.catalog import MaterializedNodeCatalog
+from ..storage.costmodel import MB
+from ..workload.query import RangeQuery, Workload
+from .executor import ExecutionResult, QueryExecutor
+from .multi import select_cut_multi
+from .constrained import k_cut_selection
+from .opnodes import build_query_plan
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A single indexed column with optional measure columns.
+
+    Args:
+        hierarchy: the domain hierarchy over the column's values.
+        column: integer leaf ids, one per row.
+        measures: named per-row numeric columns for aggregation.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        column: np.ndarray,
+        measures: dict[str, np.ndarray] | None = None,
+    ):
+        column = np.asarray(column)
+        self._catalog = MaterializedNodeCatalog(hierarchy, column)
+        self._column = column
+        self._measures: dict[str, np.ndarray] = {}
+        for name, values in (measures or {}).items():
+            values = np.asarray(values)
+            if values.shape != column.shape:
+                raise WorkloadError(
+                    f"measure {name!r} must have one value per row "
+                    f"({column.shape}), got {values.shape}"
+                )
+            self._measures[name] = values
+        self._pool = BufferPool(self._catalog.store)
+        self._executor = QueryExecutor(self._catalog, self._pool)
+        self._cut: frozenset[int] = frozenset()
+
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The domain hierarchy."""
+        return self._catalog.hierarchy
+
+    @property
+    def num_rows(self) -> int:
+        """Rows in the table."""
+        return int(self._column.size)
+
+    @property
+    def cut(self) -> frozenset[int]:
+        """Internal nodes currently cached (empty = leaf-only)."""
+        return self._cut
+
+    def measure_names(self) -> list[str]:
+        """Registered measure columns."""
+        return sorted(self._measures)
+
+    # ------------------------------------------------------------------
+    def optimize_for(
+        self,
+        workload: Workload,
+        memory_budget_mb: float | None = None,
+        k: int = 10,
+    ) -> frozenset[int]:
+        """Select and pin the cut for an expected workload.
+
+        Without a budget this runs Alg. 3 against the workload and pins
+        the optimal cut; with one, k-Cut selection under the budget and
+        a byte-accurate pool enforcing it.
+        """
+        if memory_budget_mb is None:
+            selection = select_cut_multi(self._catalog, workload)
+            budget_bytes = None
+        else:
+            selection = k_cut_selection(
+                self._catalog, workload, memory_budget_mb, k
+            )
+            budget_bytes = int(memory_budget_mb * MB) + 1
+        self._pool = BufferPool(
+            self._catalog.store, budget_bytes=budget_bytes
+        )
+        self._executor = QueryExecutor(self._catalog, self._pool)
+        members = frozenset(selection.cut.node_ids)
+        # Pin only members some query actually answers from.
+        used = {
+            member
+            for member in members
+            if selection.stats.node_read[member]
+        }
+        if used:
+            self._executor.pin_cut(sorted(used))
+        self._cut = members
+        return members
+
+    def _query_for(self, ranges) -> RangeQuery:
+        if isinstance(ranges, RangeQuery):
+            return ranges
+        if isinstance(ranges, tuple) and len(ranges) == 2 and all(
+            isinstance(bound, (int, np.integer)) for bound in ranges
+        ):
+            ranges = [ranges]
+        return RangeQuery(ranges)
+
+    def _execute(self, ranges) -> ExecutionResult:
+        query = self._query_for(ranges)
+        plan = build_query_plan(
+            self._catalog,
+            query,
+            sorted(self._cut),
+            node_is_cached=bool(self._cut),
+        )
+        return self._executor.execute_plan(plan)
+
+    def select(self, ranges) -> np.ndarray:
+        """Row ids whose value falls in the range(s).
+
+        ``ranges`` may be one ``(lo, hi)`` tuple, a list of them, or a
+        :class:`RangeQuery`.
+        """
+        return self._execute(ranges).answer.to_positions()
+
+    def count(self, ranges) -> int:
+        """Number of matching rows."""
+        return self._execute(ranges).answer.count()
+
+    def aggregate(
+        self, ranges, measure: str, agg: str = "sum"
+    ) -> float:
+        """Aggregate a measure over the matching rows."""
+        try:
+            values = self._measures[measure]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown measure {measure!r}; registered: "
+                f"{self.measure_names()}"
+            ) from None
+        query = self._query_for(ranges)
+        plan = build_query_plan(
+            self._catalog,
+            query,
+            sorted(self._cut),
+            node_is_cached=bool(self._cut),
+        )
+        value, _result = self._executor.aggregate(
+            plan, values, agg
+        )
+        return value
+
+    # ------------------------------------------------------------------
+    def io_report(self) -> str:
+        """One-line summary of IO incurred so far."""
+        accountant = self._pool.accountant
+        return (
+            f"{accountant.mb_read:.3f} MB read in "
+            f"{accountant.read_count} fetches; cut of "
+            f"{len(self._cut)} nodes pinned"
+        )
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes fetched from (simulated) storage."""
+        return self._pool.accountant.bytes_read
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(rows={self.num_rows}, "
+            f"leaves={self.hierarchy.num_leaves}, "
+            f"measures={self.measure_names()})"
+        )

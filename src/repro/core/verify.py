@@ -1,0 +1,88 @@
+"""Static plan verification.
+
+A query plan is *sound* when its atoms produce exactly the query's
+range leaves: every complete atom's span, every inclusive atom's leaf
+list, and every exclusive atom's span-minus-removals must tile the
+range-node set ``RN_q`` with no overlap and no gap.  This check is
+purely structural — no bitmaps are touched — so it can guard plan
+construction in production and pin down bugs long before execution.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..hierarchy.tree import Hierarchy
+from .costs import StrategyLabel
+from .opnodes import QueryPlan
+
+__all__ = ["PlanVerificationError", "verify_plan"]
+
+
+class PlanVerificationError(ReproError):
+    """Raised when a plan does not produce its query's range leaves."""
+
+
+def verify_plan(plan: QueryPlan, hierarchy: Hierarchy) -> None:
+    """Check that a plan's atoms tile the query's range-leaf set.
+
+    Raises:
+        PlanVerificationError: with a description of the first defect
+            found (duplicate production, missing leaves, or extra
+            leaves).
+    """
+    produced: dict[int, int] = {}
+
+    def produce(leaf_value: int) -> None:
+        produced[leaf_value] = produced.get(leaf_value, 0) + 1
+
+    for atom in plan.atoms:
+        if atom.label is StrategyLabel.COMPLETE:
+            if atom.node_id is None:
+                raise PlanVerificationError(
+                    "complete atom without a node"
+                )
+            node = hierarchy.node(atom.node_id)
+            for value in range(node.leaf_lo, node.leaf_hi + 1):
+                produce(value)
+        elif atom.label is StrategyLabel.INCLUSIVE:
+            for value in atom.leaf_values:
+                produce(value)
+        elif atom.label is StrategyLabel.EXCLUSIVE:
+            if atom.node_id is None:
+                raise PlanVerificationError(
+                    "exclusive atom without a node"
+                )
+            node = hierarchy.node(atom.node_id)
+            removed = set(atom.leaf_values)
+            for value in range(node.leaf_lo, node.leaf_hi + 1):
+                if value not in removed:
+                    produce(value)
+        else:
+            raise PlanVerificationError(
+                f"plan contains an unexecutable atom label "
+                f"{atom.label!r}"
+            )
+
+    duplicates = sorted(
+        value for value, count in produced.items() if count > 1
+    )
+    if duplicates:
+        raise PlanVerificationError(
+            f"leaves produced by more than one atom: "
+            f"{duplicates[:5]}"
+            + ("..." if len(duplicates) > 5 else "")
+        )
+    wanted = set(plan.query.range_leaves())
+    got = set(produced)
+    missing = sorted(wanted - got)
+    if missing:
+        raise PlanVerificationError(
+            f"plan misses range leaves: {missing[:5]}"
+            + ("..." if len(missing) > 5 else "")
+        )
+    extra = sorted(got - wanted)
+    if extra:
+        raise PlanVerificationError(
+            f"plan produces non-range leaves: {extra[:5]}"
+            + ("..." if len(extra) > 5 else "")
+        )

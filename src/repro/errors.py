@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class BitmapError(ReproError):
+    """Base class for bitmap-related failures."""
+
+
+class BitmapLengthMismatchError(BitmapError):
+    """Raised when a binary bitmap operation mixes different logical lengths."""
+
+    def __init__(self, left_bits: int, right_bits: int):
+        self.left_bits = left_bits
+        self.right_bits = right_bits
+        super().__init__(
+            f"bitmap length mismatch: {left_bits} bits vs {right_bits} bits"
+        )
+
+
+class BitmapDecodeError(BitmapError):
+    """Raised when a serialized bitmap payload is malformed."""
+
+
+class HierarchyError(ReproError):
+    """Raised when a hierarchy is structurally invalid or misused."""
+
+
+class InvalidCutError(ReproError):
+    """Raised when a set of nodes violates the cut validity rules."""
+
+
+class WorkloadError(ReproError):
+    """Raised for malformed range specifications, queries, or workloads."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated secondary-storage layer."""
+
+
+class BudgetExceededError(StorageError):
+    """Raised when a pinned working set cannot fit in the memory budget."""
+
+    def __init__(self, required_bytes: int, budget_bytes: int):
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"working set of {required_bytes} bytes exceeds "
+            f"memory budget of {budget_bytes} bytes"
+        )
+
+
+class CalibrationError(ReproError):
+    """Raised when cost-model calibration receives unusable measurements."""

@@ -1,0 +1,31 @@
+"""Paper-figure experiments: one module per table/figure of §4.
+
+See ``DESIGN.md`` for the experiment index and
+:mod:`repro.experiments.runner` for the CLI.
+"""
+
+from .common import (
+    DATASETS,
+    DEFAULT_RUNS,
+    PAPER_HIERARCHY_SIZES,
+    PAPER_MEMORY_FRACTIONS,
+    ExperimentResult,
+    average_over_runs,
+    budget_for_fraction,
+    catalog_for,
+    hierarchy_for,
+    leaf_probabilities_for,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "DATASETS",
+    "DEFAULT_RUNS",
+    "PAPER_HIERARCHY_SIZES",
+    "PAPER_MEMORY_FRACTIONS",
+    "average_over_runs",
+    "budget_for_fraction",
+    "catalog_for",
+    "hierarchy_for",
+    "leaf_probabilities_for",
+]

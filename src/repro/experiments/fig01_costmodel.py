@@ -1,0 +1,61 @@
+"""Fig. 1 — cost model vs. measured WAH file sizes across densities.
+
+The paper calibrates its piecewise read-cost model against the WAH
+library's file sizes on a 500 GB SATA drive (150M-row bitmaps).  We
+measure our own WAH implementation's serialized sizes at a configurable
+row count, fit the model (§2.2.1), and report model-vs-measured per
+density — the reproduction of Fig. 1's two curves.
+"""
+
+from __future__ import annotations
+
+from ..storage.calibration import (
+    DEFAULT_CALIBRATION_DENSITIES,
+    calibrate_cost_model,
+)
+from .common import ExperimentResult
+
+__all__ = ["run", "DEFAULT_NUM_BITS"]
+
+#: Rows per calibration bitmap.  The paper used 150M; pure-Python WAH
+#: construction makes 2M the default sweet spot (densities, not row
+#: counts, drive the curve's shape).
+DEFAULT_NUM_BITS = 2_000_000
+
+
+def run(
+    num_bits: int = DEFAULT_NUM_BITS,
+    densities: tuple[float, ...] = DEFAULT_CALIBRATION_DENSITIES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure WAH sizes, fit the cost model, tabulate both curves."""
+    model, sizes = calibrate_cost_model(num_bits, densities, seed)
+    result = ExperimentResult(
+        title="Fig. 1: WAH measured size vs fitted cost model",
+        columns=[
+            "density",
+            "wah_measured_mb",
+            "model_mb",
+            "relative_error",
+        ],
+        notes=[
+            f"num_bits={num_bits} seed={seed}",
+            f"fitted: a={model.a:.1f} b={model.b:.4f} "
+            f"k1={model.k1:.2f} k2={model.k2:.2f} k3={model.k3:.2f}",
+            "paper constants: a=1043 b=0.5895 "
+            "Dx=(0.01, 0.015, 0.03) at 150M rows",
+        ],
+    )
+    for density in densities:
+        measured = sizes[density]
+        modeled = model.read_cost_mb(density)
+        error = (
+            abs(modeled - measured) / measured if measured else 0.0
+        )
+        result.add_row(
+            density=density,
+            wah_measured_mb=measured,
+            model_mb=modeled,
+            relative_error=error,
+        )
+    return result

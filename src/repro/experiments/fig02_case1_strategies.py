@@ -1,0 +1,88 @@
+"""Fig. 2(a-f) — Case 1: I-CS vs E-CS vs H-CS vs leaf-only.
+
+Single query, no memory constraint.  One subfigure per (dataset, query
+range size); the x axis sweeps hierarchy size (20/50/100 leaves), the y
+axis is the amount of data read (MB).  Expected shape (§4.1): inclusive
+wins at small ranges, exclusive at large ranges, hybrid is never worse
+than either, and every strategy beats leaf-only execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.baselines import leaf_only_single_cost
+from ..core.single import select_cut_single
+from ..workload.generator import range_query_of_fraction
+from .common import (
+    DATASETS,
+    DEFAULT_RUNS,
+    PAPER_HIERARCHY_SIZES,
+    ExperimentResult,
+    average_over_runs,
+    catalog_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    datasets: tuple[str, ...] = DATASETS,
+    range_fractions: tuple[float, ...] = (0.10, 0.50, 0.90),
+    hierarchy_sizes: tuple[int, ...] = PAPER_HIERARCHY_SIZES,
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average data-read (MB) of the three strategies and leaf-only."""
+    result = ExperimentResult(
+        title=(
+            "Fig. 2: Case 1 - data read vs hierarchy size, by "
+            "strategy"
+        ),
+        columns=[
+            "dataset",
+            "range_pct",
+            "num_leaves",
+            "inclusive_mb",
+            "exclusive_mb",
+            "hybrid_mb",
+            "leaf_only_mb",
+        ],
+        notes=[f"runs={runs} base_seed={base_seed}"],
+    )
+    for dataset in datasets:
+        for fraction in range_fractions:
+            for num_leaves in hierarchy_sizes:
+                catalog = catalog_for(dataset, num_leaves)
+
+                def measure(seed: int) -> dict[str, float]:
+                    rng = np.random.default_rng(seed)
+                    query = range_query_of_fraction(
+                        catalog.hierarchy.num_leaves, fraction, rng
+                    )
+                    return {
+                        "inclusive": select_cut_single(
+                            catalog, query, "inclusive"
+                        ).cost,
+                        "exclusive": select_cut_single(
+                            catalog, query, "exclusive"
+                        ).cost,
+                        "hybrid": select_cut_single(
+                            catalog, query, "hybrid"
+                        ).cost,
+                        "leaf_only": leaf_only_single_cost(
+                            catalog, query
+                        ),
+                    }
+
+                averages = average_over_runs(runs, base_seed, measure)
+                result.add_row(
+                    dataset=dataset,
+                    range_pct=int(round(fraction * 100)),
+                    num_leaves=num_leaves,
+                    inclusive_mb=averages["inclusive"],
+                    exclusive_mb=averages["exclusive"],
+                    hybrid_mb=averages["hybrid"],
+                    leaf_only_mb=averages["leaf_only"],
+                )
+    return result

@@ -1,0 +1,85 @@
+"""Fig. 3 — Case 1: H-CS vs exhaustively-found optimal/average/worst.
+
+Single query on the TPC-H dataset, 100-leaf hierarchy.  The headline
+result: H-CS returns exactly the exhaustive optimum, while a randomly
+chosen ("average") cut performs almost as badly as the worst cut for
+large ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.baselines import (
+    average_single_cut_cost,
+    exhaustive_single_optimum,
+    leaf_only_single_cost,
+    worst_single_cut,
+)
+from ..core.single import hybrid_cut
+from ..workload.generator import range_query_of_fraction
+from .common import (
+    DEFAULT_RUNS,
+    ExperimentResult,
+    average_over_runs,
+    catalog_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: str = "tpch",
+    num_leaves: int = 100,
+    range_fractions: tuple[float, ...] = (0.10, 0.50, 0.90),
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average data read (MB) of each comparison line per range size."""
+    catalog = catalog_for(dataset, num_leaves)
+    result = ExperimentResult(
+        title=(
+            "Fig. 3: Case 1 - H-CS vs exhaustive / average / "
+            "leaf-only / worst cuts"
+        ),
+        columns=[
+            "range_pct",
+            "exhaustive_mb",
+            "hybrid_mb",
+            "average_mb",
+            "leaf_only_mb",
+            "worst_mb",
+        ],
+        notes=[
+            f"dataset={dataset} num_leaves={num_leaves} runs={runs}"
+        ],
+    )
+    for fraction in range_fractions:
+
+        def measure(seed: int) -> dict[str, float]:
+            rng = np.random.default_rng(seed)
+            query = range_query_of_fraction(
+                catalog.hierarchy.num_leaves, fraction, rng
+            )
+            return {
+                "exhaustive": exhaustive_single_optimum(
+                    catalog, query
+                ).cost,
+                "hybrid": hybrid_cut(catalog, query).cost,
+                "average": average_single_cut_cost(
+                    catalog, query, seed=seed
+                ),
+                "leaf_only": leaf_only_single_cost(catalog, query),
+                "worst": worst_single_cut(catalog, query).cost,
+            }
+
+        averages = average_over_runs(runs, base_seed, measure)
+        result.add_row(
+            range_pct=int(round(fraction * 100)),
+            exhaustive_mb=averages["exhaustive"],
+            hybrid_mb=averages["hybrid"],
+            average_mb=averages["average"],
+            leaf_only_mb=averages["leaf_only"],
+            worst_mb=averages["worst"],
+        )
+    return result

@@ -1,0 +1,78 @@
+"""Fig. 4 — distribution of node labels in the hybrid cut.
+
+For a single query on the 100-leaf TPC-H hierarchy: what fraction of
+the H-CS cut's members are inclusive-preferred, exclusive-preferred, or
+empty, per range size.  Complete members count as inclusive-preferred
+(their two costs tie and ties resolve inclusive, per Alg. 2 line 11).
+
+Expected shape: small ranges are dominated by empty nodes (and the rest
+inclusive); large ranges flip to exclusive-preferred.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.costs import StrategyLabel
+from ..core.single import hybrid_cut
+from ..workload.generator import range_query_of_fraction
+from .common import (
+    DEFAULT_RUNS,
+    ExperimentResult,
+    average_over_runs,
+    catalog_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: str = "tpch",
+    num_leaves: int = 100,
+    range_fractions: tuple[float, ...] = (0.10, 0.50, 0.90),
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average label fractions of the hybrid cut per range size."""
+    catalog = catalog_for(dataset, num_leaves)
+    result = ExperimentResult(
+        title="Fig. 4: node-label distribution in the hybrid cut",
+        columns=[
+            "range_pct",
+            "inclusive_preferred",
+            "exclusive_preferred",
+            "empty",
+        ],
+        notes=[
+            f"dataset={dataset} num_leaves={num_leaves} runs={runs}",
+            "complete members counted as inclusive-preferred",
+        ],
+    )
+    for fraction in range_fractions:
+
+        def measure(seed: int) -> dict[str, float]:
+            rng = np.random.default_rng(seed)
+            query = range_query_of_fraction(
+                catalog.hierarchy.num_leaves, fraction, rng
+            )
+            selection = hybrid_cut(catalog, query)
+            counts = selection.label_counts()
+            total = max(1, len(selection.labels))
+            inclusive = (
+                counts[StrategyLabel.INCLUSIVE]
+                + counts[StrategyLabel.COMPLETE]
+            )
+            return {
+                "inclusive": inclusive / total,
+                "exclusive": counts[StrategyLabel.EXCLUSIVE] / total,
+                "empty": counts[StrategyLabel.EMPTY] / total,
+            }
+
+        averages = average_over_runs(runs, base_seed, measure)
+        result.add_row(
+            range_pct=int(round(fraction * 100)),
+            inclusive_preferred=averages["inclusive"],
+            exclusive_preferred=averages["exclusive"],
+            empty=averages["empty"],
+        )
+    return result

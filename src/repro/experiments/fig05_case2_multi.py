@@ -1,0 +1,92 @@
+"""Fig. 5(a-c) — Case 2: multiple queries, no memory constraint.
+
+Workloads of 5/15/25 queries on the 100-leaf TPC-H hierarchy, one
+subfigure per range size.  Compares the Alg. 3 hybrid cut against the
+exhaustive optimum (they should coincide), random ("average") cuts,
+leaf-only execution, and the worst cut — all under the Eq. 3 objective
+where fetched bitmaps are cached across the workload.
+"""
+
+from __future__ import annotations
+
+from ..core.baselines import (
+    average_multi_cut_cost,
+    exhaustive_multi_optimum,
+    worst_multi_cut,
+)
+from ..core.multi import select_cut_multi
+from ..core.workload_cost import WorkloadNodeStats
+from ..workload.generator import fraction_workload
+from .common import (
+    DEFAULT_RUNS,
+    ExperimentResult,
+    average_over_runs,
+    catalog_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: str = "tpch",
+    num_leaves: int = 100,
+    range_fractions: tuple[float, ...] = (0.10, 0.50, 0.90),
+    query_counts: tuple[int, ...] = (5, 15, 25),
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average Eq. 3 workload cost (MB) of each comparison line."""
+    catalog = catalog_for(dataset, num_leaves)
+    result = ExperimentResult(
+        title="Fig. 5: Case 2 - data read vs number of queries",
+        columns=[
+            "range_pct",
+            "num_queries",
+            "optimal_mb",
+            "hybrid_mb",
+            "average_mb",
+            "leaf_only_mb",
+            "worst_mb",
+        ],
+        notes=[
+            f"dataset={dataset} num_leaves={num_leaves} runs={runs}"
+        ],
+    )
+    for fraction in range_fractions:
+        for num_queries in query_counts:
+
+            def measure(seed: int) -> dict[str, float]:
+                workload = fraction_workload(
+                    catalog.hierarchy.num_leaves,
+                    fraction,
+                    num_queries,
+                    seed=seed,
+                )
+                stats = WorkloadNodeStats(catalog, workload)
+                return {
+                    "optimal": exhaustive_multi_optimum(
+                        catalog, workload, stats
+                    ).cost,
+                    "hybrid": select_cut_multi(
+                        catalog, workload, stats
+                    ).cost,
+                    "average": average_multi_cut_cost(
+                        catalog, workload, seed=seed, stats=stats
+                    ),
+                    "leaf_only": stats.leaf_only_cost_case2(),
+                    "worst": worst_multi_cut(
+                        catalog, workload, stats
+                    ).cost,
+                }
+
+            averages = average_over_runs(runs, base_seed, measure)
+            result.add_row(
+                range_pct=int(round(fraction * 100)),
+                num_queries=num_queries,
+                optimal_mb=averages["optimal"],
+                hybrid_mb=averages["hybrid"],
+                average_mb=averages["average"],
+                leaf_only_mb=averages["leaf_only"],
+                worst_mb=averages["worst"],
+            )
+    return result

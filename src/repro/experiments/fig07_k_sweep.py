@@ -1,0 +1,105 @@
+"""Fig. 7 — cost ratio of k-greedy cuts to the exhaustive optimum.
+
+15 queries, 50% ranges, 100-leaf TPC-H hierarchy, memory sweep.  Plots
+``cost(k-Cut) / cost(exhaustive)`` for k = 1, τ auto-stop, 5, and 10.
+A ratio of 1.0 means the greedy found an optimal cut.
+"""
+
+from __future__ import annotations
+
+from ..core.baselines import exhaustive_constrained_optimum
+from ..core.constrained import (
+    auto_k_cut_selection,
+    k_cut_selection,
+    one_cut_selection,
+)
+from ..core.workload_cost import WorkloadNodeStats
+from ..workload.generator import fraction_workload
+from .common import (
+    DEFAULT_RUNS,
+    PAPER_MEMORY_FRACTIONS,
+    ExperimentResult,
+    average_over_runs,
+    budget_for_fraction,
+    catalog_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: str = "tpch",
+    num_leaves: int = 100,
+    num_queries: int = 15,
+    range_fraction: float = 0.50,
+    memory_fractions: tuple[float, ...] = PAPER_MEMORY_FRACTIONS,
+    k_values: tuple[int, ...] = (5, 10),
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average cost ratios (k-cut / exhaustive) per memory level."""
+    catalog = catalog_for(dataset, num_leaves)
+    result = ExperimentResult(
+        title="Fig. 7: Case 3 - k-cut / exhaustive cost ratio",
+        columns=[
+            "memory_pct",
+            "ratio_1_cut",
+            "ratio_auto_stop",
+            "ratio_5_cut",
+            "ratio_10_cut",
+        ],
+        notes=[
+            f"dataset={dataset} num_leaves={num_leaves} "
+            f"queries={num_queries} range="
+            f"{int(round(range_fraction * 100))}% runs={runs}"
+        ],
+    )
+    for memory_fraction in memory_fractions:
+        budget = budget_for_fraction(catalog, memory_fraction)
+
+        def measure(seed: int) -> dict[str, float]:
+            workload = fraction_workload(
+                catalog.hierarchy.num_leaves,
+                range_fraction,
+                num_queries,
+                seed=seed,
+            )
+            stats = WorkloadNodeStats(catalog, workload)
+            optimum = exhaustive_constrained_optimum(
+                catalog, workload, budget, stats
+            ).cost
+            if optimum <= 0:
+                return {
+                    "ratio_1": 1.0,
+                    "ratio_auto": 1.0,
+                    "ratio_5": 1.0,
+                    "ratio_10": 1.0,
+                }
+            one = one_cut_selection(
+                catalog, workload, budget, stats
+            ).cost
+            auto = auto_k_cut_selection(
+                catalog, workload, budget, stats=stats
+            ).cost
+            five = k_cut_selection(
+                catalog, workload, budget, k_values[0], stats
+            ).cost
+            ten = k_cut_selection(
+                catalog, workload, budget, k_values[1], stats
+            ).cost
+            return {
+                "ratio_1": one / optimum,
+                "ratio_auto": auto / optimum,
+                "ratio_5": five / optimum,
+                "ratio_10": ten / optimum,
+            }
+
+        averages = average_over_runs(runs, base_seed, measure)
+        result.add_row(
+            memory_pct=int(round(memory_fraction * 100)),
+            ratio_1_cut=averages["ratio_1"],
+            ratio_auto_stop=averages["ratio_auto"],
+            ratio_5_cut=averages["ratio_5"],
+            ratio_10_cut=averages["ratio_10"],
+        )
+    return result

@@ -1,0 +1,89 @@
+"""Fig. 9 — Case 3 robustness: data read vs number of queries.
+
+50% ranges, 100-leaf TPC-H hierarchy, 90% memory availability; the
+workload size sweeps 5/15/25 queries.
+"""
+
+from __future__ import annotations
+
+from ..core.baselines import (
+    average_constrained_cut_cost,
+    exhaustive_constrained_optimum,
+    worst_constrained_cut,
+)
+from ..core.constrained import k_cut_selection
+from ..core.workload_cost import WorkloadNodeStats
+from ..workload.generator import fraction_workload
+from .common import (
+    DEFAULT_RUNS,
+    ExperimentResult,
+    average_over_runs,
+    budget_for_fraction,
+    catalog_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: str = "tpch",
+    num_leaves: int = 100,
+    query_counts: tuple[int, ...] = (5, 15, 25),
+    range_fraction: float = 0.50,
+    memory_fraction: float = 0.90,
+    k: int = 10,
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average Eq. 4 workload cost (MB) per workload size."""
+    catalog = catalog_for(dataset, num_leaves)
+    budget = budget_for_fraction(catalog, memory_fraction)
+    result = ExperimentResult(
+        title="Fig. 9: Case 3 - data read vs number of queries",
+        columns=[
+            "num_queries",
+            "exhaustive_mb",
+            "k_cut_mb",
+            "average_mb",
+            "worst_mb",
+        ],
+        notes=[
+            f"dataset={dataset} num_leaves={num_leaves} range="
+            f"{int(round(range_fraction * 100))}% memory="
+            f"{int(round(memory_fraction * 100))}% k={k} runs={runs}"
+        ],
+    )
+    for num_queries in query_counts:
+
+        def measure(seed: int) -> dict[str, float]:
+            workload = fraction_workload(
+                catalog.hierarchy.num_leaves,
+                range_fraction,
+                num_queries,
+                seed=seed,
+            )
+            stats = WorkloadNodeStats(catalog, workload)
+            return {
+                "exhaustive": exhaustive_constrained_optimum(
+                    catalog, workload, budget, stats
+                ).cost,
+                "k_cut": k_cut_selection(
+                    catalog, workload, budget, k, stats
+                ).cost,
+                "average": average_constrained_cut_cost(
+                    catalog, workload, budget, seed=seed, stats=stats
+                ),
+                "worst": worst_constrained_cut(
+                    catalog, workload, budget, stats
+                ).cost,
+            }
+
+        averages = average_over_runs(runs, base_seed, measure)
+        result.add_row(
+            num_queries=num_queries,
+            exhaustive_mb=averages["exhaustive"],
+            k_cut_mb=averages["k_cut"],
+            average_mb=averages["average"],
+            worst_mb=averages["worst"],
+        )
+    return result

@@ -1,0 +1,90 @@
+"""Fig. 10 — Case 3 robustness: data read vs hierarchy size.
+
+5 queries, 50% ranges, 90% memory availability; hierarchy sizes sweep
+the paper's 20/50/100-leaf shapes.
+"""
+
+from __future__ import annotations
+
+from ..core.baselines import (
+    average_constrained_cut_cost,
+    exhaustive_constrained_optimum,
+    worst_constrained_cut,
+)
+from ..core.constrained import k_cut_selection
+from ..core.workload_cost import WorkloadNodeStats
+from ..workload.generator import fraction_workload
+from .common import (
+    DEFAULT_RUNS,
+    PAPER_HIERARCHY_SIZES,
+    ExperimentResult,
+    average_over_runs,
+    budget_for_fraction,
+    catalog_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: str = "tpch",
+    hierarchy_sizes: tuple[int, ...] = PAPER_HIERARCHY_SIZES,
+    num_queries: int = 5,
+    range_fraction: float = 0.50,
+    memory_fraction: float = 0.90,
+    k: int = 10,
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Average Eq. 4 workload cost (MB) per hierarchy size."""
+    result = ExperimentResult(
+        title="Fig. 10: Case 3 - data read vs hierarchy size",
+        columns=[
+            "num_leaves",
+            "exhaustive_mb",
+            "k_cut_mb",
+            "average_mb",
+            "worst_mb",
+        ],
+        notes=[
+            f"dataset={dataset} queries={num_queries} range="
+            f"{int(round(range_fraction * 100))}% memory="
+            f"{int(round(memory_fraction * 100))}% k={k} runs={runs}"
+        ],
+    )
+    for num_leaves in hierarchy_sizes:
+        catalog = catalog_for(dataset, num_leaves)
+        budget = budget_for_fraction(catalog, memory_fraction)
+
+        def measure(seed: int) -> dict[str, float]:
+            workload = fraction_workload(
+                catalog.hierarchy.num_leaves,
+                range_fraction,
+                num_queries,
+                seed=seed,
+            )
+            stats = WorkloadNodeStats(catalog, workload)
+            return {
+                "exhaustive": exhaustive_constrained_optimum(
+                    catalog, workload, budget, stats
+                ).cost,
+                "k_cut": k_cut_selection(
+                    catalog, workload, budget, k, stats
+                ).cost,
+                "average": average_constrained_cut_cost(
+                    catalog, workload, budget, seed=seed, stats=stats
+                ),
+                "worst": worst_constrained_cut(
+                    catalog, workload, budget, stats
+                ).cost,
+            }
+
+        averages = average_over_runs(runs, base_seed, measure)
+        result.add_row(
+            num_leaves=num_leaves,
+            exhaustive_mb=averages["exhaustive"],
+            k_cut_mb=averages["k_cut"],
+            average_mb=averages["average"],
+            worst_mb=averages["worst"],
+        )
+    return result

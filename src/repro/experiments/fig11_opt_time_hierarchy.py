@@ -1,0 +1,59 @@
+"""Fig. 11 — cut-selection (optimization) time vs hierarchy size.
+
+200 queries with 50% ranges; the hierarchy sweeps up to 3000 leaves
+(balanced shapes — no exhaustive comparison at these sizes, matching
+§4.4).  The measured quantity is the wall-clock time of the full Alg. 3
+pipeline: workload statistics plus the bottom-up hybrid cut DP.
+Expected shape: linear in the domain size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.multi import select_cut_multi
+from ..workload.generator import fraction_workload
+from .common import ExperimentResult, catalog_for
+
+__all__ = ["run", "time_cut_selection"]
+
+
+def time_cut_selection(catalog, workload) -> float:
+    """Wall-clock seconds of one full Alg. 3 cut selection."""
+    start = time.perf_counter()
+    select_cut_multi(catalog, workload)
+    return time.perf_counter() - start
+
+
+def run(
+    dataset: str = "tpch",
+    hierarchy_sizes: tuple[int, ...] = (
+        250, 500, 1000, 1500, 2000, 2500, 3000,
+    ),
+    num_queries: int = 200,
+    range_fraction: float = 0.50,
+    height: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Optimization time (ms) per hierarchy size."""
+    result = ExperimentResult(
+        title="Fig. 11: optimization time vs hierarchy size",
+        columns=["num_leaves", "time_ms"],
+        notes=[
+            f"dataset={dataset} queries={num_queries} range="
+            f"{int(round(range_fraction * 100))}% height={height}"
+        ],
+    )
+    for num_leaves in hierarchy_sizes:
+        catalog = catalog_for(dataset, num_leaves, height=height)
+        workload = fraction_workload(
+            catalog.hierarchy.num_leaves,
+            range_fraction,
+            num_queries,
+            seed=seed,
+        )
+        elapsed = time_cut_selection(catalog, workload)
+        result.add_row(
+            num_leaves=num_leaves, time_ms=elapsed * 1000.0
+        )
+    return result

@@ -1,0 +1,47 @@
+"""Fig. 12 — cut-selection (optimization) time vs number of queries.
+
+2000-leaf hierarchy, 50% ranges, workloads up to 1200 queries (§4.4).
+Expected shape: linear in the workload size.
+"""
+
+from __future__ import annotations
+
+from ..workload.generator import fraction_workload
+from .common import ExperimentResult, catalog_for
+from .fig11_opt_time_hierarchy import time_cut_selection
+
+__all__ = ["run"]
+
+
+def run(
+    dataset: str = "tpch",
+    num_leaves: int = 2000,
+    query_counts: tuple[int, ...] = (
+        100, 200, 400, 600, 800, 1000, 1200,
+    ),
+    range_fraction: float = 0.50,
+    height: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Optimization time (ms) per workload size."""
+    catalog = catalog_for(dataset, num_leaves, height=height)
+    result = ExperimentResult(
+        title="Fig. 12: optimization time vs number of queries",
+        columns=["num_queries", "time_ms"],
+        notes=[
+            f"dataset={dataset} num_leaves={num_leaves} range="
+            f"{int(round(range_fraction * 100))}% height={height}"
+        ],
+    )
+    for num_queries in query_counts:
+        workload = fraction_workload(
+            catalog.hierarchy.num_leaves,
+            range_fraction,
+            num_queries,
+            seed=seed,
+        )
+        elapsed = time_cut_selection(catalog, workload)
+        result.add_row(
+            num_queries=num_queries, time_ms=elapsed * 1000.0
+        )
+    return result

@@ -1,0 +1,159 @@
+"""Command-line runner for the paper experiments.
+
+Usage::
+
+    hcs-experiments all            # every figure and table
+    hcs-experiments fig2 fig7      # a subset
+    hcs-experiments fig6 --fast    # quicker single-run variants
+    hcs-experiments --list
+
+Each experiment prints the rows the corresponding paper figure plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+
+from . import (
+    ablations,
+    compression,
+    fig01_costmodel,
+    fig02_case1_strategies,
+    fig03_case1_optimality,
+    fig04_label_distribution,
+    fig05_case2_multi,
+    fig06_case3_memory,
+    fig07_k_sweep,
+    fig08_case3_ranges,
+    fig09_case3_queries,
+    fig10_case3_sizes,
+    fig11_opt_time_hierarchy,
+    fig12_opt_time_queries,
+    table_incomplete_cuts,
+)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig01_costmodel.run,
+    "fig2": fig02_case1_strategies.run,
+    "fig3": fig03_case1_optimality.run,
+    "fig4": fig04_label_distribution.run,
+    "fig5": fig05_case2_multi.run,
+    "fig6": fig06_case3_memory.run,
+    "fig7": fig07_k_sweep.run,
+    "fig8": fig08_case3_ranges.run,
+    "fig9": fig09_case3_queries.run,
+    "fig10": fig10_case3_sizes.run,
+    "fig11": fig11_opt_time_hierarchy.run,
+    "fig12": fig12_opt_time_queries.run,
+    "table-cuts": table_incomplete_cuts.run,
+    "ablation-strategies": ablations.run_strategy_ablation,
+    "ablation-costmodel": ablations.run_costmodel_ablation,
+    "ablation-kcut": ablations.run_kcut_replacement_ablation,
+    "compression": compression.run,
+}
+
+#: Cheaper parameters for smoke runs (--fast).
+_FAST_OVERRIDES: dict[str, dict] = {
+    "fig1": {"num_bits": 400_000},
+    "fig2": {"runs": 1},
+    "fig3": {"runs": 1},
+    "fig4": {"runs": 1},
+    "fig5": {"runs": 1},
+    "fig6": {"runs": 1},
+    "fig7": {"runs": 1},
+    "fig8": {"runs": 1},
+    "fig9": {"runs": 1},
+    "fig10": {"runs": 1},
+    "fig11": {"hierarchy_sizes": (250, 500, 1000), "num_queries": 50},
+    "fig12": {"query_counts": (50, 100, 200), "num_leaves": 500},
+    "compression": {"num_bits": 400_000},
+}
+
+
+def run_experiment(
+    name: str, fast: bool = False, runs: int | None = None
+) -> ExperimentResult:
+    """Run one experiment by name, optionally with fast parameters.
+
+    ``runs`` overrides the number of seeded repetitions for the
+    experiments that average (the paper uses 10).
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; choose from "
+            f"{', '.join(EXPERIMENTS)}"
+        ) from None
+    kwargs = dict(_FAST_OVERRIDES.get(name, {})) if fast else {}
+    if runs is not None:
+        import inspect
+
+        if "runs" in inspect.signature(runner).parameters:
+            kwargs["runs"] = runs
+    return runner(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="hcs-experiments",
+        description=(
+            "Regenerate the tables/figures of 'HCS: Hierarchical Cut "
+            "Selection' (EDBT 2014)"
+        ),
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="experiments to run (or 'all')",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller parameters for a quick smoke run",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiments",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help=(
+            "override the number of seeded repetitions for averaged "
+            "experiments (the paper uses 10)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.names:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    names = list(args.names)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, fast=args.fast, runs=args.runs)
+        elapsed = time.perf_counter() - started
+        print(result.to_text())
+        print(f"# completed in {elapsed:.1f}s")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Domain hierarchies, cuts, and exhaustive cut enumeration."""
+
+from .cuts import Cut
+from .enumeration import (
+    count_antichains,
+    count_complete_cuts,
+    iter_antichains,
+    iter_complete_cuts,
+    max_weight_complete_cut,
+)
+from .node import ROOT_LEVEL, Node
+from .serialization import (
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    load_hierarchy,
+    save_hierarchy,
+)
+from .tree import Hierarchy, NestedSpec, paper_hierarchy
+
+__all__ = [
+    "Node",
+    "ROOT_LEVEL",
+    "Hierarchy",
+    "NestedSpec",
+    "paper_hierarchy",
+    "Cut",
+    "iter_complete_cuts",
+    "iter_antichains",
+    "count_complete_cuts",
+    "count_antichains",
+    "max_weight_complete_cut",
+    "hierarchy_to_dict",
+    "hierarchy_from_dict",
+    "save_hierarchy",
+    "load_hierarchy",
+]

@@ -1,0 +1,159 @@
+"""Cuts of a hierarchy (paper §2.3.1).
+
+A *cut* is a set of internal nodes such that
+
+* **validity** — no two members lie on the same root-to-leaf path
+  (an antichain), and
+* **completeness** — together the members cover every root-to-leaf path.
+
+A set satisfying only validity is an *incomplete cut*; the memory-
+constrained algorithms of Case 3 may return those.  The empty set is the
+degenerate incomplete cut (execute everything from the leaves).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import InvalidCutError
+from .tree import Hierarchy
+
+__all__ = ["Cut"]
+
+
+class Cut:
+    """An immutable (possibly incomplete) cut of a hierarchy.
+
+    Stores node ids in a frozenset plus the covered leaf-value span
+    bookkeeping the cost computations need.
+    """
+
+    __slots__ = ("_hierarchy", "_node_ids", "_complete")
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        node_ids: Iterable[int],
+        require_complete: bool = False,
+    ):
+        self._hierarchy = hierarchy
+        self._node_ids = frozenset(int(node_id) for node_id in node_ids)
+        self._validate()
+        self._complete = self._compute_complete()
+        if require_complete and not self._complete:
+            raise InvalidCutError(
+                f"cut {sorted(self._node_ids)} does not cover every "
+                f"root-to-leaf path"
+            )
+
+    def _validate(self) -> None:
+        hierarchy = self._hierarchy
+        for node_id in self._node_ids:
+            if not 0 <= node_id < hierarchy.num_nodes:
+                raise InvalidCutError(
+                    f"node id {node_id} out of range"
+                )
+            if hierarchy.node(node_id).is_leaf:
+                raise InvalidCutError(
+                    f"cut member {node_id} is a leaf; cuts contain only "
+                    f"internal nodes (paper §2.3.1)"
+                )
+        # Antichain check: sort by span start; any containment shows up
+        # between a node and the nodes that start within its span.
+        members = sorted(
+            self._node_ids,
+            key=lambda node_id: (
+                hierarchy.node(node_id).leaf_lo,
+                -hierarchy.node(node_id).num_leaves,
+            ),
+        )
+        previous_hi = -1
+        for node_id in members:
+            node = hierarchy.node(node_id)
+            if node.leaf_lo <= previous_hi:
+                raise InvalidCutError(
+                    f"cut contains two nodes on the same root-to-leaf "
+                    f"path (node {node_id} overlaps an earlier member)"
+                )
+            previous_hi = node.leaf_hi
+
+    def _compute_complete(self) -> bool:
+        covered = sum(
+            self._hierarchy.node(node_id).num_leaves
+            for node_id in self._node_ids
+        )
+        return covered == self._hierarchy.num_leaves
+
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The hierarchy this cut belongs to."""
+        return self._hierarchy
+
+    @property
+    def node_ids(self) -> frozenset[int]:
+        """The member node ids."""
+        return self._node_ids
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the cut covers every root-to-leaf path."""
+        return self._complete
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the cut has no members."""
+        return not self._node_ids
+
+    def covered_leaf_values(self) -> set[int]:
+        """All leaf values under some member of the cut."""
+        covered: set[int] = set()
+        for node_id in self._node_ids:
+            node = self._hierarchy.node(node_id)
+            covered.update(range(node.leaf_lo, node.leaf_hi + 1))
+        return covered
+
+    def uncovered_leaf_values(self) -> set[int]:
+        """Leaf values not under any member (empty iff complete)."""
+        return (
+            set(range(self._hierarchy.num_leaves))
+            - self.covered_leaf_values()
+        )
+
+    def member_covering(self, leaf_value: int) -> int | None:
+        """The member whose subtree holds ``leaf_value``, if any."""
+        for node_id in self._node_ids:
+            if self._hierarchy.node(node_id).covers_leaf(leaf_value):
+                return node_id
+        return None
+
+    def total_size(self, sizes: dict[int, float] | list[float]) -> float:
+        """Sum of member sizes under the given per-node size map."""
+        return float(
+            sum(sizes[node_id] for node_id in self._node_ids)
+        )
+
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._node_ids
+
+    def __iter__(self):
+        return iter(sorted(self._node_ids))
+
+    def __len__(self) -> int:
+        return len(self._node_ids)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cut):
+            return NotImplemented
+        return (
+            self._hierarchy is other._hierarchy
+            and self._node_ids == other._node_ids
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._hierarchy), self._node_ids))
+
+    def __repr__(self) -> str:
+        kind = "complete" if self._complete else "incomplete"
+        return f"Cut({sorted(self._node_ids)}, {kind})"

@@ -1,0 +1,71 @@
+"""Node records for domain hierarchies.
+
+Nodes are lightweight, immutable records owned by a
+:class:`~repro.hierarchy.tree.Hierarchy`; they are addressed by dense
+integer ids so the cut-selection algorithms can use flat arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Node", "ROOT_LEVEL"]
+
+#: The paper counts the root as height/level 1 (§4).
+ROOT_LEVEL = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """One node of a domain hierarchy.
+
+    Attributes:
+        node_id: dense id, unique within the hierarchy.
+        parent_id: id of the parent, or ``None`` for the root.
+        children: ids of the children in left-to-right order
+            (empty for leaves).
+        level: depth with the root at ``1`` (paper convention).
+        leaf_lo: smallest leaf value covered by this node's subtree.
+        leaf_hi: largest leaf value covered (inclusive).
+        name: optional human-readable label (used by the examples).
+    """
+
+    node_id: int
+    parent_id: int | None
+    children: tuple[int, ...]
+    level: int
+    leaf_lo: int
+    leaf_hi: int
+    name: str = field(default="", compare=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf of the hierarchy."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this node is the hierarchy root."""
+        return self.parent_id is None
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf values covered by this node's subtree."""
+        return self.leaf_hi - self.leaf_lo + 1
+
+    @property
+    def leaf_span(self) -> tuple[int, int]:
+        """Inclusive ``(leaf_lo, leaf_hi)`` span of covered leaf values."""
+        return (self.leaf_lo, self.leaf_hi)
+
+    def covers_leaf(self, leaf_value: int) -> bool:
+        """Whether ``leaf_value`` falls under this node's subtree."""
+        return self.leaf_lo <= leaf_value <= self.leaf_hi
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Node(id={self.node_id}, {kind}, level={self.level}, "
+            f"leaves=[{self.leaf_lo},{self.leaf_hi}]{label})"
+        )

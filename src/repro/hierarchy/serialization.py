@@ -1,0 +1,112 @@
+"""JSON-friendly persistence for hierarchies.
+
+Domain hierarchies are deployment metadata (a geography, a product
+taxonomy); persisting them alongside the bitmap files lets a catalog be
+reopened without re-deriving the tree.  The format is a plain dict so
+callers can serialize with ``json``, ``yaml``, or anything else.
+"""
+
+from __future__ import annotations
+
+import json
+from os import PathLike
+from pathlib import Path
+
+from ..errors import HierarchyError
+from .node import Node
+from .tree import Hierarchy
+
+__all__ = [
+    "hierarchy_to_dict",
+    "hierarchy_from_dict",
+    "save_hierarchy",
+    "load_hierarchy",
+]
+
+_FORMAT = "repro-hierarchy-v1"
+
+
+def hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
+    """Serialize a hierarchy to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "num_leaves": hierarchy.num_leaves,
+        "nodes": [
+            {
+                "id": node.node_id,
+                "parent": node.parent_id,
+                "children": list(node.children),
+                "level": node.level,
+                "leaf_lo": node.leaf_lo,
+                "leaf_hi": node.leaf_hi,
+                "name": node.name,
+            }
+            for node in hierarchy
+        ],
+    }
+
+
+def hierarchy_from_dict(payload: dict) -> Hierarchy:
+    """Rebuild a hierarchy from :func:`hierarchy_to_dict` output.
+
+    Raises:
+        HierarchyError: on version/shape mismatches or structural
+            inconsistencies (validation reruns on load).
+    """
+    if not isinstance(payload, dict):
+        raise HierarchyError(
+            f"expected a dict, got {type(payload).__name__}"
+        )
+    if payload.get("format") != _FORMAT:
+        raise HierarchyError(
+            f"unsupported hierarchy format {payload.get('format')!r}"
+        )
+    raw_nodes = payload.get("nodes")
+    if not isinstance(raw_nodes, list) or not raw_nodes:
+        raise HierarchyError("payload has no nodes")
+    nodes: list[Node] = []
+    for entry in raw_nodes:
+        try:
+            nodes.append(
+                Node(
+                    node_id=int(entry["id"]),
+                    parent_id=(
+                        None
+                        if entry["parent"] is None
+                        else int(entry["parent"])
+                    ),
+                    children=tuple(
+                        int(child) for child in entry["children"]
+                    ),
+                    level=int(entry["level"]),
+                    leaf_lo=int(entry["leaf_lo"]),
+                    leaf_hi=int(entry["leaf_hi"]),
+                    name=str(entry.get("name", "")),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HierarchyError(
+                f"malformed node entry {entry!r}: {exc}"
+            ) from exc
+    hierarchy = Hierarchy(nodes)
+    if hierarchy.num_leaves != payload.get("num_leaves"):
+        raise HierarchyError(
+            f"leaf count mismatch: payload says "
+            f"{payload.get('num_leaves')}, nodes give "
+            f"{hierarchy.num_leaves}"
+        )
+    return hierarchy
+
+
+def save_hierarchy(
+    hierarchy: Hierarchy, path: str | PathLike
+) -> None:
+    """Write a hierarchy to a JSON file."""
+    Path(path).write_text(
+        json.dumps(hierarchy_to_dict(hierarchy), indent=2)
+    )
+
+
+def load_hierarchy(path: str | PathLike) -> Hierarchy:
+    """Read a hierarchy from a JSON file."""
+    return hierarchy_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,511 @@
+"""Domain hierarchies.
+
+A :class:`Hierarchy` is a rooted tree over an attribute's domain.  Only
+the leaves occur in the database (paper §2.1.1); every node covers a
+contiguous, inclusive span of leaf values ``[leaf_lo, leaf_hi]`` with
+leaves numbered left-to-right — the natural layout for range queries.
+
+Three builders cover the reproduction's needs:
+
+* :meth:`Hierarchy.from_nested` — explicit shapes (an ``int`` is a
+  leaf-parent with that many leaf children, a ``list`` is an internal
+  node);
+* :meth:`Hierarchy.balanced` — near-even splits for a target leaf count
+  and height (used for the scalability experiments);
+* :func:`paper_hierarchy` — the exact 20/50/100-leaf shapes whose
+  incomplete-cut counts match the table in paper §4.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from ..errors import HierarchyError
+from .node import ROOT_LEVEL, Node
+
+__all__ = ["Hierarchy", "NestedSpec", "paper_hierarchy"]
+
+#: Recursive shape spec: an ``int`` is a leaf-parent with that many leaf
+#: children; a ``list`` is an internal node whose children follow the
+#: same convention.
+NestedSpec = int | list["NestedSpec"]
+
+
+class Hierarchy:
+    """An immutable rooted tree over a leaf domain ``[0, num_leaves)``.
+
+    Nodes are addressed by dense integer ids assigned in preorder (the
+    root is id ``0``).  Use the class methods to construct instances.
+    """
+
+    def __init__(self, nodes: Sequence[Node]):
+        if not nodes:
+            raise HierarchyError("a hierarchy needs at least one node")
+        self._nodes: tuple[Node, ...] = tuple(nodes)
+        self._root_id = 0
+        self._leaf_ids_by_value: list[int] = []
+        self._internal_ids_postorder: list[int] = []
+        self._index()
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_nested(
+        cls, spec: NestedSpec, names: bool = False
+    ) -> "Hierarchy":
+        """Build a hierarchy from a nested shape spec.
+
+        Example: ``Hierarchy.from_nested([[3, 3, 3], [3, 3, 3, 2]])`` is
+        the paper's 20-leaf, height-4 hierarchy (root with two children
+        of fanouts 3 and 4, leaf-parents holding 2-3 leaves each).
+
+        Args:
+            spec: the recursive shape (see :data:`NestedSpec`).
+            names: when true, generate ``n<id>``/``leaf<value>`` names.
+        """
+        nodes: list[Node] = []
+        next_leaf = 0
+
+        def build(
+            sub: NestedSpec, parent_id: int | None, level: int
+        ) -> int:
+            nonlocal next_leaf
+            node_id = len(nodes)
+            nodes.append(None)  # type: ignore[arg-type]  # patched below
+            if isinstance(sub, int):
+                if sub < 1:
+                    raise HierarchyError(
+                        f"leaf-parent fanout must be >= 1, got {sub}"
+                    )
+                leaf_lo = next_leaf
+                child_ids = []
+                for _ in range(sub):
+                    leaf_id = len(nodes)
+                    nodes.append(
+                        Node(
+                            node_id=leaf_id,
+                            parent_id=node_id,
+                            children=(),
+                            level=level + 1,
+                            leaf_lo=next_leaf,
+                            leaf_hi=next_leaf,
+                            name=f"leaf{next_leaf}" if names else "",
+                        )
+                    )
+                    child_ids.append(leaf_id)
+                    next_leaf += 1
+                nodes[node_id] = Node(
+                    node_id=node_id,
+                    parent_id=parent_id,
+                    children=tuple(child_ids),
+                    level=level,
+                    leaf_lo=leaf_lo,
+                    leaf_hi=next_leaf - 1,
+                    name=f"n{node_id}" if names else "",
+                )
+                return node_id
+            if not isinstance(sub, list) or not sub:
+                raise HierarchyError(
+                    f"spec entries must be positive ints or non-empty "
+                    f"lists, got {sub!r}"
+                )
+            leaf_lo = next_leaf
+            child_ids = [
+                build(child, node_id, level + 1) for child in sub
+            ]
+            nodes[node_id] = Node(
+                node_id=node_id,
+                parent_id=parent_id,
+                children=tuple(child_ids),
+                level=level,
+                leaf_lo=leaf_lo,
+                leaf_hi=next_leaf - 1,
+                name=f"n{node_id}" if names else "",
+            )
+            return node_id
+
+        build(spec, None, ROOT_LEVEL)
+        return cls(nodes)
+
+    @classmethod
+    def balanced(
+        cls, num_leaves: int, height: int, fanout: int | None = None
+    ) -> "Hierarchy":
+        """Build a balanced hierarchy with near-even splits.
+
+        All leaves sit at depth ``height`` (root at 1, paper convention).
+        When ``fanout`` is omitted, each internal node picks the smallest
+        branching factor that spreads its leaf span evenly over the
+        remaining levels.
+
+        Raises:
+            HierarchyError: if the combination is impossible (e.g. more
+                levels than leaves).
+        """
+        if height < 2:
+            raise HierarchyError(
+                f"height must be >= 2 (root + leaves), got {height}"
+            )
+        if num_leaves < 1:
+            raise HierarchyError(
+                f"num_leaves must be >= 1, got {num_leaves}"
+            )
+        internal_levels = height - 1
+
+        def spec_for(span: int, levels_remaining: int) -> NestedSpec:
+            # levels_remaining counts internal levels below (and including)
+            # this node; 1 means this node is a leaf-parent.
+            if levels_remaining == 1:
+                return span
+            if fanout is not None:
+                branches = min(fanout, span)
+            else:
+                branches = round(span ** (1.0 / levels_remaining))
+            branches = max(1, min(branches, span))
+            if span > 1:
+                branches = max(branches, 2) if span >= 2 else branches
+                branches = min(branches, span)
+            base, extra = divmod(span, branches)
+            children: list[NestedSpec] = []
+            for i in range(branches):
+                child_span = base + (1 if i < extra else 0)
+                children.append(
+                    spec_for(child_span, levels_remaining - 1)
+                )
+            return children
+
+        return cls.from_nested(spec_for(num_leaves, internal_levels))
+
+    @classmethod
+    def from_named(
+        cls, spec: dict | list, root_name: str = "root"
+    ) -> "Hierarchy":
+        """Build a hierarchy from human-named nested dicts/lists.
+
+        ``spec`` maps an internal node's name to either another dict or a
+        list of leaf names.  Example (paper §2.2.2)::
+
+            Hierarchy.from_named({
+                "CA": ["SFO", "L.A.", "S.D."],
+                "AZ": ["PHX", "Tempe", "Tucson"],
+            }, root_name="U.S.")
+
+        Returns a hierarchy whose leaf values follow left-to-right order;
+        use :meth:`leaf_value` / :meth:`node_by_name` to translate names.
+        """
+        nodes: list[Node] = []
+        next_leaf = 0
+
+        def build(
+            name: str, sub, parent_id: int | None, level: int
+        ) -> int:
+            nonlocal next_leaf
+            node_id = len(nodes)
+            nodes.append(None)  # type: ignore[arg-type]
+            leaf_lo = next_leaf
+            child_ids: list[int] = []
+            if isinstance(sub, dict):
+                items = sub.items()
+            elif isinstance(sub, list):
+                items = [(leaf_name, None) for leaf_name in sub]
+            else:
+                raise HierarchyError(
+                    f"named spec values must be dicts or lists, "
+                    f"got {type(sub).__name__} under {name!r}"
+                )
+            for child_name, child_sub in items:
+                if child_sub is None:
+                    leaf_id = len(nodes)
+                    nodes.append(
+                        Node(
+                            node_id=leaf_id,
+                            parent_id=node_id,
+                            children=(),
+                            level=level + 1,
+                            leaf_lo=next_leaf,
+                            leaf_hi=next_leaf,
+                            name=str(child_name),
+                        )
+                    )
+                    child_ids.append(leaf_id)
+                    next_leaf += 1
+                else:
+                    child_ids.append(
+                        build(str(child_name), child_sub, node_id,
+                              level + 1)
+                    )
+            if not child_ids:
+                raise HierarchyError(
+                    f"internal node {name!r} has no children"
+                )
+            nodes[node_id] = Node(
+                node_id=node_id,
+                parent_id=parent_id,
+                children=tuple(child_ids),
+                level=level,
+                leaf_lo=leaf_lo,
+                leaf_hi=next_leaf - 1,
+                name=name,
+            )
+            return node_id
+
+        build(root_name, spec, None, ROOT_LEVEL)
+        return cls(nodes)
+
+    # ------------------------------------------------------------------
+    # Indexing / validation
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        leaf_pairs: list[tuple[int, int]] = []
+        for node in self._nodes:
+            if node.is_leaf:
+                leaf_pairs.append((node.leaf_lo, node.node_id))
+        leaf_pairs.sort()
+        self._leaf_ids_by_value = [node_id for _, node_id in leaf_pairs]
+        self._internal_ids_postorder = []
+
+        def visit(node_id: int) -> None:
+            node = self._nodes[node_id]
+            for child in node.children:
+                if not self._nodes[child].is_leaf:
+                    visit(child)
+            if not node.is_leaf:
+                self._internal_ids_postorder.append(node_id)
+
+        visit(self._root_id)
+        self._name_index = {
+            node.name: node.node_id
+            for node in self._nodes
+            if node.name
+        }
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`HierarchyError`."""
+        root = self._nodes[self._root_id]
+        if root.parent_id is not None:
+            raise HierarchyError("node 0 must be the root")
+        seen_leaves = set()
+        for position, node in enumerate(self._nodes):
+            if node.node_id != position:
+                raise HierarchyError(
+                    f"node at position {position} carries id "
+                    f"{node.node_id}"
+                )
+            for child_id in node.children:
+                child = self._nodes[child_id]
+                if child.parent_id != node.node_id:
+                    raise HierarchyError(
+                        f"child {child_id} does not point back to "
+                        f"parent {node.node_id}"
+                    )
+                if child.level != node.level + 1:
+                    raise HierarchyError(
+                        f"child {child_id} level {child.level} != "
+                        f"parent level {node.level} + 1"
+                    )
+            if node.is_leaf:
+                if node.leaf_lo != node.leaf_hi:
+                    raise HierarchyError(
+                        f"leaf {node.node_id} spans more than one value"
+                    )
+                if node.leaf_lo in seen_leaves:
+                    raise HierarchyError(
+                        f"duplicate leaf value {node.leaf_lo}"
+                    )
+                seen_leaves.add(node.leaf_lo)
+            else:
+                children = [self._nodes[c] for c in node.children]
+                if children[0].leaf_lo != node.leaf_lo:
+                    raise HierarchyError(
+                        f"node {node.node_id} span does not start at "
+                        f"its first child's span"
+                    )
+                if children[-1].leaf_hi != node.leaf_hi:
+                    raise HierarchyError(
+                        f"node {node.node_id} span does not end at "
+                        f"its last child's span"
+                    )
+                for left, right in zip(children, children[1:]):
+                    if right.leaf_lo != left.leaf_hi + 1:
+                        raise HierarchyError(
+                            f"children of node {node.node_id} do not "
+                            f"tile its leaf span"
+                        )
+        if seen_leaves != set(range(len(seen_leaves))):
+            raise HierarchyError("leaf values are not dense from 0")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes (internal + leaves)."""
+        return len(self._nodes)
+
+    @property
+    def num_leaves(self) -> int:
+        """Size of the leaf domain."""
+        return len(self._leaf_ids_by_value)
+
+    @property
+    def num_internal(self) -> int:
+        """Number of internal nodes."""
+        return len(self._internal_ids_postorder)
+
+    @property
+    def root_id(self) -> int:
+        """Id of the root node (always 0)."""
+        return self._root_id
+
+    @property
+    def root(self) -> Node:
+        """The root node."""
+        return self._nodes[self._root_id]
+
+    @property
+    def height(self) -> int:
+        """Maximum level over all nodes (root at 1, paper convention)."""
+        return max(node.level for node in self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        return self._nodes[node_id]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes, indexed by id."""
+        return self._nodes
+
+    def leaf_node_id(self, leaf_value: int) -> int:
+        """Id of the leaf node holding domain value ``leaf_value``."""
+        if not 0 <= leaf_value < self.num_leaves:
+            raise HierarchyError(
+                f"leaf value {leaf_value} out of range "
+                f"[0, {self.num_leaves})"
+            )
+        return self._leaf_ids_by_value[leaf_value]
+
+    def leaf_ids(self) -> list[int]:
+        """Leaf node ids ordered by leaf value."""
+        return list(self._leaf_ids_by_value)
+
+    def internal_ids_postorder(self) -> list[int]:
+        """Internal node ids, children before parents (DP order)."""
+        return list(self._internal_ids_postorder)
+
+    def internal_children(self, node_id: int) -> list[int]:
+        """Internal children of a node (the paper's ``findChildren``)."""
+        return [
+            child
+            for child in self._nodes[node_id].children
+            if not self._nodes[child].is_leaf
+        ]
+
+    def leaf_children(self, node_id: int) -> list[int]:
+        """Leaf children of a node (leaf *node ids*, not values)."""
+        return [
+            child
+            for child in self._nodes[node_id].children
+            if self._nodes[child].is_leaf
+        ]
+
+    def node_by_name(self, name: str) -> Node:
+        """Look up a node by its human-readable name."""
+        try:
+            return self._nodes[self._name_index[name]]
+        except KeyError:
+            raise HierarchyError(f"no node named {name!r}") from None
+
+    def leaf_value(self, name: str) -> int:
+        """Domain value of the leaf with the given name."""
+        node = self.node_by_name(name)
+        if not node.is_leaf:
+            raise HierarchyError(f"node {name!r} is not a leaf")
+        return node.leaf_lo
+
+    # ------------------------------------------------------------------
+    # Relationships
+    # ------------------------------------------------------------------
+    def is_strict_ancestor(self, ancestor_id: int, node_id: int) -> bool:
+        """Whether ``ancestor_id`` is a proper ancestor of ``node_id``."""
+        ancestor = self._nodes[ancestor_id]
+        node = self._nodes[node_id]
+        return (
+            ancestor.level < node.level
+            and ancestor.leaf_lo <= node.leaf_lo
+            and node.leaf_hi <= ancestor.leaf_hi
+        )
+
+    def on_same_root_leaf_path(self, a_id: int, b_id: int) -> bool:
+        """Whether two nodes conflict for cut validity (§2.3.1)."""
+        return (
+            a_id == b_id
+            or self.is_strict_ancestor(a_id, b_id)
+            or self.is_strict_ancestor(b_id, a_id)
+        )
+
+    def descendants(self, node_id: int) -> list[int]:
+        """All strict descendants of a node (ids), preorder."""
+        out: list[int] = []
+        stack = list(self._nodes[node_id].children)
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(self._nodes[current].children)
+        return out
+
+    def leaf_values_under(self, node_id: int) -> range:
+        """The leaf values covered by a node's subtree, as a range."""
+        node = self._nodes[node_id]
+        return range(node.leaf_lo, node.leaf_hi + 1)
+
+    def ancestors(self, node_id: int) -> list[int]:
+        """Strict ancestors of a node, nearest first."""
+        out: list[int] = []
+        parent = self._nodes[node_id].parent_id
+        while parent is not None:
+            out.append(parent)
+            parent = self._nodes[parent].parent_id
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Hierarchy(leaves={self.num_leaves}, "
+            f"internal={self.num_internal}, height={self.height})"
+        )
+
+
+def paper_hierarchy(num_leaves: int) -> Hierarchy:
+    """The exact hierarchy shapes used in the paper's evaluation (§4).
+
+    These shapes were reverse-engineered from the incomplete-cut counts in
+    paper §4.3 (154, 296,381 and 1,185,922 for 20/50/100 leaves at heights
+    4/5/4): the counts equal the number of internal-node antichains of the
+    shapes below, so the shapes reproduce the table exactly.
+    """
+    if num_leaves == 20:
+        # Height 4; root children have fanouts 3 and 4 (antichains = 154).
+        return Hierarchy.from_nested([[3, 3, 3], [3, 3, 3, 2]])
+    if num_leaves == 50:
+        # Height 5; antichains = 1 + (1 + 3**6) * (1 + 3**4 * 5) = 296,381.
+        return Hierarchy.from_nested(
+            [
+                [[4], [4], [4], [4], [4], [4]],
+                [[4], [4], [4], [5], [4, 5]],
+            ]
+        )
+    if num_leaves == 100:
+        # Height 4 with fanouts (4, 5, 5): antichains = 1 + 33**4.
+        return Hierarchy.from_nested([[5, 5, 5, 5, 5]] * 4)
+    raise HierarchyError(
+        f"the paper only evaluates 20/50/100-leaf hierarchies against "
+        f"exhaustive search; got {num_leaves} (use Hierarchy.balanced "
+        f"for other sizes)"
+    )

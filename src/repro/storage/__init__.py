@@ -1,0 +1,39 @@
+"""Simulated secondary storage: cost model, calibration, file store,
+IO accounting, budgeted buffer pool, and node catalogs."""
+
+from .accounting import IOAccountant, IOSnapshot
+from .cache import BufferPool
+from .calibration import (
+    DEFAULT_CALIBRATION_DENSITIES,
+    calibrate_cost_model,
+    measure_wah_sizes,
+    random_bitmap,
+)
+from .catalog import (
+    MaterializedNodeCatalog,
+    ModeledNodeCatalog,
+    NodeCatalog,
+    node_file_name,
+)
+from .costmodel import MB, CostModel
+from .diskmodel import DiskProfile, estimate_seconds
+from .filestore import BitmapFileStore
+
+__all__ = [
+    "CostModel",
+    "MB",
+    "DiskProfile",
+    "estimate_seconds",
+    "BitmapFileStore",
+    "IOAccountant",
+    "IOSnapshot",
+    "BufferPool",
+    "NodeCatalog",
+    "ModeledNodeCatalog",
+    "MaterializedNodeCatalog",
+    "node_file_name",
+    "calibrate_cost_model",
+    "measure_wah_sizes",
+    "random_bitmap",
+    "DEFAULT_CALIBRATION_DENSITIES",
+]

@@ -1,0 +1,75 @@
+"""IO accounting.
+
+The paper's evaluation metric is "amount of data read (in mb)": the total
+bytes of bitmap files brought from secondary storage into memory.  The
+:class:`IOAccountant` records exactly that, per file and in aggregate, so
+benches and tests can compare predicted against actually-incurred IO.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .costmodel import MB
+
+__all__ = ["IOAccountant", "IOSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class IOSnapshot:
+    """A point-in-time copy of the accountant's tallies."""
+
+    bytes_read: int
+    read_count: int
+    reads_by_name: dict[str, int]
+
+    @property
+    def mb_read(self) -> float:
+        """Total data read in MB (the paper's plotted unit)."""
+        return self.bytes_read / MB
+
+
+@dataclass
+class IOAccountant:
+    """Tallies every read served from (simulated) secondary storage."""
+
+    bytes_read: int = 0
+    read_count: int = 0
+    reads_by_name: Counter = field(default_factory=Counter)
+    bytes_by_name: Counter = field(default_factory=Counter)
+
+    def record_read(self, name: str, nbytes: int) -> None:
+        """Record that ``nbytes`` of file ``name`` were fetched."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.bytes_read += nbytes
+        self.read_count += 1
+        self.reads_by_name[name] += 1
+        self.bytes_by_name[name] += nbytes
+
+    @property
+    def mb_read(self) -> float:
+        """Total data read in MB."""
+        return self.bytes_read / MB
+
+    def snapshot(self) -> IOSnapshot:
+        """An immutable copy of the current tallies."""
+        return IOSnapshot(
+            bytes_read=self.bytes_read,
+            read_count=self.read_count,
+            reads_by_name=dict(self.reads_by_name),
+        )
+
+    def reset(self) -> None:
+        """Zero all tallies."""
+        self.bytes_read = 0
+        self.read_count = 0
+        self.reads_by_name.clear()
+        self.bytes_by_name.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"IOAccountant(bytes_read={self.bytes_read}, "
+            f"read_count={self.read_count})"
+        )

@@ -1,0 +1,183 @@
+"""Memory-budgeted buffer pool over the bitmap file store.
+
+Implements the caching semantics the paper's three cases assume:
+
+* **Case 1/2 (no memory constraint)** — an unbounded pool: every bitmap
+  is read from storage at most once and then served from memory (Eq. 3).
+* **Case 3 (budget ``S_total``)** — the selected cut is *pinned* (read
+  once, kept for the whole workload); everything else is streamed, i.e.
+  read from storage on every access, because "the operation nodes that
+  are not in the cut cannot be cached in memory for re-use" (§2.3.4).
+
+A small LRU overflow area can optionally use whatever budget the pinned
+set leaves free — disabled by default to match the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from ..errors import BudgetExceededError, StorageError
+from .accounting import IOAccountant
+from .filestore import BitmapFileStore
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Caches bitmap files read from a :class:`BitmapFileStore`.
+
+    Args:
+        store: the backing file store.
+        accountant: receives a record for every fetch that actually hits
+            storage (cache hits are free).
+        budget_bytes: total memory budget; ``None`` means unbounded
+            (the no-memory-constraint cases).
+        use_spare_budget_lru: when true, unpinned reads may occupy
+            leftover budget in an LRU area instead of being streamed.
+    """
+
+    def __init__(
+        self,
+        store: BitmapFileStore,
+        accountant: IOAccountant | None = None,
+        budget_bytes: int | None = None,
+        use_spare_budget_lru: bool = False,
+    ):
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(
+                f"budget_bytes must be >= 0, got {budget_bytes}"
+            )
+        self._store = store
+        self._accountant = accountant or IOAccountant()
+        self._budget = budget_bytes
+        self._use_spare_lru = use_spare_budget_lru
+        self._pinned: dict[str, bytes] = {}
+        self._pinned_bytes = 0
+        self._lru: OrderedDict[str, bytes] = OrderedDict()
+        self._lru_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def accountant(self) -> IOAccountant:
+        """The IO accountant recording storage fetches."""
+        return self._accountant
+
+    @property
+    def budget_bytes(self) -> int | None:
+        """Total memory budget (``None`` = unbounded)."""
+        return self._budget
+
+    @property
+    def pinned_bytes(self) -> int:
+        """Bytes currently held by pinned files."""
+        return self._pinned_bytes
+
+    @property
+    def cached_names(self) -> set[str]:
+        """Names currently resident in memory (pinned or LRU)."""
+        return set(self._pinned) | set(self._lru)
+
+    def _fetch(self, name: str) -> bytes:
+        payload = self._store.read(name)
+        self._accountant.record_read(name, len(payload))
+        return payload
+
+    # ------------------------------------------------------------------
+    def pin(self, names: Iterable[str]) -> None:
+        """Read the given files once and keep them resident.
+
+        This is how a selected cut is installed before running a
+        workload.  Raises :class:`BudgetExceededError` if the pinned
+        working set would not fit the budget; no partial pinning happens
+        in that case.
+        """
+        to_pin = [name for name in names if name not in self._pinned]
+        additional = sum(
+            self._store.size_bytes(name) for name in to_pin
+        )
+        if (
+            self._budget is not None
+            and self._pinned_bytes + additional > self._budget
+        ):
+            raise BudgetExceededError(
+                self._pinned_bytes + additional, self._budget
+            )
+        for name in to_pin:
+            if name in self._lru:
+                payload = self._lru.pop(name)
+                self._lru_bytes -= len(payload)
+            else:
+                payload = self._fetch(name)
+            self._pinned[name] = payload
+            self._pinned_bytes += len(payload)
+
+    def unpin_all(self) -> None:
+        """Release every pinned file (contents are dropped)."""
+        self._pinned.clear()
+        self._pinned_bytes = 0
+
+    def get(self, name: str) -> bytes:
+        """Fetch a file through the pool.
+
+        Pinned files and (if enabled) LRU-resident files are served from
+        memory; everything else is fetched from storage and charged to
+        the accountant.
+        """
+        if name in self._pinned:
+            return self._pinned[name]
+        if name in self._lru:
+            self._lru.move_to_end(name)
+            return self._lru[name]
+        payload = self._fetch(name)
+        self._maybe_admit(name, payload)
+        return payload
+
+    def _maybe_admit(self, name: str, payload: bytes) -> None:
+        if self._budget is None:
+            # Unconstrained: cache everything (Case 1/2 semantics).
+            self._lru[name] = payload
+            self._lru_bytes += len(payload)
+            return
+        if not self._use_spare_lru:
+            return
+        spare = self._budget - self._pinned_bytes
+        if len(payload) > spare:
+            return
+        while self._lru_bytes + len(payload) > spare and self._lru:
+            _, evicted = self._lru.popitem(last=False)
+            self._lru_bytes -= len(evicted)
+        if self._lru_bytes + len(payload) <= spare:
+            self._lru[name] = payload
+            self._lru_bytes += len(payload)
+
+    def contains(self, name: str) -> bool:
+        """Whether a file is currently resident in memory."""
+        return name in self._pinned or name in self._lru
+
+    def clear(self) -> None:
+        """Drop all cached content, pinned and unpinned."""
+        self.unpin_all()
+        self._lru.clear()
+        self._lru_bytes = 0
+
+    def verify_store_has(self, names: Iterable[str]) -> None:
+        """Raise :class:`StorageError` unless every name exists."""
+        missing = [
+            name for name in names if not self._store.exists(name)
+        ]
+        if missing:
+            raise StorageError(
+                f"bitmap files missing from store: {missing[:5]}"
+                + ("..." if len(missing) > 5 else "")
+            )
+
+    def __repr__(self) -> str:
+        budget = (
+            "unbounded" if self._budget is None else f"{self._budget}B"
+        )
+        return (
+            f"BufferPool(budget={budget}, pinned={len(self._pinned)}, "
+            f"lru={len(self._lru)})"
+        )

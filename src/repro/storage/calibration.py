@@ -1,0 +1,85 @@
+"""Cost-model calibration against the in-repo WAH implementation.
+
+Reproduces the methodology behind paper Fig. 1: generate bitmaps of known
+density, measure their compressed on-disk size, and fit the piecewise
+model of §2.2.1 to the measurements.  The paper calibrated against the
+Java WAH library on 150M-row bitmaps; we calibrate against
+:class:`~repro.bitmap.wah.WahBitmap` at a configurable row count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitmap.serialization import serialize_wah
+from ..bitmap.wah import WahBitmap
+from .costmodel import MB, CostModel
+
+__all__ = [
+    "random_bitmap",
+    "measure_wah_sizes",
+    "calibrate_cost_model",
+    "DEFAULT_CALIBRATION_DENSITIES",
+]
+
+#: Densities sampled for calibration; mirrors Fig. 1's log-spaced x axis.
+DEFAULT_CALIBRATION_DENSITIES: tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.004, 0.006, 0.008, 0.01,
+    0.0125, 0.015, 0.02, 0.025, 0.03, 0.05, 0.1, 0.2, 0.3, 0.5,
+)
+
+
+def random_bitmap(
+    density: float, num_bits: int, rng: np.random.Generator
+) -> WahBitmap:
+    """A uniformly random bitmap with (expected) the given density.
+
+    Uniform random bits are the worst case for run-length compression,
+    which matches how bitmap libraries are usually characterized.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must lie in [0, 1], got {density}")
+    target = int(round(density * num_bits))
+    positions = rng.choice(num_bits, size=target, replace=False)
+    return WahBitmap.from_positions(positions, num_bits)
+
+
+def measure_wah_sizes(
+    num_bits: int,
+    densities: tuple[float, ...] = DEFAULT_CALIBRATION_DENSITIES,
+    seed: int = 0,
+    store_complement: bool = True,
+) -> dict[float, float]:
+    """Measure serialized WAH size (MB) for each density.
+
+    Args:
+        num_bits: rows per bitmap.
+        densities: densities to sample.
+        seed: RNG seed for reproducible measurements.
+        store_complement: apply the complement-storage trick — a bitmap
+            with density > 0.5 is measured as its negation (§2.2.1).
+    """
+    rng = np.random.default_rng(seed)
+    sizes: dict[float, float] = {}
+    for density in densities:
+        effective = (
+            min(density, 1.0 - density) if store_complement else density
+        )
+        bitmap = random_bitmap(effective, num_bits, rng)
+        sizes[density] = len(serialize_wah(bitmap)) / MB
+    return sizes
+
+
+def calibrate_cost_model(
+    num_bits: int,
+    densities: tuple[float, ...] = DEFAULT_CALIBRATION_DENSITIES,
+    seed: int = 0,
+) -> tuple[CostModel, dict[float, float]]:
+    """Fit a :class:`CostModel` to this machine's WAH sizes.
+
+    Returns the fitted model together with the raw measurements so
+    callers (Fig. 1's bench) can plot model-vs-measured.
+    """
+    sizes = measure_wah_sizes(num_bits, densities, seed)
+    model = CostModel.fitted(sizes)
+    return model, sizes

@@ -1,0 +1,86 @@
+"""Optional disk-latency model on top of the byte-accurate accounting.
+
+The paper's metric is bytes read; translating bytes into wall-clock
+time needs a device model (their testbed: a 500 GB 7200 RPM SATA drive
+with a 16 MB buffer).  :class:`DiskProfile` provides a simple
+seek-plus-bandwidth model so experiments can report *estimated seconds*
+alongside MB — useful because, as noted in DESIGN.md, a pure-Python
+harness cannot reproduce raw device timings faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accounting import IOSnapshot
+from .costmodel import MB
+
+__all__ = ["DiskProfile", "estimate_seconds"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiskProfile:
+    """A sequential-read device model.
+
+    Attributes:
+        name: human-readable label.
+        seek_ms: average positioning latency charged per file read.
+        bandwidth_mb_per_s: sustained sequential read bandwidth.
+    """
+
+    name: str
+    seek_ms: float
+    bandwidth_mb_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.seek_ms < 0:
+            raise ValueError(
+                f"seek_ms must be >= 0, got {self.seek_ms}"
+            )
+        if self.bandwidth_mb_per_s <= 0:
+            raise ValueError(
+                f"bandwidth_mb_per_s must be > 0, got "
+                f"{self.bandwidth_mb_per_s}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sata_7200(cls) -> "DiskProfile":
+        """The paper's testbed class: 7200 RPM SATA (≈8.5 ms seek,
+        ≈120 MB/s sustained)."""
+        return cls("sata-7200", seek_ms=8.5, bandwidth_mb_per_s=120.0)
+
+    @classmethod
+    def nvme(cls) -> "DiskProfile":
+        """A modern NVMe SSD (negligible seek, multi-GB/s)."""
+        return cls("nvme", seek_ms=0.02, bandwidth_mb_per_s=3000.0)
+
+    @classmethod
+    def cloud_object_store(cls) -> "DiskProfile":
+        """Object storage: high first-byte latency, decent bandwidth."""
+        return cls(
+            "object-store", seek_ms=30.0, bandwidth_mb_per_s=200.0
+        )
+
+    # ------------------------------------------------------------------
+    def read_seconds(self, nbytes: int, num_reads: int = 1) -> float:
+        """Estimated time to perform ``num_reads`` reads totalling
+        ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if num_reads < 0:
+            raise ValueError(
+                f"num_reads must be >= 0, got {num_reads}"
+            )
+        transfer = (nbytes / MB) / self.bandwidth_mb_per_s
+        positioning = num_reads * self.seek_ms / 1000.0
+        return transfer + positioning
+
+
+def estimate_seconds(
+    snapshot: IOSnapshot, profile: DiskProfile
+) -> float:
+    """Estimated wall-clock time of a recorded IO trace on a device."""
+    return profile.read_seconds(
+        snapshot.bytes_read, snapshot.read_count
+    )

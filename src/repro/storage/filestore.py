@@ -1,0 +1,110 @@
+"""Simulated secondary storage for bitmap files.
+
+Each hierarchy node's bitmap lives in one named file; the paper's IO
+metric — "amount of data read" — is the total size of the files fetched.
+The store can be backed by a real directory (so file sizes are genuinely
+what the OS reports) or kept in memory for fast tests.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..errors import StorageError
+
+__all__ = ["BitmapFileStore"]
+
+
+class BitmapFileStore:
+    """A flat namespace of immutable bitmap files.
+
+    Args:
+        directory: when given, files are written beneath this directory
+            (created if missing); when ``None``, the store is in-memory.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self._directory: Path | None = None
+        self._blobs: dict[str, bytes] = {}
+        if directory is not None:
+            self._directory = Path(directory)
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path_for(self, name: str) -> Path:
+        if "/" in name or "\\" in name or name in ("", ".", ".."):
+            raise StorageError(f"invalid bitmap file name {name!r}")
+        assert self._directory is not None
+        return self._directory / name
+
+    @property
+    def is_persistent(self) -> bool:
+        """Whether files are backed by a real directory."""
+        return self._directory is not None
+
+    def write(self, name: str, payload: bytes) -> None:
+        """Store a bitmap file (overwrites any previous content)."""
+        if self._directory is None:
+            self._blobs[name] = bytes(payload)
+        else:
+            self._path_for(name).write_bytes(payload)
+
+    def read(self, name: str) -> bytes:
+        """Fetch a bitmap file's full content."""
+        if self._directory is None:
+            try:
+                return self._blobs[name]
+            except KeyError:
+                raise StorageError(
+                    f"no bitmap file named {name!r}"
+                ) from None
+        path = self._path_for(name)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            raise StorageError(f"no bitmap file named {name!r}") from None
+
+    def size_bytes(self, name: str) -> int:
+        """Size of a bitmap file, in bytes."""
+        if self._directory is None:
+            try:
+                return len(self._blobs[name])
+            except KeyError:
+                raise StorageError(
+                    f"no bitmap file named {name!r}"
+                ) from None
+        path = self._path_for(name)
+        try:
+            return path.stat().st_size
+        except FileNotFoundError:
+            raise StorageError(f"no bitmap file named {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        """Whether a bitmap file with this name exists."""
+        if self._directory is None:
+            return name in self._blobs
+        return self._path_for(name).exists()
+
+    def names(self) -> Iterator[str]:
+        """Iterate the names of all stored bitmap files."""
+        if self._directory is None:
+            yield from sorted(self._blobs)
+        else:
+            for path in sorted(self._directory.iterdir()):
+                if path.is_file():
+                    yield path.name
+
+    def total_bytes(self) -> int:
+        """Total size of every stored file."""
+        return sum(self.size_bytes(name) for name in self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return self.exists(name)
+
+    def __repr__(self) -> str:
+        backing = (
+            str(self._directory) if self._directory else "memory"
+        )
+        return f"BitmapFileStore(backing={backing!r})"

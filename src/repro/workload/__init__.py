@@ -1,0 +1,45 @@
+"""Queries, workloads, and dataset generators."""
+
+from .datagen import (
+    PAPER_NUM_ROWS,
+    normal_leaf_probabilities,
+    sample_column,
+    tpch_acctbal_leaf_probabilities,
+    uniform_leaf_probabilities,
+    zipf_leaf_probabilities,
+)
+from .generator import (
+    PAPER_QUERY_COUNTS,
+    PAPER_RANGE_FRACTIONS,
+    fraction_workload,
+    multi_range_query,
+    range_query_of_fraction,
+)
+from .query import RangeQuery, RangeSpec, Workload
+from .serialization import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+__all__ = [
+    "RangeSpec",
+    "RangeQuery",
+    "Workload",
+    "uniform_leaf_probabilities",
+    "normal_leaf_probabilities",
+    "tpch_acctbal_leaf_probabilities",
+    "zipf_leaf_probabilities",
+    "sample_column",
+    "PAPER_NUM_ROWS",
+    "range_query_of_fraction",
+    "fraction_workload",
+    "multi_range_query",
+    "PAPER_RANGE_FRACTIONS",
+    "PAPER_QUERY_COUNTS",
+    "workload_to_dict",
+    "workload_from_dict",
+    "save_workload",
+    "load_workload",
+]

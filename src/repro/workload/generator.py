@@ -1,0 +1,109 @@
+"""Query-workload generators (paper §4).
+
+The paper builds workloads of range queries with a *target range size*
+expressed as a fraction of the leaf domain: "for a hierarchy of 100 leaf
+nodes, 10% query range size indicates that each range query covers 10
+consecutive leaf nodes".  Start positions are drawn uniformly; reported
+results average several runs, which callers reproduce by varying the
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .query import RangeQuery, Workload
+
+__all__ = [
+    "range_query_of_fraction",
+    "fraction_workload",
+    "multi_range_query",
+    "PAPER_RANGE_FRACTIONS",
+    "PAPER_QUERY_COUNTS",
+]
+
+#: The query-range sizes used across the paper's charts.
+PAPER_RANGE_FRACTIONS: tuple[float, ...] = (0.10, 0.50, 0.90)
+
+#: The workload sizes used in Figs. 5 and 9.
+PAPER_QUERY_COUNTS: tuple[int, ...] = (5, 15, 25)
+
+
+def _range_length(num_leaves: int, fraction: float) -> int:
+    if not 0.0 < fraction <= 1.0:
+        raise WorkloadError(
+            f"range fraction must lie in (0, 1], got {fraction}"
+        )
+    return max(1, min(num_leaves, round(fraction * num_leaves)))
+
+
+def range_query_of_fraction(
+    num_leaves: int,
+    fraction: float,
+    rng: np.random.Generator,
+    label: str = "",
+) -> RangeQuery:
+    """One query covering ``fraction`` of the domain, contiguous,
+    uniformly placed."""
+    length = _range_length(num_leaves, fraction)
+    start = int(rng.integers(0, num_leaves - length + 1))
+    return RangeQuery([(start, start + length - 1)], label=label)
+
+
+def fraction_workload(
+    num_leaves: int,
+    fraction: float,
+    num_queries: int,
+    seed: int = 0,
+) -> Workload:
+    """A workload of ``num_queries`` random queries of one range size.
+
+    This is the workload family behind Figs. 2-10; queries in one
+    workload may overlap each other, which is what gives the multi-query
+    algorithms their caching opportunities.
+    """
+    if num_queries < 1:
+        raise WorkloadError(
+            f"num_queries must be >= 1, got {num_queries}"
+        )
+    rng = np.random.default_rng(seed)
+    return Workload(
+        range_query_of_fraction(
+            num_leaves, fraction, rng, label=f"q{index}"
+        )
+        for index in range(num_queries)
+    )
+
+
+def multi_range_query(
+    num_leaves: int,
+    fraction: float,
+    num_ranges: int,
+    rng: np.random.Generator,
+    label: str = "",
+) -> RangeQuery:
+    """A query with several disjoint ranges totalling ``fraction`` of the
+    domain (exercise for the multi-specification query path)."""
+    if num_ranges < 1:
+        raise WorkloadError(
+            f"num_ranges must be >= 1, got {num_ranges}"
+        )
+    total = _range_length(num_leaves, fraction)
+    per_range = max(1, total // num_ranges)
+    specs: list[tuple[int, int]] = []
+    attempts = 0
+    taken: set[int] = set()
+    while len(specs) < num_ranges and attempts < 200:
+        attempts += 1
+        start = int(rng.integers(0, max(1, num_leaves - per_range + 1)))
+        end = min(start + per_range - 1, num_leaves - 1)
+        if any(v in taken for v in range(start, end + 1)):
+            continue
+        taken.update(range(start, end + 1))
+        specs.append((start, end))
+    if not specs:
+        raise WorkloadError(
+            "could not place any disjoint ranges; domain too small"
+        )
+    return RangeQuery(specs, label=label)

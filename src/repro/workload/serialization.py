@@ -1,0 +1,82 @@
+"""JSON-friendly persistence for query workloads.
+
+Saved workloads make experiments replayable: the cut selected for last
+night's workload can be re-derived (or audited) from the recorded
+queries.
+"""
+
+from __future__ import annotations
+
+import json
+from os import PathLike
+from pathlib import Path
+
+from ..errors import WorkloadError
+from .query import RangeQuery, Workload
+
+__all__ = [
+    "workload_to_dict",
+    "workload_from_dict",
+    "save_workload",
+    "load_workload",
+]
+
+_FORMAT = "repro-workload-v1"
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """Serialize a workload to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "queries": [
+            {
+                "label": query.label,
+                "specs": [
+                    [spec.start, spec.end] for spec in query.specs
+                ],
+            }
+            for query in workload
+        ],
+    }
+
+
+def workload_from_dict(payload: dict) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise WorkloadError(
+            f"expected a dict, got {type(payload).__name__}"
+        )
+    if payload.get("format") != _FORMAT:
+        raise WorkloadError(
+            f"unsupported workload format {payload.get('format')!r}"
+        )
+    raw_queries = payload.get("queries")
+    if not isinstance(raw_queries, list) or not raw_queries:
+        raise WorkloadError("payload has no queries")
+    queries = []
+    for entry in raw_queries:
+        try:
+            specs = [
+                (int(start), int(end))
+                for start, end in entry["specs"]
+            ]
+            queries.append(
+                RangeQuery(specs, label=str(entry.get("label", "")))
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(
+                f"malformed query entry {entry!r}: {exc}"
+            ) from exc
+    return Workload(queries)
+
+
+def save_workload(workload: Workload, path: str | PathLike) -> None:
+    """Write a workload to a JSON file."""
+    Path(path).write_text(
+        json.dumps(workload_to_dict(workload), indent=2)
+    )
+
+
+def load_workload(path: str | PathLike) -> Workload:
+    """Read a workload from a JSON file."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    Hierarchy,
+    MaterializedNodeCatalog,
+    ModeledNodeCatalog,
+)
+from repro.hierarchy import paper_hierarchy
+from repro.workload import (
+    sample_column,
+    tpch_acctbal_leaf_probabilities,
+    uniform_leaf_probabilities,
+)
+
+
+@pytest.fixture
+def us_hierarchy() -> Hierarchy:
+    """The paper's running example (§2.2.2): U.S. / CA-AZ / cities."""
+    return Hierarchy.from_named(
+        {
+            "CA": ["SFO", "L.A.", "S.D."],
+            "AZ": ["PHX", "Tempe", "Tucson"],
+        },
+        root_name="U.S.",
+    )
+
+
+@pytest.fixture
+def small_hierarchy() -> Hierarchy:
+    """A 12-leaf, height-4 hierarchy handy for exhaustive checks."""
+    return Hierarchy.from_nested([[2, 2], [3, 2], [3]])
+
+
+@pytest.fixture
+def hierarchy100() -> Hierarchy:
+    """The paper's 100-leaf evaluation hierarchy."""
+    return paper_hierarchy(100)
+
+
+@pytest.fixture
+def paper_cost_model() -> CostModel:
+    return CostModel.paper_2014()
+
+
+@pytest.fixture
+def uniform_catalog100(hierarchy100, paper_cost_model):
+    """Uniform data over the 100-leaf paper hierarchy, 150M rows."""
+    return ModeledNodeCatalog(
+        hierarchy100,
+        uniform_leaf_probabilities(100),
+        paper_cost_model,
+        num_rows=150_000_000,
+    )
+
+
+@pytest.fixture
+def tpch_catalog100(hierarchy100, paper_cost_model):
+    """TPC-H-like data over the 100-leaf paper hierarchy."""
+    return ModeledNodeCatalog(
+        hierarchy100,
+        tpch_acctbal_leaf_probabilities(100),
+        paper_cost_model,
+        num_rows=150_000_000,
+    )
+
+
+@pytest.fixture
+def small_catalog(small_hierarchy, paper_cost_model):
+    """TPC-H-like data over the 12-leaf hierarchy."""
+    return ModeledNodeCatalog(
+        small_hierarchy,
+        tpch_acctbal_leaf_probabilities(small_hierarchy.num_leaves),
+        paper_cost_model,
+        num_rows=150_000_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def materialized_setup():
+    """A small real-bitmap setup: hierarchy, column, catalog.
+
+    Session-scoped because bitmap materialization is the slowest fixture.
+    """
+    hierarchy = Hierarchy.from_nested([[3, 3], [2, 4], [4]])
+    probabilities = tpch_acctbal_leaf_probabilities(
+        hierarchy.num_leaves, seed=3
+    )
+    column = sample_column(probabilities, num_rows=40_000, seed=11)
+    catalog = MaterializedNodeCatalog(hierarchy, column)
+    return hierarchy, column, catalog
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,110 @@
+"""Tests for the ablation hooks: forced pure strategies for resident
+cut members, and the k-Cut replacement-rule toggle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constrained import k_cut_selection
+from repro.core.costs import StrategyLabel, cached_node_usage
+from repro.core.multi import select_cut_multi
+from repro.core.stats import QueryNodeStats
+from repro.core.workload_cost import WorkloadNodeStats
+from repro.hierarchy.enumeration import max_weight_complete_cut
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery
+
+
+class TestForcedCachedUsage:
+    def test_forced_labels(self, tpch_catalog100):
+        query = RangeQuery([(2, 60)])
+        stats = QueryNodeStats(tpch_catalog100, query)
+        hierarchy = tpch_catalog100.hierarchy
+        partial = next(
+            node_id
+            for node_id in hierarchy.internal_ids_postorder()
+            if stats.classify(node_id).value == "partial"
+        )
+        _cost, label = cached_node_usage(stats, partial, "inclusive")
+        assert label is StrategyLabel.INCLUSIVE
+        _cost, label = cached_node_usage(stats, partial, "exclusive")
+        assert label is StrategyLabel.EXCLUSIVE
+
+    def test_unknown_strategy_rejected(self, tpch_catalog100):
+        query = RangeQuery([(2, 60)])
+        stats = QueryNodeStats(tpch_catalog100, query)
+        hierarchy = tpch_catalog100.hierarchy
+        partial = next(
+            node_id
+            for node_id in hierarchy.internal_ids_postorder()
+            if stats.classify(node_id).value == "partial"
+        )
+        with pytest.raises(ValueError):
+            cached_node_usage(stats, partial, "bogus")
+
+    def test_hybrid_never_worse_than_pure_in_case2(
+        self, tpch_catalog100
+    ):
+        workload = fraction_workload(100, 0.5, 15, seed=4)
+        costs = {}
+        for strategy in ("hybrid", "inclusive", "exclusive"):
+            stats = WorkloadNodeStats(
+                tpch_catalog100, workload, strategy=strategy
+            )
+            costs[strategy] = select_cut_multi(
+                tpch_catalog100, workload, stats
+            ).cost
+        assert costs["hybrid"] <= costs["inclusive"] + 1e-9
+        assert costs["hybrid"] <= costs["exclusive"] + 1e-9
+
+    def test_workload_stats_strategy_validated(
+        self, tpch_catalog100
+    ):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        with pytest.raises(ValueError):
+            WorkloadNodeStats(
+                tpch_catalog100, workload, strategy="bogus"
+            )
+
+
+class TestReplacementAblation:
+    def test_replacement_never_hurts(self, tpch_catalog100):
+        workload = fraction_workload(100, 0.5, 15, seed=5)
+        stats = WorkloadNodeStats(tpch_catalog100, workload)
+        max_size, _ = max_weight_complete_cut(
+            tpch_catalog100.hierarchy,
+            tpch_catalog100.size_array(),
+        )
+        for fraction in (0.1, 0.5, 0.9):
+            budget = fraction * max_size
+            with_replacement = k_cut_selection(
+                tpch_catalog100, workload, budget, 10, stats
+            ).cost
+            without = k_cut_selection(
+                tpch_catalog100,
+                workload,
+                budget,
+                10,
+                stats,
+                enable_replacement=False,
+            ).cost
+            assert with_replacement <= without + 1e-9
+
+    def test_disabled_replacement_still_respects_budget(
+        self, tpch_catalog100
+    ):
+        workload = fraction_workload(100, 0.5, 15, seed=5)
+        stats = WorkloadNodeStats(tpch_catalog100, workload)
+        result = k_cut_selection(
+            tpch_catalog100,
+            workload,
+            100.0,
+            10,
+            stats,
+            enable_replacement=False,
+        )
+        used = sum(
+            tpch_catalog100.size_mb(member)
+            for member in result.cut.node_ids
+        )
+        assert used <= 100.0 + 1e-9

@@ -1,0 +1,49 @@
+"""Tests for IO accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.accounting import IOAccountant
+from repro.storage.costmodel import MB
+
+
+class TestAccountant:
+    def test_records_reads(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", 100)
+        accountant.record_read("a", 100)
+        accountant.record_read("b", 50)
+        assert accountant.bytes_read == 250
+        assert accountant.read_count == 3
+        assert accountant.reads_by_name["a"] == 2
+        assert accountant.bytes_by_name["b"] == 50
+
+    def test_mb_property(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", int(2 * MB))
+        assert accountant.mb_read == pytest.approx(2.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            IOAccountant().record_read("a", -1)
+
+    def test_reset(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", 10)
+        accountant.reset()
+        assert accountant.bytes_read == 0
+        assert accountant.read_count == 0
+        assert not accountant.reads_by_name
+
+    def test_snapshot_is_immutable_copy(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", 10)
+        snapshot = accountant.snapshot()
+        accountant.record_read("a", 10)
+        assert snapshot.bytes_read == 10
+        assert snapshot.reads_by_name == {"a": 1}
+        assert snapshot.mb_read == pytest.approx(10 / MB)
+
+    def test_repr(self):
+        assert "bytes_read=0" in repr(IOAccountant())

@@ -1,0 +1,135 @@
+"""Tests for the adaptive cut maintainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveCutMaintainer
+from repro.core.multi import select_cut_multi
+from repro.core.workload_cost import WorkloadNodeStats, case2_cut_cost
+from repro.workload.generator import range_query_of_fraction
+from repro.workload.query import RangeQuery, Workload
+
+
+def _stream(num_leaves, fraction, count, rng, region=None):
+    """Queries of one range size, optionally confined to a region."""
+    queries = []
+    for _ in range(count):
+        if region is None:
+            queries.append(
+                range_query_of_fraction(num_leaves, fraction, rng)
+            )
+        else:
+            lo, hi = region
+            length = max(1, round(fraction * (hi - lo + 1)))
+            start = int(rng.integers(lo, hi - length + 2))
+            queries.append(
+                RangeQuery([(start, start + length - 1)])
+            )
+    return queries
+
+
+class TestBasics:
+    def test_validation(self, tpch_catalog100):
+        with pytest.raises(ValueError):
+            AdaptiveCutMaintainer(tpch_catalog100, window=0)
+        with pytest.raises(ValueError):
+            AdaptiveCutMaintainer(tpch_catalog100, check_every=0)
+        with pytest.raises(ValueError):
+            AdaptiveCutMaintainer(tpch_catalog100, threshold=-1)
+
+    def test_checks_run_on_schedule(self, tpch_catalog100, rng):
+        maintainer = AdaptiveCutMaintainer(
+            tpch_catalog100, check_every=5
+        )
+        decisions = [
+            maintainer.observe(
+                range_query_of_fraction(100, 0.5, rng)
+            )
+            for _ in range(20)
+        ]
+        ran = [d for d in decisions if d is not None]
+        assert len(ran) == 4
+        assert maintainer.queries_seen == 20
+        assert len(maintainer.history) == 4
+
+    def test_first_check_adopts_a_cut(self, tpch_catalog100, rng):
+        maintainer = AdaptiveCutMaintainer(
+            tpch_catalog100, check_every=5
+        )
+        for _ in range(5):
+            maintainer.observe(
+                range_query_of_fraction(100, 0.5, rng)
+            )
+        assert maintainer.current_cut
+        assert maintainer.reselections == 1
+
+
+class TestStationaryStream:
+    def test_few_reselections_when_stable(
+        self, tpch_catalog100
+    ):
+        rng = np.random.default_rng(0)
+        maintainer = AdaptiveCutMaintainer(
+            tpch_catalog100,
+            window=30,
+            check_every=10,
+            threshold=0.05,
+        )
+        for query in _stream(100, 0.5, 100, rng):
+            maintainer.observe(query)
+        # After warm-up the cut should mostly stay put.
+        assert maintainer.reselections <= 4
+
+
+class TestDriftingStream:
+    def test_drift_triggers_reselection_and_recovers_cost(
+        self, tpch_catalog100
+    ):
+        rng = np.random.default_rng(1)
+        maintainer = AdaptiveCutMaintainer(
+            tpch_catalog100,
+            window=20,
+            check_every=10,
+            threshold=0.05,
+        )
+        # Phase 1: queries confined to the left fifth of the domain.
+        for query in _stream(100, 0.6, 40, rng, region=(0, 19)):
+            maintainer.observe(query)
+        # Phase 2: the workload jumps to the right fifth.
+        phase2 = _stream(100, 0.6, 40, rng, region=(80, 99))
+        for query in phase2:
+            maintainer.observe(query)
+        # Whether or not a swap was needed (a complete cut selected
+        # for phase 1 may happen to serve phase 2 too), the maintained
+        # cut must now be near-optimal for the new regime.
+        window = Workload(phase2[-20:])
+        stats = WorkloadNodeStats(tpch_catalog100, window)
+        maintained = case2_cut_cost(
+            stats, maintainer.current_cut
+        )
+        optimal = select_cut_multi(
+            tpch_catalog100, window, stats
+        ).cost
+        assert maintained <= optimal * 1.10 + 1e-9
+
+    def test_budgeted_mode_respects_budget(self, tpch_catalog100):
+        rng = np.random.default_rng(2)
+        maintainer = AdaptiveCutMaintainer(
+            tpch_catalog100,
+            window=20,
+            check_every=10,
+            budget_mb=60.0,
+        )
+        for query in _stream(100, 0.5, 40, rng):
+            maintainer.observe(query)
+        used = sum(
+            tpch_catalog100.size_mb(member)
+            for member in maintainer.current_cut
+        )
+        assert used <= 60.0 + 1e-9
+
+    def test_repr(self, tpch_catalog100):
+        maintainer = AdaptiveCutMaintainer(tpch_catalog100)
+        assert "seen=0" in repr(maintainer)

@@ -1,0 +1,262 @@
+"""Tests for the baseline cut searches and random samplers."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    average_constrained_cut_cost,
+    average_multi_cut_cost,
+    average_single_cut_cost,
+    exhaustive_constrained_optimum,
+    exhaustive_multi_optimum,
+    exhaustive_single_optimum,
+    leaf_only_single_cost,
+    sample_antichain,
+    sample_complete_cut,
+    worst_constrained_cut,
+    worst_multi_cut,
+    worst_single_cut,
+)
+from repro.core.workload_cost import WorkloadNodeStats, case3_cut_cost
+from repro.hierarchy.cuts import Cut
+from repro.hierarchy.enumeration import (
+    count_antichains,
+    count_complete_cuts,
+    iter_antichains,
+    max_weight_complete_cut,
+)
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery
+
+
+class TestSamplers:
+    def test_complete_cut_sampler_produces_valid_cuts(
+        self, small_hierarchy, rng
+    ):
+        for _ in range(100):
+            members = sample_complete_cut(small_hierarchy, rng)
+            cut = Cut(
+                small_hierarchy, members, require_complete=True
+            )
+            assert cut.is_complete
+
+    def test_complete_cut_sampler_is_roughly_uniform(
+        self, small_hierarchy, rng
+    ):
+        total = count_complete_cuts(small_hierarchy)
+        draws = 3000
+        counts = Counter(
+            sample_complete_cut(small_hierarchy, rng)
+            for _ in range(draws)
+        )
+        assert len(counts) == total
+        expected = draws / total
+        for observed in counts.values():
+            assert observed == pytest.approx(expected, rel=0.5)
+
+    def test_antichain_sampler_produces_valid_antichains(
+        self, small_hierarchy, rng
+    ):
+        for _ in range(100):
+            members = sample_antichain(small_hierarchy, rng)
+            Cut(small_hierarchy, members)  # validity check
+
+    def test_antichain_sampler_covers_space(
+        self, small_hierarchy, rng
+    ):
+        total = count_antichains(small_hierarchy)
+        draws = 4000
+        seen = {
+            sample_antichain(small_hierarchy, rng)
+            for _ in range(draws)
+        }
+        assert len(seen) > 0.8 * total
+
+    def test_antichain_sampler_respects_prune(
+        self, small_hierarchy, rng
+    ):
+        root = small_hierarchy.root_id
+        for _ in range(100):
+            members = sample_antichain(
+                small_hierarchy,
+                rng,
+                prune=lambda node_id: node_id == root,
+            )
+            assert root not in members
+
+
+class TestCase1Baselines:
+    def test_ordering_of_lines(self, tpch_catalog100):
+        """optimal <= average <= worst, and optimal <= leaf-only."""
+        for spec in [(0, 9), (10, 59), (5, 94)]:
+            query = RangeQuery([spec])
+            optimum = exhaustive_single_optimum(
+                tpch_catalog100, query
+            ).cost
+            average = average_single_cut_cost(
+                tpch_catalog100, query, num_samples=30, seed=1
+            )
+            worst = worst_single_cut(tpch_catalog100, query).cost
+            leaf_only = leaf_only_single_cost(
+                tpch_catalog100, query
+            )
+            assert optimum <= average + 1e-9
+            assert average <= worst + 1e-9
+            assert optimum <= leaf_only + 1e-9
+
+    def test_exhaustive_returns_complete_cut(self, tpch_catalog100):
+        query = RangeQuery([(10, 59)])
+        result = exhaustive_single_optimum(tpch_catalog100, query)
+        Cut(
+            tpch_catalog100.hierarchy,
+            result.node_ids,
+            require_complete=True,
+        )
+
+
+class TestCase2Baselines:
+    def test_ordering_of_lines(self, tpch_catalog100):
+        workload = fraction_workload(100, 0.5, 15, seed=2)
+        stats = WorkloadNodeStats(tpch_catalog100, workload)
+        optimum = exhaustive_multi_optimum(
+            tpch_catalog100, workload, stats
+        ).cost
+        average = average_multi_cut_cost(
+            tpch_catalog100,
+            workload,
+            num_samples=30,
+            seed=1,
+            stats=stats,
+        )
+        worst = worst_multi_cut(
+            tpch_catalog100, workload, stats
+        ).cost
+        assert optimum <= average + 1e-9
+        assert average <= worst + 1e-9
+
+
+class TestCase3Baselines:
+    @pytest.fixture
+    def setup(self, tpch_catalog100):
+        workload = fraction_workload(100, 0.5, 15, seed=3)
+        stats = WorkloadNodeStats(tpch_catalog100, workload)
+        max_size, _ = max_weight_complete_cut(
+            tpch_catalog100.hierarchy,
+            tpch_catalog100.size_array(),
+        )
+        return workload, stats, max_size
+
+    @pytest.fixture
+    def small_setup(self, paper_cost_model):
+        """A 20-leaf instance whose 154 antichains enumerate fast."""
+        from repro.hierarchy.tree import paper_hierarchy
+        from repro.storage.catalog import ModeledNodeCatalog
+        from repro.workload.datagen import (
+            tpch_acctbal_leaf_probabilities,
+        )
+
+        hierarchy = paper_hierarchy(20)
+        catalog = ModeledNodeCatalog(
+            hierarchy,
+            tpch_acctbal_leaf_probabilities(20),
+            paper_cost_model,
+            150_000_000,
+        )
+        workload = fraction_workload(20, 0.5, 15, seed=3)
+        stats = WorkloadNodeStats(catalog, workload)
+        max_size, _ = max_weight_complete_cut(
+            hierarchy, catalog.size_array()
+        )
+        return catalog, workload, stats, max_size
+
+    def test_exhaustive_matches_brute_force_enumeration(
+        self, small_setup
+    ):
+        """The pruned DFS equals a full antichain enumeration."""
+        catalog, workload, stats, max_size = small_setup
+        sizes = catalog.size_array()
+        for fraction in (0.1, 0.5, 0.9):
+            budget = fraction * max_size
+            brute = min(
+                case3_cut_cost(stats, members)
+                for members in iter_antichains(catalog.hierarchy)
+                if sum(sizes[m] for m in members) <= budget
+            )
+            optimum = exhaustive_constrained_optimum(
+                catalog, workload, budget, stats
+            ).cost
+            assert optimum == pytest.approx(brute)
+
+    def test_worst_matches_brute_force_enumeration(
+        self, small_setup
+    ):
+        catalog, workload, stats, max_size = small_setup
+        sizes = catalog.size_array()
+        for fraction in (0.1, 0.5, 0.9):
+            budget = fraction * max_size
+            brute = max(
+                case3_cut_cost(stats, members, literal=True)
+                for members in iter_antichains(catalog.hierarchy)
+                if sum(sizes[m] for m in members) <= budget
+            )
+            worst = worst_constrained_cut(
+                catalog, workload, budget, stats
+            ).cost
+            assert worst == pytest.approx(brute)
+
+    def test_budget_respected_by_extremal_cuts(
+        self, tpch_catalog100, setup
+    ):
+        workload, stats, max_size = setup
+        sizes = tpch_catalog100.size_array()
+        for fraction in (0.1, 0.5, 0.9):
+            budget = fraction * max_size
+            for result in (
+                exhaustive_constrained_optimum(
+                    tpch_catalog100, workload, budget, stats
+                ),
+                worst_constrained_cut(
+                    tpch_catalog100, workload, budget, stats
+                ),
+            ):
+                used = sum(sizes[m] for m in result.node_ids)
+                assert used <= budget + 1e-9
+
+    def test_ordering_of_lines(self, tpch_catalog100, setup):
+        workload, stats, max_size = setup
+        budget = 0.5 * max_size
+        optimum = exhaustive_constrained_optimum(
+            tpch_catalog100, workload, budget, stats
+        ).cost
+        average = average_constrained_cut_cost(
+            tpch_catalog100,
+            workload,
+            budget,
+            num_samples=30,
+            seed=1,
+            stats=stats,
+        )
+        worst = worst_constrained_cut(
+            tpch_catalog100, workload, budget, stats
+        ).cost
+        assert optimum <= average + 1e-9
+        assert average <= worst + 1e-9
+
+    def test_more_memory_never_hurts_the_optimum(
+        self, tpch_catalog100, setup
+    ):
+        workload, stats, max_size = setup
+        costs = [
+            exhaustive_constrained_optimum(
+                tpch_catalog100,
+                workload,
+                fraction * max_size,
+                stats,
+            ).cost
+            for fraction in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,92 @@
+"""Tests for bitmap-index construction from data columns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap.builder import (
+    bitmap_for_leaf_set,
+    build_leaf_bitmaps,
+    build_span_bitmap,
+)
+from repro.bitmap.wah import WahBitmap
+
+
+@pytest.fixture
+def column() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    return rng.integers(0, 10, size=5000).astype(np.int64)
+
+
+class TestLeafBitmaps:
+    def test_partition_property(self, column):
+        """Leaf bitmaps partition the rows: disjoint and covering."""
+        bitmaps = build_leaf_bitmaps(column, 10)
+        total = sum(bitmap.count() for bitmap in bitmaps)
+        assert total == column.size
+        union = WahBitmap.union_all(bitmaps)
+        assert union.count() == column.size
+
+    def test_each_leaf_marks_its_rows(self, column):
+        bitmaps = build_leaf_bitmaps(column, 10)
+        for leaf in range(10):
+            expected = np.flatnonzero(column == leaf).tolist()
+            assert bitmaps[leaf].to_positions().tolist() == expected
+
+    def test_absent_leaf_gets_empty_bitmap(self):
+        column = np.array([0, 0, 2], dtype=np.int64)
+        bitmaps = build_leaf_bitmaps(column, 4)
+        assert bitmaps[1].count() == 0
+        assert bitmaps[3].count() == 0
+
+    def test_empty_column(self):
+        bitmaps = build_leaf_bitmaps(np.array([], dtype=np.int64), 3)
+        assert len(bitmaps) == 3
+        assert all(bitmap.num_bits == 0 for bitmap in bitmaps)
+
+    def test_rejects_bad_shapes_and_values(self):
+        with pytest.raises(ValueError):
+            build_leaf_bitmaps(np.zeros((2, 2), dtype=np.int64), 4)
+        with pytest.raises(ValueError):
+            build_leaf_bitmaps(np.array([0.5]), 4)
+        with pytest.raises(ValueError):
+            build_leaf_bitmaps(np.array([4], dtype=np.int64), 4)
+        with pytest.raises(ValueError):
+            build_leaf_bitmaps(np.array([-1], dtype=np.int64), 4)
+
+
+class TestSpanBitmap:
+    def test_span_matches_mask(self, column):
+        bitmap = build_span_bitmap(column, 2, 5)
+        expected = np.flatnonzero(
+            (column >= 2) & (column <= 5)
+        ).tolist()
+        assert bitmap.to_positions().tolist() == expected
+
+    def test_span_equals_union_of_leaves(self, column):
+        leaf_bitmaps = build_leaf_bitmaps(column, 10)
+        span = build_span_bitmap(column, 3, 7)
+        union = bitmap_for_leaf_set(leaf_bitmaps, range(3, 8))
+        assert span == union
+
+    def test_full_span_is_all_rows(self, column):
+        bitmap = build_span_bitmap(column, 0, 9)
+        assert bitmap.count() == column.size
+        assert bitmap.density() == 1.0
+
+    def test_empty_span(self, column):
+        bitmap = build_span_bitmap(column, 7, 6)
+        assert bitmap.count() == 0
+
+
+class TestLeafSetUnion:
+    def test_requires_bitmaps(self):
+        with pytest.raises(ValueError):
+            bitmap_for_leaf_set([], [0])
+
+    def test_empty_leaf_selection(self, column):
+        bitmaps = build_leaf_bitmaps(column, 10)
+        union = bitmap_for_leaf_set(bitmaps, [])
+        assert union.count() == 0
+        assert union.num_bits == column.size

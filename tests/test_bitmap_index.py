@@ -1,0 +1,176 @@
+"""Tests for WAH concat and the appendable hierarchical index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.index import HierarchicalBitmapIndex
+from repro.bitmap.wah import WORD_PAYLOAD_BITS, WahBitmap
+from repro.errors import WorkloadError
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.filestore import BitmapFileStore
+
+
+class TestConcat:
+    def test_aligned_concat(self):
+        a = WahBitmap.from_positions([0, 30], WORD_PAYLOAD_BITS * 2)
+        b = WahBitmap.from_positions([5], 40)
+        joined = a.concat(b)
+        assert joined.num_bits == WORD_PAYLOAD_BITS * 2 + 40
+        assert joined.to_positions().tolist() == [
+            0, 30, WORD_PAYLOAD_BITS * 2 + 5,
+        ]
+
+    def test_unaligned_concat(self):
+        a = WahBitmap.from_positions([1, 35], 40)
+        b = WahBitmap.from_positions([0, 30], 31)
+        joined = a.concat(b)
+        assert joined.to_positions().tolist() == [1, 35, 40, 70]
+        assert joined.num_bits == 71
+
+    def test_concat_with_empty(self):
+        a = WahBitmap.from_positions([3], 10)
+        assert a.concat(WahBitmap.zeros(0)) == a
+        grown = WahBitmap.zeros(0).concat(a)
+        assert grown == a
+
+    def test_aligned_concat_merges_fills_at_seam(self):
+        a = WahBitmap.zeros(WORD_PAYLOAD_BITS * 3)
+        b = WahBitmap.zeros(WORD_PAYLOAD_BITS * 4)
+        joined = a.concat(b)
+        assert joined.num_words == 1
+
+    @given(
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_concat_matches_position_arithmetic(
+        self, left_bits, right_bits, seed
+    ):
+        rng = np.random.default_rng(seed)
+        left = (
+            rng.choice(left_bits, size=left_bits // 3, replace=False)
+            if left_bits
+            else np.empty(0, dtype=np.int64)
+        )
+        right = (
+            rng.choice(
+                right_bits, size=right_bits // 3, replace=False
+            )
+            if right_bits
+            else np.empty(0, dtype=np.int64)
+        )
+        a = WahBitmap.from_positions(left, left_bits)
+        b = WahBitmap.from_positions(right, right_bits)
+        joined = a.concat(b)
+        expected = sorted(left.tolist()) + sorted(
+            (right + left_bits).tolist()
+        )
+        assert joined.to_positions().tolist() == expected
+        assert joined.num_bits == left_bits + right_bits
+
+
+@pytest.fixture
+def hierarchy() -> Hierarchy:
+    return Hierarchy.from_nested([[3, 3], [2, 4]])
+
+
+class TestHierarchicalBitmapIndex:
+    def test_initial_column_indexed(self, hierarchy, rng):
+        column = rng.integers(0, hierarchy.num_leaves, size=500)
+        index = HierarchicalBitmapIndex(hierarchy, column)
+        assert index.num_rows == 500
+        index.verify_consistency()
+
+    def test_batch_appends_accumulate(self, hierarchy, rng):
+        index = HierarchicalBitmapIndex(hierarchy)
+        batches = [
+            rng.integers(0, hierarchy.num_leaves, size=n)
+            for n in (100, 37, 501)
+        ]
+        for batch in batches:
+            index.append_rows(batch)
+        assert index.num_rows == sum(b.size for b in batches)
+        index.verify_consistency()
+        full = np.concatenate(batches)
+        whole = HierarchicalBitmapIndex(hierarchy, full)
+        for node in hierarchy:
+            assert index.bitmap(node.node_id) == whole.bitmap(
+                node.node_id
+            )
+
+    def test_lookup_range_matches_scan(self, hierarchy, rng):
+        column = rng.integers(0, hierarchy.num_leaves, size=1000)
+        index = HierarchicalBitmapIndex(hierarchy, column)
+        for lo, hi in [(0, 2), (3, 8), (0, 11), (5, 5), (7, 3)]:
+            answer = index.lookup_range(lo, hi)
+            expected = np.flatnonzero(
+                (column >= lo) & (column <= hi)
+            ).tolist()
+            assert answer.to_positions().tolist() == expected
+
+    def test_lookup_after_appends(self, hierarchy, rng):
+        index = HierarchicalBitmapIndex(hierarchy)
+        column_parts = []
+        for _ in range(4):
+            batch = rng.integers(0, hierarchy.num_leaves, size=200)
+            index.append_rows(batch)
+            column_parts.append(batch)
+        column = np.concatenate(column_parts)
+        answer = index.lookup_range(2, 9)
+        expected = np.flatnonzero(
+            (column >= 2) & (column <= 9)
+        ).tolist()
+        assert answer.to_positions().tolist() == expected
+
+    def test_empty_append_is_noop(self, hierarchy):
+        index = HierarchicalBitmapIndex(hierarchy)
+        index.append_rows(np.array([], dtype=np.int64))
+        assert index.num_rows == 0
+
+    def test_validation(self, hierarchy):
+        index = HierarchicalBitmapIndex(hierarchy)
+        with pytest.raises(WorkloadError):
+            index.append_rows(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(WorkloadError):
+            index.append_rows(np.array([0.5]))
+        with pytest.raises(WorkloadError):
+            index.append_rows(
+                np.array([hierarchy.num_leaves], dtype=np.int64)
+            )
+
+    def test_density(self, hierarchy):
+        column = np.zeros(100, dtype=np.int64)
+        index = HierarchicalBitmapIndex(hierarchy, column)
+        leaf0 = hierarchy.leaf_node_id(0)
+        assert index.density(leaf0) == pytest.approx(1.0)
+        assert index.density(hierarchy.root_id) == pytest.approx(1.0)
+
+    def test_flush_to_store(self, hierarchy, rng):
+        column = rng.integers(0, hierarchy.num_leaves, size=300)
+        index = HierarchicalBitmapIndex(hierarchy, column)
+        store = BitmapFileStore()
+        written = index.flush_to_store(store)
+        assert written == store.total_bytes()
+        assert store.exists("node_0.wah")
+        assert (
+            len(list(store.names())) == hierarchy.num_nodes
+        )
+
+    def test_zero_size_fill_tail_stays_compact(self, hierarchy):
+        """Appending rows that miss a node grows its bitmap by at
+        most one fill word."""
+        index = HierarchicalBitmapIndex(hierarchy)
+        index.append_rows(np.zeros(10_000, dtype=np.int64))
+        last_leaf = hierarchy.leaf_node_id(
+            hierarchy.num_leaves - 1
+        )
+        assert index.bitmap(last_leaf).num_words <= 1
+
+    def test_repr(self, hierarchy):
+        assert "rows=0" in repr(HierarchicalBitmapIndex(hierarchy))

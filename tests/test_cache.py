@@ -1,0 +1,140 @@
+"""Tests for the memory-budgeted buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceededError, StorageError
+from repro.storage.accounting import IOAccountant
+from repro.storage.cache import BufferPool
+from repro.storage.filestore import BitmapFileStore
+
+
+@pytest.fixture
+def store() -> BitmapFileStore:
+    store = BitmapFileStore()
+    for index in range(5):
+        store.write(f"node_{index}.wah", bytes(100 * (index + 1)))
+    return store
+
+
+class TestUnboundedPool:
+    def test_reads_charged_once_then_cached(self, store):
+        pool = BufferPool(store)
+        pool.get("node_0.wah")
+        pool.get("node_0.wah")
+        pool.get("node_0.wah")
+        assert pool.accountant.read_count == 1
+        assert pool.accountant.bytes_read == 100
+
+    def test_distinct_files_each_charged(self, store):
+        pool = BufferPool(store)
+        pool.get("node_0.wah")
+        pool.get("node_1.wah")
+        assert pool.accountant.bytes_read == 300
+
+
+class TestPinning:
+    def test_pin_reads_each_file_once(self, store):
+        pool = BufferPool(store, budget_bytes=1000)
+        pool.pin(["node_0.wah", "node_1.wah"])
+        assert pool.accountant.bytes_read == 300
+        pool.get("node_0.wah")
+        pool.get("node_1.wah")
+        assert pool.accountant.bytes_read == 300
+        assert pool.pinned_bytes == 300
+
+    def test_pin_over_budget_raises_without_partial_pin(self, store):
+        pool = BufferPool(store, budget_bytes=250)
+        with pytest.raises(BudgetExceededError):
+            pool.pin(["node_0.wah", "node_1.wah"])
+        assert pool.pinned_bytes == 0
+
+    def test_repinning_is_idempotent(self, store):
+        pool = BufferPool(store, budget_bytes=1000)
+        pool.pin(["node_0.wah"])
+        pool.pin(["node_0.wah"])
+        assert pool.accountant.read_count == 1
+
+    def test_unpin_all(self, store):
+        pool = BufferPool(store, budget_bytes=1000)
+        pool.pin(["node_0.wah"])
+        pool.unpin_all()
+        assert pool.pinned_bytes == 0
+        pool.get("node_0.wah")
+        assert pool.accountant.read_count == 2
+
+
+class TestBudgetedStreaming:
+    def test_unpinned_reads_are_streamed_by_default(self, store):
+        """Case-3 semantics: non-cut bitmaps re-read on every access."""
+        pool = BufferPool(store, budget_bytes=1000)
+        pool.get("node_0.wah")
+        pool.get("node_0.wah")
+        assert pool.accountant.read_count == 2
+
+    def test_spare_budget_lru_caches_within_budget(self, store):
+        pool = BufferPool(
+            store, budget_bytes=350, use_spare_budget_lru=True
+        )
+        pool.pin(["node_0.wah"])  # 100 bytes pinned, 250 spare
+        pool.get("node_1.wah")  # 200 bytes -> cached in spare
+        pool.get("node_1.wah")
+        assert pool.accountant.read_count == 2  # pin + one fetch
+
+    def test_spare_budget_lru_evicts_oldest(self, store):
+        pool = BufferPool(
+            store, budget_bytes=400, use_spare_budget_lru=True
+        )
+        pool.get("node_1.wah")  # 200
+        pool.get("node_2.wah")  # 300 -> evicts node_1
+        pool.get("node_1.wah")  # re-read
+        assert pool.accountant.read_count == 3
+
+    def test_oversized_file_never_admitted(self, store):
+        pool = BufferPool(
+            store, budget_bytes=100, use_spare_budget_lru=True
+        )
+        pool.get("node_4.wah")  # 500 bytes > budget
+        pool.get("node_4.wah")
+        assert pool.accountant.read_count == 2
+
+
+class TestMisc:
+    def test_custom_accountant(self, store):
+        accountant = IOAccountant()
+        pool = BufferPool(store, accountant=accountant)
+        pool.get("node_0.wah")
+        assert accountant.bytes_read == 100
+
+    def test_negative_budget_rejected(self, store):
+        with pytest.raises(ValueError):
+            BufferPool(store, budget_bytes=-1)
+
+    def test_contains_and_cached_names(self, store):
+        pool = BufferPool(store)
+        assert not pool.contains("node_0.wah")
+        pool.get("node_0.wah")
+        assert pool.contains("node_0.wah")
+        assert "node_0.wah" in pool.cached_names
+
+    def test_clear(self, store):
+        pool = BufferPool(store)
+        pool.get("node_0.wah")
+        pool.clear()
+        assert not pool.cached_names
+
+    def test_verify_store_has(self, store):
+        pool = BufferPool(store)
+        pool.verify_store_has(["node_0.wah"])
+        with pytest.raises(StorageError):
+            pool.verify_store_has(["node_0.wah", "ghost.wah"])
+
+    def test_missing_file_propagates(self, store):
+        pool = BufferPool(store)
+        with pytest.raises(StorageError):
+            pool.get("ghost.wah")
+
+    def test_repr(self, store):
+        assert "unbounded" in repr(BufferPool(store))
+        assert "100B" in repr(BufferPool(store, budget_bytes=100))

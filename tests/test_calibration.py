@@ -1,0 +1,71 @@
+"""Tests for WAH-based cost-model calibration (Fig. 1 methodology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.calibration import (
+    calibrate_cost_model,
+    measure_wah_sizes,
+    random_bitmap,
+)
+from repro.storage.costmodel import MB
+
+NUM_BITS = 200_000
+
+
+class TestRandomBitmap:
+    def test_density_is_exact(self, rng):
+        bitmap = random_bitmap(0.05, NUM_BITS, rng)
+        assert bitmap.count() == int(round(0.05 * NUM_BITS))
+
+    def test_bounds_checked(self, rng):
+        with pytest.raises(ValueError):
+            random_bitmap(1.5, 100, rng)
+
+
+class TestMeasurement:
+    def test_sizes_grow_with_density_in_sparse_region(self):
+        sizes = measure_wah_sizes(
+            NUM_BITS, densities=(0.001, 0.005, 0.01), seed=0
+        )
+        assert sizes[0.001] < sizes[0.005] < sizes[0.01]
+
+    def test_complement_trick_applied(self):
+        sizes = measure_wah_sizes(
+            NUM_BITS, densities=(0.01, 0.99), seed=0
+        )
+        assert sizes[0.99] == pytest.approx(sizes[0.01], rel=0.15)
+
+    def test_measurement_is_deterministic(self):
+        first = measure_wah_sizes(NUM_BITS, densities=(0.01,), seed=5)
+        second = measure_wah_sizes(NUM_BITS, densities=(0.01,), seed=5)
+        assert first == second
+
+    def test_dense_random_bitmap_near_incompressible(self):
+        sizes = measure_wah_sizes(NUM_BITS, densities=(0.5,), seed=0)
+        # A density-0.5 random bitmap should compress poorly: close to
+        # one 32-bit word per 31 bits.
+        incompressible_mb = (NUM_BITS / 31) * 4 / MB
+        assert sizes[0.5] == pytest.approx(incompressible_mb, rel=0.1)
+
+
+class TestCalibration:
+    def test_fitted_model_tracks_measurements(self):
+        model, sizes = calibrate_cost_model(NUM_BITS)
+        for density, measured in sizes.items():
+            effective = min(density, 1 - density)
+            if effective <= 0:
+                continue
+            predicted = model.read_cost_mb(density)
+            assert predicted == pytest.approx(
+                measured, rel=0.35, abs=0.002
+            )
+
+    def test_sparse_region_fit_is_tight(self):
+        model, sizes = calibrate_cost_model(NUM_BITS)
+        for density in (0.001, 0.004, 0.008):
+            assert model.read_cost_mb(density) == pytest.approx(
+                sizes[density], rel=0.1
+            )

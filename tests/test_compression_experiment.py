@@ -1,0 +1,58 @@
+"""Tests for the compression-scheme comparison experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import compression
+
+NUM_BITS = 200_000
+
+
+@pytest.fixture(scope="module")
+def result():
+    return compression.run(num_bits=NUM_BITS)
+
+
+class TestSchemeSizes:
+    def test_all_schemes_measured(self, result):
+        for column in ("wah_mb", "plwah_mb", "roaring_mb"):
+            values = result.column(column)
+            assert all(value >= 0 for value in values)
+
+    def test_plwah_never_larger_than_wah(self, result):
+        for row in result.rows:
+            # PLWAH absorbs nearly-identical literals; its word count
+            # is bounded by WAH's (same header overhead).
+            assert row["plwah_mb"] <= row["wah_mb"] + 1e-9
+
+    def test_roaring_wins_when_sparse(self, result):
+        sparse = [
+            row for row in result.rows if row["density"] <= 0.002
+        ]
+        assert sparse
+        for row in sparse:
+            assert row["roaring_mb"] < row["wah_mb"]
+
+    def test_all_converge_near_raw_when_dense(self, result):
+        dense = next(
+            row for row in result.rows if row["density"] == 0.5
+        )
+        assert dense["wah_mb"] <= 1.2 * dense["raw_mb"] * (32 / 31)
+        assert dense["plwah_mb"] <= dense["wah_mb"] + 1e-9
+        assert dense["roaring_mb"] <= 1.2 * dense["raw_mb"]
+
+    def test_complement_applied_to_every_scheme(self):
+        sizes = compression.measure_scheme_sizes(
+            NUM_BITS, densities=(0.01, 0.99), seed=0
+        )
+        for scheme in ("wah", "plwah", "roaring"):
+            assert sizes[scheme][0.99] == pytest.approx(
+                sizes[scheme][0.01], rel=0.2
+            )
+
+    def test_fitted_models_reported(self, result):
+        fitted_notes = [
+            note for note in result.notes if "fitted" in note
+        ]
+        assert len(fitted_notes) == 3

@@ -1,0 +1,363 @@
+"""Tests for Case-3 cut selection (Algs. 4-5 and τ auto-stop)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.baselines import exhaustive_constrained_optimum
+from repro.core.constrained import (
+    auto_k_cut_selection,
+    c_node_cost,
+    candidate_nodes,
+    k_cut_selection,
+    one_cut_selection,
+)
+from repro.core.workload_cost import WorkloadNodeStats, case3_cut_cost
+from repro.hierarchy.enumeration import max_weight_complete_cut
+from repro.workload.generator import fraction_workload
+
+
+@pytest.fixture
+def workload100():
+    return fraction_workload(100, 0.5, 15, seed=5)
+
+
+@pytest.fixture
+def stats100(tpch_catalog100, workload100):
+    return WorkloadNodeStats(tpch_catalog100, workload100)
+
+
+def _max_cut_size(catalog) -> float:
+    size, _ = max_weight_complete_cut(
+        catalog.hierarchy, catalog.size_array()
+    )
+    return size
+
+
+class TestCandidateRanking:
+    def test_candidates_sorted_by_cnode_cost(
+        self, tpch_catalog100, stats100
+    ):
+        budget = _max_cut_size(tpch_catalog100)
+        candidates = candidate_nodes(stats100, budget)
+        costs = [
+            c_node_cost(stats100, node_id) for node_id in candidates
+        ]
+        assert costs == sorted(costs)
+
+    def test_unused_nodes_excluded(self, tpch_catalog100, stats100):
+        budget = _max_cut_size(tpch_catalog100)
+        candidates = set(candidate_nodes(stats100, budget))
+        for node_id in (
+            tpch_catalog100.hierarchy.internal_ids_postorder()
+        ):
+            if stats100.case3_saving[node_id] <= 0:
+                assert node_id not in candidates
+
+    def test_oversized_nodes_excluded(
+        self, tpch_catalog100, stats100
+    ):
+        # Only zero-size bitmaps (fully-compressed density-0/1 nodes,
+        # e.g. the root) can fit a zero budget.
+        candidates = candidate_nodes(stats100, budget_mb=0.0)
+        assert all(
+            tpch_catalog100.size_mb(node_id) == 0.0
+            for node_id in candidates
+        )
+
+    def test_cnode_cost_is_saving_shifted_by_constant(
+        self, tpch_catalog100, stats100
+    ):
+        total = stats100.total_sum_range_cost
+        for node_id in (
+            tpch_catalog100.hierarchy.internal_ids_postorder()
+        ):
+            expected = total - float(
+                stats100.case3_saving[node_id]
+            )
+            assert c_node_cost(stats100, node_id) == pytest.approx(
+                expected
+            )
+
+
+class TestOneCut:
+    def test_budget_respected(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        for fraction in (0.1, 0.3, 0.7):
+            budget = fraction * _max_cut_size(tpch_catalog100)
+            result = one_cut_selection(
+                tpch_catalog100, workload100, budget, stats100
+            )
+            used = sum(
+                tpch_catalog100.size_mb(member)
+                for member in result.cut.node_ids
+            )
+            assert used <= budget + 1e-9
+            assert result.used_mb == pytest.approx(used)
+
+    def test_zero_budget_uses_only_free_bitmaps(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        """A zero budget admits only zero-size bitmaps (the fully
+        compressed density-1 root), which still help exclusive plans."""
+        result = one_cut_selection(
+            tpch_catalog100, workload100, 0.0, stats100
+        )
+        assert result.used_mb == pytest.approx(0.0)
+        assert all(
+            tpch_catalog100.size_mb(member) == 0.0
+            for member in result.cut.node_ids
+        )
+        assert (
+            result.cost <= stats100.leaf_only_cost_case3() + 1e-9
+        )
+
+    def test_cut_is_antichain(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = _max_cut_size(tpch_catalog100)
+        result = one_cut_selection(
+            tpch_catalog100, workload100, budget, stats100
+        )
+        members = sorted(result.cut.node_ids)
+        hierarchy = tpch_catalog100.hierarchy
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                assert not hierarchy.on_same_root_leaf_path(a, b)
+
+    def test_never_worse_than_leaf_only(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        for fraction in (0.1, 0.5, 0.9):
+            budget = fraction * _max_cut_size(tpch_catalog100)
+            result = one_cut_selection(
+                tpch_catalog100, workload100, budget, stats100
+            )
+            assert (
+                result.cost
+                <= stats100.leaf_only_cost_case3() + 1e-9
+            )
+
+    def test_optimal_under_tight_memory(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        """§4.3: with strict memory limits 1-Cut is (near) optimal."""
+        budget = 0.1 * _max_cut_size(tpch_catalog100)
+        greedy = one_cut_selection(
+            tpch_catalog100, workload100, budget, stats100
+        ).cost
+        optimum = exhaustive_constrained_optimum(
+            tpch_catalog100, workload100, budget, stats100
+        ).cost
+        assert greedy <= optimum * 1.05 + 1e-9
+
+    def test_negative_budget_rejected(
+        self, tpch_catalog100, workload100
+    ):
+        with pytest.raises(ValueError):
+            one_cut_selection(tpch_catalog100, workload100, -1.0)
+
+    def test_cost_matches_evaluator(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = 0.5 * _max_cut_size(tpch_catalog100)
+        result = one_cut_selection(
+            tpch_catalog100, workload100, budget, stats100
+        )
+        assert result.cost == pytest.approx(
+            case3_cut_cost(stats100, result.cut.node_ids)
+        )
+
+
+class TestKCut:
+    def test_k_must_be_positive(
+        self, tpch_catalog100, workload100
+    ):
+        with pytest.raises(ValueError):
+            k_cut_selection(tpch_catalog100, workload100, 10.0, 0)
+
+    def test_k10_never_worse_than_one_cut(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        for fraction in (0.1, 0.3, 0.5, 0.7, 0.9):
+            budget = fraction * _max_cut_size(tpch_catalog100)
+            one = one_cut_selection(
+                tpch_catalog100, workload100, budget, stats100
+            ).cost
+            ten = k_cut_selection(
+                tpch_catalog100, workload100, budget, 10, stats100
+            ).cost
+            assert ten <= one + 1e-9
+
+    def test_budget_respected(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = 0.5 * _max_cut_size(tpch_catalog100)
+        result = k_cut_selection(
+            tpch_catalog100, workload100, budget, 10, stats100
+        )
+        used = sum(
+            tpch_catalog100.size_mb(member)
+            for member in result.cut.node_ids
+        )
+        assert used <= budget + 1e-9
+
+    def test_never_worse_than_exhaustive_times_margin(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        """k-cut stays within a small factor of optimal (Fig. 7)."""
+        for fraction in (0.1, 0.5, 0.9):
+            budget = fraction * _max_cut_size(tpch_catalog100)
+            ten = k_cut_selection(
+                tpch_catalog100, workload100, budget, 10, stats100
+            ).cost
+            optimum = exhaustive_constrained_optimum(
+                tpch_catalog100, workload100, budget, stats100
+            ).cost
+            assert ten <= optimum * 2.0 + 1e-9
+            assert ten >= optimum - 1e-9
+
+    def test_monotone_in_k(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        """§3.3.3: more candidate cuts never hurt (l-greedy <=
+        m-greedy for l > m)."""
+        budget = 0.7 * _max_cut_size(tpch_catalog100)
+        costs = [
+            k_cut_selection(
+                tpch_catalog100, workload100, budget, k, stats100
+            ).cost
+            for k in (1, 2, 5, 10, 20)
+        ]
+        for smaller_k, larger_k in zip(costs, costs[1:]):
+            assert larger_k <= smaller_k + 1e-9
+
+    def test_result_metadata(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = 0.5 * _max_cut_size(tpch_catalog100)
+        result = k_cut_selection(
+            tpch_catalog100, workload100, budget, 7, stats100
+        )
+        assert result.k == 7
+        assert result.budget_mb == pytest.approx(budget)
+
+
+class TestPolish:
+    def test_polish_never_worsens(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        for fraction in (0.1, 0.3, 0.5, 0.7, 0.9):
+            budget = fraction * _max_cut_size(tpch_catalog100)
+            plain = k_cut_selection(
+                tpch_catalog100, workload100, budget, 10, stats100
+            ).cost
+            polished = k_cut_selection(
+                tpch_catalog100,
+                workload100,
+                budget,
+                10,
+                stats100,
+                polish=True,
+            ).cost
+            assert polished <= plain + 1e-9
+
+    def test_polished_cut_respects_budget_and_validity(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = 0.9 * _max_cut_size(tpch_catalog100)
+        result = k_cut_selection(
+            tpch_catalog100,
+            workload100,
+            budget,
+            10,
+            stats100,
+            polish=True,
+        )
+        used = sum(
+            tpch_catalog100.size_mb(member)
+            for member in result.cut.node_ids
+        )
+        assert used <= budget + 1e-9
+        assert result.used_mb == pytest.approx(used)
+        # Cut construction would raise on a non-antichain.
+        assert result.cut is not None
+
+    def test_polish_closes_most_of_the_high_memory_gap(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = 0.9 * _max_cut_size(tpch_catalog100)
+        optimum = exhaustive_constrained_optimum(
+            tpch_catalog100, workload100, budget, stats100
+        ).cost
+        polished = k_cut_selection(
+            tpch_catalog100,
+            workload100,
+            budget,
+            10,
+            stats100,
+            polish=True,
+        ).cost
+        assert polished <= optimum * 1.25 + 1e-9
+
+    def test_polish_cut_direct_call(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        from repro.core.constrained import polish_cut
+
+        budget = 0.9 * _max_cut_size(tpch_catalog100)
+        greedy = one_cut_selection(
+            tpch_catalog100, workload100, budget, stats100
+        )
+        polished = polish_cut(
+            tpch_catalog100,
+            stats100,
+            greedy.cut.node_ids,
+            budget,
+        )
+        before = case3_cut_cost(stats100, greedy.cut.node_ids)
+        after = case3_cut_cost(stats100, polished)
+        assert after <= before + 1e-9
+
+
+class TestAutoStop:
+    def test_auto_stop_between_one_and_max(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = 0.7 * _max_cut_size(tpch_catalog100)
+        one = one_cut_selection(
+            tpch_catalog100, workload100, budget, stats100
+        ).cost
+        auto = auto_k_cut_selection(
+            tpch_catalog100, workload100, budget, stats=stats100
+        )
+        assert auto.cost <= one + 1e-9
+        assert auto.k is not None and auto.k >= 1
+
+    def test_tau_and_max_k_validated(
+        self, tpch_catalog100, workload100
+    ):
+        with pytest.raises(ValueError):
+            auto_k_cut_selection(
+                tpch_catalog100, workload100, 10.0, tau=-1.0
+            )
+        with pytest.raises(ValueError):
+            auto_k_cut_selection(
+                tpch_catalog100, workload100, 10.0, max_k=0
+            )
+
+    def test_large_tau_stops_immediately(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        budget = 0.9 * _max_cut_size(tpch_catalog100)
+        result = auto_k_cut_selection(
+            tpch_catalog100,
+            workload100,
+            budget,
+            tau=math.inf,
+            stats=stats100,
+        )
+        assert result.k in (1, 2)

@@ -1,0 +1,138 @@
+"""Tests for the piecewise read-cost model (§2.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.storage.costmodel import MB, CostModel
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel.paper_2014()
+
+
+class TestPiecewiseRegions:
+    def test_zero_and_one_density_cost_nothing(self, model):
+        assert model.read_cost_mb(0.0) == 0.0
+        assert model.read_cost_mb(1.0) == 0.0
+
+    def test_linear_region(self, model):
+        for density in (0.001, 0.005, 0.01):
+            expected = model.a * density + model.b
+            assert model.read_cost_mb(density) == pytest.approx(
+                expected
+            )
+
+    def test_plateau_regions(self, model):
+        assert model.read_cost_mb(0.012) == model.k1
+        assert model.read_cost_mb(0.02) == model.k2
+        assert model.read_cost_mb(0.1) == model.k3
+        assert model.read_cost_mb(0.5) == model.k3
+
+    def test_region_boundaries_are_inclusive_on_the_left(self, model):
+        assert model.read_cost_mb(model.dx1) == pytest.approx(
+            model.a * model.dx1 + model.b
+        )
+        assert model.read_cost_mb(model.dx2) == model.k1
+        assert model.read_cost_mb(model.dx3) == model.k2
+
+
+class TestComplementBehavior:
+    def test_dense_bitmaps_priced_by_complement(self, model):
+        """Density 0.7 performs like density 0.3 (§2.2.1)."""
+        for density in (0.6, 0.7, 0.9, 0.995, 0.999):
+            assert model.read_cost_mb(density) == pytest.approx(
+                model.read_cost_mb(1.0 - density)
+            )
+
+    def test_effective_density(self, model):
+        assert model.effective_density(0.3) == 0.3
+        assert model.effective_density(0.7) == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            model.effective_density(1.5)
+
+
+class TestSizes:
+    def test_size_equals_read_cost(self, model):
+        for density in (0.004, 0.02, 0.4):
+            assert model.size_mb(density) == model.read_cost_mb(
+                density
+            )
+
+    def test_size_bytes(self, model):
+        density = 0.02
+        assert model.size_bytes(density) == int(
+            round(model.read_cost_mb(density) * MB)
+        )
+
+
+class TestValidation:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            CostModel(
+                a=1, b=1, k1=1, k2=1, k3=1,
+                dx1=0.02, dx2=0.015, dx3=0.03,
+            )
+        with pytest.raises(ValueError):
+            CostModel(
+                a=1, b=1, k1=1, k2=1, k3=1,
+                dx1=0.1, dx2=0.2, dx3=0.6,
+            )
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(
+                a=-1, b=1, k1=1, k2=1, k3=1,
+                dx1=0.01, dx2=0.015, dx3=0.03,
+            )
+
+    def test_density_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.read_cost_mb(-0.1)
+        with pytest.raises(ValueError):
+            model.read_cost_mb(1.1)
+
+
+class TestFitting:
+    def test_fit_recovers_a_linear_relationship(self):
+        truth = CostModel.paper_2014()
+        samples = {
+            density: truth.read_cost_mb(density)
+            for density in (
+                0.001, 0.003, 0.005, 0.008, 0.01,
+                0.012, 0.02, 0.1, 0.3,
+            )
+        }
+        fitted = CostModel.fitted(samples)
+        assert fitted.a == pytest.approx(truth.a, rel=1e-6)
+        assert fitted.b == pytest.approx(truth.b, rel=1e-4)
+        assert fitted.k1 == pytest.approx(truth.k1)
+        assert fitted.k2 == pytest.approx(truth.k2)
+        assert fitted.k3 == pytest.approx(truth.k3)
+
+    def test_fit_needs_two_sparse_samples(self):
+        with pytest.raises(CalibrationError):
+            CostModel.fitted({0.005: 5.0})
+
+    def test_fit_rejects_degenerate_sparse_samples(self):
+        with pytest.raises(CalibrationError):
+            CostModel.fitted({0.005: 5.0, 0.995: 5.0})
+
+    def test_fit_with_missing_plateaus_falls_back(self):
+        samples = {0.001: 1.0, 0.005: 5.0, 0.009: 9.0}
+        fitted = CostModel.fitted(samples)
+        boundary = fitted.a * fitted.dx1 + fitted.b
+        assert fitted.k1 == pytest.approx(boundary)
+        assert fitted.k2 == fitted.k1
+        assert fitted.k3 == fitted.k2
+
+    def test_fit_uses_complement_density(self):
+        truth = CostModel.paper_2014()
+        samples = {
+            0.999: truth.read_cost_mb(0.001),
+            0.995: truth.read_cost_mb(0.005),
+        }
+        fitted = CostModel.fitted(samples)
+        assert fitted.a == pytest.approx(truth.a, rel=1e-6)

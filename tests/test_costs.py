@@ -1,0 +1,185 @@
+"""Tests for the per-node cost functions, including the paper's
+running U.S./CA/AZ example (§2.2.2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (
+    StrategyLabel,
+    cached_node_usage,
+    node_caching_saving,
+    node_exclusive_cost,
+    node_hybrid_cost,
+    node_inclusive_cost,
+)
+from repro.core.stats import QueryNodeStats
+from repro.storage.catalog import ModeledNodeCatalog
+from repro.storage.costmodel import CostModel
+from repro.workload.query import RangeQuery
+
+
+@pytest.fixture
+def us_catalog(us_hierarchy, paper_cost_model):
+    """Uneven leaf distribution over the six-city example."""
+    probabilities = np.array(
+        [0.25, 0.20, 0.05, 0.20, 0.15, 0.15]
+    )
+    return ModeledNodeCatalog(
+        us_hierarchy, probabilities, paper_cost_model, 150_000_000
+    )
+
+
+@pytest.fixture
+def us_query(us_hierarchy):
+    """The paper's example query: [SFO, L.A., S.D., PHX]."""
+    phx = us_hierarchy.leaf_value("PHX")
+    return RangeQuery([(0, phx)])
+
+
+class TestPaperExample:
+    def test_ca_is_complete_and_costs_its_own_read(
+        self, us_catalog, us_hierarchy, us_query
+    ):
+        stats = QueryNodeStats(us_catalog, us_query)
+        ca = us_hierarchy.node_by_name("CA").node_id
+        expected = us_catalog.read_cost_mb(ca)
+        assert node_inclusive_cost(stats, ca) == pytest.approx(
+            expected
+        )
+        assert node_exclusive_cost(stats, ca) == pytest.approx(
+            expected
+        )
+        cost, label = node_hybrid_cost(stats, ca)
+        assert cost == pytest.approx(expected)
+        assert label is StrategyLabel.COMPLETE
+
+    def test_az_partial_costs(
+        self, us_catalog, us_hierarchy, us_query
+    ):
+        stats = QueryNodeStats(us_catalog, us_query)
+        az = us_hierarchy.node_by_name("AZ").node_id
+        phx = us_hierarchy.leaf_node_id(
+            us_hierarchy.leaf_value("PHX")
+        )
+        tempe = us_hierarchy.leaf_node_id(
+            us_hierarchy.leaf_value("Tempe")
+        )
+        tucson = us_hierarchy.leaf_node_id(
+            us_hierarchy.leaf_value("Tucson")
+        )
+        inclusive = us_catalog.read_cost_mb(phx)
+        exclusive = (
+            us_catalog.read_cost_mb(az)
+            + us_catalog.read_cost_mb(tempe)
+            + us_catalog.read_cost_mb(tucson)
+        )
+        assert node_inclusive_cost(stats, az) == pytest.approx(
+            inclusive
+        )
+        assert node_exclusive_cost(stats, az) == pytest.approx(
+            exclusive
+        )
+        cost, _label = node_hybrid_cost(stats, az)
+        assert cost == pytest.approx(min(inclusive, exclusive))
+
+    def test_root_exclusive_plan_cost(
+        self, us_catalog, us_hierarchy, us_query
+    ):
+        """U.S. ANDNOT (Tempe OR Tucson): read root + 2 leaves."""
+        stats = QueryNodeStats(us_catalog, us_query)
+        root = us_hierarchy.root_id
+        exclusive = node_exclusive_cost(stats, root)
+        leaves = [
+            us_hierarchy.leaf_node_id(
+                us_hierarchy.leaf_value(name)
+            )
+            for name in ("Tempe", "Tucson")
+        ]
+        expected = us_catalog.read_cost_mb(root) + sum(
+            us_catalog.read_cost_mb(leaf) for leaf in leaves
+        )
+        assert exclusive == pytest.approx(expected)
+        # The root has density 1, so its read is free and the
+        # exclusive plan is very attractive for this 4-of-6 range.
+        assert us_catalog.read_cost_mb(root) == 0.0
+
+
+class TestEmptyNodes:
+    def test_empty_node_costs_are_infinite(
+        self, us_catalog, us_hierarchy
+    ):
+        query = RangeQuery([(0, 0)])  # SFO only
+        stats = QueryNodeStats(us_catalog, query)
+        az = us_hierarchy.node_by_name("AZ").node_id
+        assert math.isinf(node_inclusive_cost(stats, az))
+        assert math.isinf(node_exclusive_cost(stats, az))
+        cost, label = node_hybrid_cost(stats, az)
+        assert math.isinf(cost)
+        assert label is StrategyLabel.EMPTY
+
+
+class TestCachedUsage:
+    def test_complete_node_is_free_when_cached(
+        self, us_catalog, us_hierarchy, us_query
+    ):
+        stats = QueryNodeStats(us_catalog, us_query)
+        ca = us_hierarchy.node_by_name("CA").node_id
+        extra, label = cached_node_usage(stats, ca)
+        assert extra == 0.0
+        assert label is StrategyLabel.COMPLETE
+
+    def test_partial_node_compares_leaf_sets_only(
+        self, us_catalog, us_hierarchy, us_query
+    ):
+        stats = QueryNodeStats(us_catalog, us_query)
+        az = us_hierarchy.node_by_name("AZ").node_id
+        extra, _label = cached_node_usage(stats, az)
+        range_cost = float(stats.range_leaf_cost[az])
+        non_range = stats.non_range_leaf_cost(az)
+        assert extra == pytest.approx(min(range_cost, non_range))
+
+    def test_empty_node_free_and_ignored(
+        self, us_catalog, us_hierarchy
+    ):
+        query = RangeQuery([(0, 0)])
+        stats = QueryNodeStats(us_catalog, query)
+        az = us_hierarchy.node_by_name("AZ").node_id
+        extra, label = cached_node_usage(stats, az)
+        assert extra == 0.0
+        assert label is StrategyLabel.EMPTY
+
+    def test_saving_is_nonnegative(
+        self, us_catalog, us_hierarchy, us_query
+    ):
+        stats = QueryNodeStats(us_catalog, us_query)
+        for node_id in us_hierarchy.internal_ids_postorder():
+            assert node_caching_saving(stats, node_id) >= 0.0
+
+    def test_saving_matches_definition(
+        self, us_catalog, us_hierarchy, us_query
+    ):
+        stats = QueryNodeStats(us_catalog, us_query)
+        ca = us_hierarchy.node_by_name("CA").node_id
+        # Complete node: caching saves the whole range-leaf cost.
+        assert node_caching_saving(stats, ca) == pytest.approx(
+            float(stats.range_leaf_cost[ca])
+        )
+
+
+class TestTieBreaks:
+    def test_hybrid_tie_goes_inclusive(self, small_catalog):
+        """When inclusive == exclusive, the label is INCLUSIVE
+        (Alg. 2 line 11 uses <=)."""
+        hierarchy = small_catalog.hierarchy
+        query = RangeQuery([(0, hierarchy.num_leaves - 1)])
+        stats = QueryNodeStats(small_catalog, query)
+        for node_id in hierarchy.internal_ids_postorder():
+            _cost, label = node_hybrid_cost(stats, node_id)
+            assert label in (
+                StrategyLabel.COMPLETE,
+                StrategyLabel.INCLUSIVE,
+            )

@@ -1,0 +1,120 @@
+"""Tests for the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.datagen import (
+    normal_leaf_probabilities,
+    sample_column,
+    tpch_acctbal_leaf_probabilities,
+    uniform_leaf_probabilities,
+    zipf_leaf_probabilities,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        uniform_leaf_probabilities,
+        normal_leaf_probabilities,
+        tpch_acctbal_leaf_probabilities,
+        zipf_leaf_probabilities,
+    ],
+)
+@pytest.mark.parametrize("num_leaves", [1, 2, 20, 100, 1000])
+def test_distributions_are_valid(factory, num_leaves):
+    probabilities = factory(num_leaves)
+    assert probabilities.shape == (num_leaves,)
+    assert (probabilities >= 0).all()
+    assert probabilities.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        uniform_leaf_probabilities,
+        normal_leaf_probabilities,
+        tpch_acctbal_leaf_probabilities,
+        zipf_leaf_probabilities,
+    ],
+)
+def test_invalid_domain_rejected(factory):
+    with pytest.raises(ValueError):
+        factory(0)
+
+
+class TestNormal:
+    def test_mass_concentrates_at_the_mean(self):
+        probabilities = normal_leaf_probabilities(101)
+        center = probabilities[45:56].sum()
+        tails = probabilities[:10].sum() + probabilities[-10:].sum()
+        assert center > tails
+
+    def test_symmetry(self):
+        probabilities = normal_leaf_probabilities(100)
+        np.testing.assert_allclose(
+            probabilities, probabilities[::-1], rtol=1e-9
+        )
+
+    def test_mean_fraction_shifts_peak(self):
+        shifted = normal_leaf_probabilities(100, mean_fraction=0.2)
+        assert shifted.argmax() < 35
+
+
+class TestTpchAcctbal:
+    def test_has_spikes_over_near_uniform_base(self):
+        probabilities = tpch_acctbal_leaf_probabilities(
+            100, num_spikes=8, spike_multiplier=4.0
+        )
+        median = np.median(probabilities)
+        spikes = (probabilities > 2.5 * median).sum()
+        assert spikes == 8
+
+    def test_deterministic_per_seed(self):
+        a = tpch_acctbal_leaf_probabilities(100, seed=1)
+        b = tpch_acctbal_leaf_probabilities(100, seed=1)
+        np.testing.assert_array_equal(a, b)
+        c = tpch_acctbal_leaf_probabilities(100, seed=2)
+        assert not np.array_equal(a, c)
+
+    def test_default_spike_count_scales(self):
+        probabilities = tpch_acctbal_leaf_probabilities(24)
+        assert probabilities.shape == (24,)
+
+
+class TestZipf:
+    def test_head_is_heaviest(self):
+        probabilities = zipf_leaf_probabilities(50)
+        assert probabilities[0] == probabilities.max()
+        assert (np.diff(probabilities) <= 0).all()
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            zipf_leaf_probabilities(10, exponent=0)
+
+
+class TestSampleColumn:
+    def test_shape_dtype_and_range(self):
+        probabilities = uniform_leaf_probabilities(7)
+        column = sample_column(probabilities, 1000, seed=0)
+        assert column.shape == (1000,)
+        assert column.dtype == np.int64
+        assert column.min() >= 0 and column.max() < 7
+
+    def test_respects_distribution(self):
+        probabilities = np.array([0.9, 0.1])
+        column = sample_column(probabilities, 20_000, seed=0)
+        fraction = (column == 0).mean()
+        assert fraction == pytest.approx(0.9, abs=0.02)
+
+    def test_deterministic_per_seed(self):
+        probabilities = uniform_leaf_probabilities(5)
+        a = sample_column(probabilities, 100, seed=9)
+        b = sample_column(probabilities, 100, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            sample_column(uniform_leaf_probabilities(3), -1)

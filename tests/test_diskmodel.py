@@ -1,0 +1,57 @@
+"""Tests for the optional disk-latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.accounting import IOAccountant
+from repro.storage.costmodel import MB
+from repro.storage.diskmodel import DiskProfile, estimate_seconds
+
+
+class TestDiskProfile:
+    def test_transfer_time_scales_with_bytes(self):
+        profile = DiskProfile("test", seek_ms=0.0,
+                              bandwidth_mb_per_s=100.0)
+        assert profile.read_seconds(int(100 * MB)) == pytest.approx(
+            1.0
+        )
+        assert profile.read_seconds(int(50 * MB)) == pytest.approx(
+            0.5
+        )
+
+    def test_seek_time_scales_with_read_count(self):
+        profile = DiskProfile("test", seek_ms=10.0,
+                              bandwidth_mb_per_s=1e9)
+        assert profile.read_seconds(0, num_reads=5) == pytest.approx(
+            0.05
+        )
+
+    def test_presets_are_ordered_sensibly(self):
+        nbytes = int(64 * MB)
+        sata = DiskProfile.sata_7200().read_seconds(nbytes, 10)
+        nvme = DiskProfile.nvme().read_seconds(nbytes, 10)
+        assert nvme < sata
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskProfile("bad", seek_ms=-1, bandwidth_mb_per_s=1)
+        with pytest.raises(ValueError):
+            DiskProfile("bad", seek_ms=1, bandwidth_mb_per_s=0)
+        profile = DiskProfile.nvme()
+        with pytest.raises(ValueError):
+            profile.read_seconds(-1)
+        with pytest.raises(ValueError):
+            profile.read_seconds(1, num_reads=-1)
+
+    def test_estimate_from_snapshot(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", int(10 * MB))
+        accountant.record_read("b", int(20 * MB))
+        snapshot = accountant.snapshot()
+        profile = DiskProfile("test", seek_ms=100.0,
+                              bandwidth_mb_per_s=30.0)
+        expected = 30.0 / 30.0 + 2 * 0.1
+        assert estimate_seconds(snapshot, profile) == pytest.approx(
+            expected
+        )

@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BitmapDecodeError,
+    BitmapError,
+    BitmapLengthMismatchError,
+    BudgetExceededError,
+    CalibrationError,
+    HierarchyError,
+    InvalidCutError,
+    ReproError,
+    StorageError,
+    WorkloadError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (
+        BitmapError,
+        BitmapDecodeError,
+        BitmapLengthMismatchError,
+        HierarchyError,
+        InvalidCutError,
+        WorkloadError,
+        StorageError,
+        BudgetExceededError,
+        CalibrationError,
+    ):
+        assert issubclass(error_type, ReproError)
+
+
+def test_bitmap_errors_derive_from_bitmap_error():
+    assert issubclass(BitmapLengthMismatchError, BitmapError)
+    assert issubclass(BitmapDecodeError, BitmapError)
+
+
+def test_length_mismatch_carries_operands():
+    error = BitmapLengthMismatchError(10, 20)
+    assert error.left_bits == 10
+    assert error.right_bits == 20
+    assert "10" in str(error) and "20" in str(error)
+
+
+def test_budget_exceeded_carries_sizes():
+    error = BudgetExceededError(1000, 500)
+    assert error.required_bytes == 1000
+    assert error.budget_bytes == 500
+    assert issubclass(BudgetExceededError, StorageError)
+
+
+def test_catching_repro_error_catches_everything():
+    with pytest.raises(ReproError):
+        raise InvalidCutError("bad cut")

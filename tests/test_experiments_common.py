@@ -1,0 +1,103 @@
+"""Tests for the shared experiment infrastructure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    average_over_runs,
+    budget_for_fraction,
+    catalog_for,
+    hierarchy_for,
+    leaf_probabilities_for,
+)
+from repro.hierarchy.enumeration import max_weight_complete_cut
+
+
+class TestExperimentResult:
+    def test_column_extraction(self):
+        result = ExperimentResult(title="t", columns=["a", "b"])
+        result.add_row(a=1, b=2)
+        result.add_row(a=3, b=4)
+        assert result.column("a") == [1, 3]
+        assert result.column("missing") == [None, None]
+
+    def test_text_alignment(self):
+        result = ExperimentResult(
+            title="t", columns=["name", "value"]
+        )
+        result.add_row(name="x", value=1.23456)
+        text = str(result)
+        assert "1.23" in text
+        assert text.splitlines()[0] == "== t =="
+
+    def test_empty_table_renders(self):
+        result = ExperimentResult(title="empty", columns=["a"])
+        assert "empty" in result.to_text()
+
+
+class TestHierarchyFor:
+    def test_paper_sizes_use_paper_shapes(self):
+        from repro.hierarchy.enumeration import count_antichains
+
+        assert count_antichains(hierarchy_for(20)) == 154
+
+    def test_other_sizes_use_balanced(self):
+        hierarchy = hierarchy_for(64, height=4)
+        assert hierarchy.num_leaves == 64
+        assert hierarchy.height == 4
+
+
+class TestLeafProbabilities:
+    @pytest.mark.parametrize(
+        "dataset", ["normal", "tpch", "uniform"]
+    )
+    def test_known_datasets(self, dataset):
+        probabilities = leaf_probabilities_for(dataset, 30)
+        assert probabilities.shape == (30,)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            leaf_probabilities_for("mystery", 30)
+
+
+class TestCatalogFor:
+    def test_defaults(self):
+        catalog = catalog_for("tpch", 100)
+        assert catalog.hierarchy.num_leaves == 100
+        assert catalog.num_rows == 150_000_000
+        assert catalog.cost_model.a == 1043.0
+
+
+class TestBudgetForFraction:
+    def test_scales_with_maximum_cut(self):
+        catalog = catalog_for("tpch", 100)
+        max_size, _ = max_weight_complete_cut(
+            catalog.hierarchy, catalog.size_array()
+        )
+        assert budget_for_fraction(catalog, 0.5) == pytest.approx(
+            0.5 * max_size
+        )
+        assert budget_for_fraction(catalog, 1.0) == pytest.approx(
+            max_size
+        )
+
+
+class TestAverageOverRuns:
+    def test_averages_each_metric(self):
+        seen = []
+
+        def measure(seed):
+            seen.append(seed)
+            return {"x": seed, "y": 2.0}
+
+        averages = average_over_runs(3, 10, measure)
+        assert seen == [10, 11, 12]
+        assert averages["x"] == pytest.approx(11.0)
+        assert averages["y"] == pytest.approx(2.0)
+
+    def test_requires_positive_runs(self):
+        with pytest.raises(ValueError):
+            average_over_runs(0, 0, lambda seed: {})

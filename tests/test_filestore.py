@@ -1,0 +1,72 @@
+"""Tests for the bitmap file store (memory- and directory-backed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.filestore import BitmapFileStore
+
+
+@pytest.fixture(params=["memory", "directory"])
+def store(request, tmp_path) -> BitmapFileStore:
+    if request.param == "memory":
+        return BitmapFileStore()
+    return BitmapFileStore(tmp_path / "bitmaps")
+
+
+class TestReadWrite:
+    def test_roundtrip(self, store):
+        store.write("node_0.wah", b"hello")
+        assert store.read("node_0.wah") == b"hello"
+        assert store.size_bytes("node_0.wah") == 5
+
+    def test_overwrite(self, store):
+        store.write("a", b"one")
+        store.write("a", b"two!")
+        assert store.read("a") == b"two!"
+        assert store.size_bytes("a") == 4
+
+    def test_missing_file_errors(self, store):
+        with pytest.raises(StorageError):
+            store.read("missing")
+        with pytest.raises(StorageError):
+            store.size_bytes("missing")
+
+    def test_exists_and_contains(self, store):
+        assert not store.exists("x")
+        store.write("x", b"")
+        assert store.exists("x")
+        assert "x" in store
+
+    def test_names_sorted(self, store):
+        for name in ("b", "a", "c"):
+            store.write(name, b"1")
+        assert list(store.names()) == ["a", "b", "c"]
+
+    def test_total_bytes(self, store):
+        store.write("a", b"12")
+        store.write("b", b"345")
+        assert store.total_bytes() == 5
+
+
+class TestDirectoryBacking:
+    def test_directory_created_and_used(self, tmp_path):
+        directory = tmp_path / "deep" / "store"
+        store = BitmapFileStore(directory)
+        store.write("n.wah", b"data")
+        assert (directory / "n.wah").read_bytes() == b"data"
+        assert store.is_persistent
+
+    def test_path_traversal_rejected(self, tmp_path):
+        store = BitmapFileStore(tmp_path)
+        for name in ("../evil", "a/b", "", ".."):
+            with pytest.raises(StorageError):
+                store.write(name, b"x")
+
+    def test_memory_store_is_not_persistent(self):
+        assert not BitmapFileStore().is_persistent
+
+    def test_repr(self, tmp_path):
+        assert "memory" in repr(BitmapFileStore())
+        assert str(tmp_path) in repr(BitmapFileStore(tmp_path))

@@ -1,0 +1,84 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    fraction_workload,
+    multi_range_query,
+    range_query_of_fraction,
+)
+
+
+class TestRangeQueryOfFraction:
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9, 1.0])
+    def test_length_matches_fraction(self, fraction, rng):
+        num_leaves = 100
+        query = range_query_of_fraction(num_leaves, fraction, rng)
+        assert query.num_range_leaves == round(fraction * num_leaves)
+
+    def test_range_is_contiguous_and_in_bounds(self, rng):
+        for _ in range(50):
+            query = range_query_of_fraction(100, 0.3, rng)
+            assert len(query.specs) == 1
+            spec = query.specs[0]
+            assert 0 <= spec.start
+            assert spec.end < 100
+
+    def test_minimum_one_leaf(self, rng):
+        query = range_query_of_fraction(10, 0.01, rng)
+        assert query.num_range_leaves == 1
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(WorkloadError):
+            range_query_of_fraction(100, 0.0, rng)
+        with pytest.raises(WorkloadError):
+            range_query_of_fraction(100, 1.5, rng)
+
+    def test_full_domain(self, rng):
+        query = range_query_of_fraction(10, 1.0, rng)
+        assert query.specs[0] is not None
+        assert query.num_range_leaves == 10
+
+
+class TestFractionWorkload:
+    def test_size_and_labels(self):
+        workload = fraction_workload(100, 0.1, 15, seed=0)
+        assert len(workload) == 15
+        assert workload[0].label == "q0"
+        assert workload[14].label == "q14"
+
+    def test_deterministic_per_seed(self):
+        a = fraction_workload(100, 0.5, 5, seed=3)
+        b = fraction_workload(100, 0.5, 5, seed=3)
+        assert list(a) == list(b)
+        c = fraction_workload(100, 0.5, 5, seed=4)
+        assert list(a) != list(c)
+
+    def test_needs_positive_count(self):
+        with pytest.raises(WorkloadError):
+            fraction_workload(100, 0.5, 0)
+
+    def test_starts_are_spread(self):
+        workload = fraction_workload(1000, 0.1, 50, seed=0)
+        starts = {query.specs[0].start for query in workload}
+        assert len(starts) > 25
+
+
+class TestMultiRangeQuery:
+    def test_produces_disjoint_ranges(self, rng):
+        query = multi_range_query(100, 0.3, 3, rng)
+        for left, right in zip(query.specs, query.specs[1:]):
+            assert left.end < right.start
+
+    def test_total_coverage_near_fraction(self, rng):
+        query = multi_range_query(300, 0.3, 3, rng)
+        assert query.num_range_leaves <= 0.4 * 300
+        assert query.num_range_leaves >= 1
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            multi_range_query(100, 0.3, 0, rng)

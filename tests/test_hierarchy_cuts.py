@@ -1,0 +1,105 @@
+"""Tests for the cut abstraction (validity, completeness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidCutError
+from repro.hierarchy.cuts import Cut
+
+
+def _leaf_parents(hierarchy):
+    return [
+        node_id
+        for node_id in hierarchy.internal_ids_postorder()
+        if not hierarchy.internal_children(node_id)
+    ]
+
+
+class TestValidity:
+    def test_root_alone_is_a_complete_cut(self, small_hierarchy):
+        cut = Cut(small_hierarchy, [small_hierarchy.root_id])
+        assert cut.is_complete
+        assert not cut.is_empty
+
+    def test_all_leaf_parents_form_a_complete_cut(
+        self, small_hierarchy
+    ):
+        cut = Cut(small_hierarchy, _leaf_parents(small_hierarchy))
+        assert cut.is_complete
+
+    def test_ancestor_descendant_pair_rejected(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        child = small_hierarchy.internal_children(root)[0]
+        with pytest.raises(InvalidCutError):
+            Cut(small_hierarchy, [root, child])
+
+    def test_duplicate_members_collapse(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        cut = Cut(small_hierarchy, [root, root])
+        assert len(cut) == 1
+
+    def test_leaf_member_rejected(self, small_hierarchy):
+        leaf = small_hierarchy.leaf_ids()[0]
+        with pytest.raises(InvalidCutError):
+            Cut(small_hierarchy, [leaf])
+
+    def test_out_of_range_member_rejected(self, small_hierarchy):
+        with pytest.raises(InvalidCutError):
+            Cut(small_hierarchy, [999])
+
+    def test_require_complete(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        one_child = small_hierarchy.internal_children(root)[0]
+        with pytest.raises(InvalidCutError):
+            Cut(small_hierarchy, [one_child], require_complete=True)
+        Cut(small_hierarchy, [root], require_complete=True)
+
+
+class TestIncompleteCuts:
+    def test_empty_cut(self, small_hierarchy):
+        cut = Cut(small_hierarchy, [])
+        assert cut.is_empty
+        assert not cut.is_complete
+        assert cut.uncovered_leaf_values() == set(
+            range(small_hierarchy.num_leaves)
+        )
+
+    def test_partial_coverage(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        first_child = small_hierarchy.internal_children(root)[0]
+        cut = Cut(small_hierarchy, [first_child])
+        node = small_hierarchy.node(first_child)
+        expected = set(range(node.leaf_lo, node.leaf_hi + 1))
+        assert cut.covered_leaf_values() == expected
+        assert cut.member_covering(node.leaf_lo) == first_child
+        outside = node.leaf_hi + 1
+        assert cut.member_covering(outside) is None
+
+
+class TestCutApi:
+    def test_total_size(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        sizes = [1.5] * small_hierarchy.num_nodes
+        cut = Cut(small_hierarchy, [root])
+        assert cut.total_size(sizes) == pytest.approx(1.5)
+
+    def test_contains_iter_len(self, small_hierarchy):
+        members = _leaf_parents(small_hierarchy)
+        cut = Cut(small_hierarchy, members)
+        assert all(member in cut for member in members)
+        assert sorted(cut) == sorted(members)
+        assert len(cut) == len(members)
+
+    def test_equality_and_hash(self, small_hierarchy):
+        a = Cut(small_hierarchy, [small_hierarchy.root_id])
+        b = Cut(small_hierarchy, [small_hierarchy.root_id])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != object()
+
+    def test_repr_mentions_completeness(self, small_hierarchy):
+        assert "complete" in repr(
+            Cut(small_hierarchy, [small_hierarchy.root_id])
+        )
+        assert "incomplete" in repr(Cut(small_hierarchy, []))

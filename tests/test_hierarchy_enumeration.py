@@ -1,0 +1,145 @@
+"""Tests for exhaustive cut enumeration and counting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy.cuts import Cut
+from repro.hierarchy.enumeration import (
+    count_antichains,
+    count_complete_cuts,
+    iter_antichains,
+    iter_complete_cuts,
+    max_weight_complete_cut,
+)
+from repro.hierarchy.tree import Hierarchy, paper_hierarchy
+
+
+@st.composite
+def random_nested_spec(draw, max_depth=3):
+    """A random small nested hierarchy spec."""
+    if max_depth == 0 or draw(st.booleans()):
+        return draw(st.integers(min_value=1, max_value=4))
+    width = draw(st.integers(min_value=1, max_value=3))
+    return [
+        draw(random_nested_spec(max_depth=max_depth - 1))
+        for _ in range(width)
+    ]
+
+
+class TestCompleteCuts:
+    def test_counts_match_enumeration_small(self, small_hierarchy):
+        cuts = list(iter_complete_cuts(small_hierarchy))
+        assert len(cuts) == count_complete_cuts(small_hierarchy)
+        assert len(set(cuts)) == len(cuts)
+
+    def test_all_enumerated_cuts_are_valid_and_complete(
+        self, small_hierarchy
+    ):
+        for members in iter_complete_cuts(small_hierarchy):
+            cut = Cut(small_hierarchy, members, require_complete=True)
+            assert cut.is_complete
+
+    def test_root_cut_always_enumerated(self, small_hierarchy):
+        cuts = set(iter_complete_cuts(small_hierarchy))
+        assert frozenset((small_hierarchy.root_id,)) in cuts
+
+    @given(random_nested_spec())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_enumeration_random(self, spec):
+        hierarchy = Hierarchy.from_nested(spec)
+        enumerated = list(iter_complete_cuts(hierarchy))
+        assert len(enumerated) == count_complete_cuts(hierarchy)
+        assert len(set(enumerated)) == len(enumerated)
+
+
+class TestAntichains:
+    def test_counts_match_enumeration_small(self, small_hierarchy):
+        antichains = list(iter_antichains(small_hierarchy))
+        assert len(antichains) == count_antichains(small_hierarchy)
+        assert frozenset() in antichains
+
+    def test_every_antichain_is_a_valid_cut(self, small_hierarchy):
+        for members in iter_antichains(small_hierarchy):
+            Cut(small_hierarchy, members)  # raises if invalid
+
+    def test_prune_removes_node_but_not_descendants(
+        self, small_hierarchy
+    ):
+        root = small_hierarchy.root_id
+        pruned = set(
+            iter_antichains(
+                small_hierarchy,
+                prune=lambda node_id: node_id == root,
+            )
+        )
+        assert frozenset((root,)) not in pruned
+        assert any(pruned)  # still enumerates the rest
+
+    @given(random_nested_spec())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_enumeration_random(self, spec):
+        hierarchy = Hierarchy.from_nested(spec)
+        enumerated = list(iter_antichains(hierarchy))
+        assert len(enumerated) == count_antichains(hierarchy)
+        assert len(set(enumerated)) == len(enumerated)
+
+
+class TestPaperCounts:
+    @pytest.mark.parametrize(
+        "num_leaves,expected",
+        [(20, 154), (50, 296_381), (100, 1_185_922)],
+    )
+    def test_paper_incomplete_cut_counts(self, num_leaves, expected):
+        """The §4.3 table reproduces exactly on the paper shapes."""
+        assert (
+            count_antichains(paper_hierarchy(num_leaves)) == expected
+        )
+
+    def test_20_leaf_count_by_enumeration(self):
+        hierarchy = paper_hierarchy(20)
+        assert sum(1 for _ in iter_antichains(hierarchy)) == 154
+
+
+class TestMaxWeightCut:
+    def test_matches_brute_force(self, small_hierarchy):
+        weights = {
+            node_id: float((node_id * 7) % 5 + 1)
+            for node_id in range(small_hierarchy.num_nodes)
+        }
+        best_weight, best_members = max_weight_complete_cut(
+            small_hierarchy, weights
+        )
+        brute = max(
+            iter_complete_cuts(small_hierarchy),
+            key=lambda members: sum(weights[m] for m in members),
+        )
+        assert best_weight == pytest.approx(
+            sum(weights[m] for m in brute)
+        )
+        assert sum(weights[m] for m in best_members) == pytest.approx(
+            best_weight
+        )
+        Cut(small_hierarchy, best_members, require_complete=True)
+
+    @given(random_nested_spec(), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_random(self, spec, seed):
+        import numpy as np
+
+        hierarchy = Hierarchy.from_nested(spec)
+        rng = np.random.default_rng(seed)
+        weights = {
+            node_id: float(rng.uniform(0, 10))
+            for node_id in range(hierarchy.num_nodes)
+        }
+        best_weight, _members = max_weight_complete_cut(
+            hierarchy, weights
+        )
+        brute_best = max(
+            sum(weights[m] for m in members)
+            for members in iter_complete_cuts(hierarchy)
+        )
+        assert best_weight == pytest.approx(brute_best)

@@ -1,0 +1,196 @@
+"""Tests for hierarchy construction and navigation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.hierarchy.node import ROOT_LEVEL, Node
+from repro.hierarchy.tree import Hierarchy, paper_hierarchy
+
+
+class TestFromNested:
+    def test_single_leaf_parent(self):
+        hierarchy = Hierarchy.from_nested(3)
+        assert hierarchy.num_leaves == 3
+        assert hierarchy.num_internal == 1
+        assert hierarchy.height == 2
+
+    def test_paper_20_leaf_shape(self):
+        hierarchy = Hierarchy.from_nested([[3, 3, 3], [3, 3, 3, 2]])
+        assert hierarchy.num_leaves == 20
+        assert hierarchy.height == 4
+        root_children = hierarchy.internal_children(hierarchy.root_id)
+        assert len(root_children) == 2
+
+    def test_leaf_values_are_left_to_right(self):
+        hierarchy = Hierarchy.from_nested([[2], [2]])
+        leaf_ids = hierarchy.leaf_ids()
+        values = [hierarchy.node(i).leaf_lo for i in leaf_ids]
+        assert values == [0, 1, 2, 3]
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_nested(0)
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_nested([])
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_nested([2, "x"])  # type: ignore[list-item]
+
+    def test_names_flag(self):
+        hierarchy = Hierarchy.from_nested([2, 2], names=True)
+        assert hierarchy.node(hierarchy.root_id).name == "n0"
+        assert hierarchy.node_by_name("leaf0").is_leaf
+
+
+class TestBalanced:
+    @pytest.mark.parametrize(
+        "num_leaves,height",
+        [(20, 4), (50, 5), (100, 4), (7, 3), (1000, 4), (2, 2)],
+    )
+    def test_balanced_shapes(self, num_leaves, height):
+        hierarchy = Hierarchy.balanced(num_leaves, height)
+        assert hierarchy.num_leaves == num_leaves
+        assert hierarchy.height == height
+        levels = {
+            hierarchy.node(i).level for i in hierarchy.leaf_ids()
+        }
+        assert levels == {height}
+
+    def test_explicit_fanout(self):
+        hierarchy = Hierarchy.balanced(27, 4, fanout=3)
+        for node_id in hierarchy.internal_ids_postorder():
+            assert len(hierarchy.node(node_id).children) == 3
+
+    def test_bad_parameters(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.balanced(10, 1)
+        with pytest.raises(HierarchyError):
+            Hierarchy.balanced(0, 3)
+
+
+class TestFromNamed:
+    def test_us_example(self, us_hierarchy):
+        assert us_hierarchy.num_leaves == 6
+        assert us_hierarchy.root.name == "U.S."
+        ca = us_hierarchy.node_by_name("CA")
+        assert ca.leaf_span == (0, 2)
+        assert us_hierarchy.leaf_value("PHX") == 3
+
+    def test_unknown_name(self, us_hierarchy):
+        with pytest.raises(HierarchyError):
+            us_hierarchy.node_by_name("NY")
+
+    def test_leaf_value_of_internal_node(self, us_hierarchy):
+        with pytest.raises(HierarchyError):
+            us_hierarchy.leaf_value("CA")
+
+    def test_rejects_invalid_spec(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_named({"A": 5})  # type: ignore[dict-item]
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_named({"A": {}})
+
+
+class TestNavigation:
+    def test_internal_and_leaf_children(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        assert len(small_hierarchy.internal_children(root)) == 3
+        assert small_hierarchy.leaf_children(root) == []
+        leaf_parent = small_hierarchy.internal_children(
+            small_hierarchy.internal_children(root)[0]
+        )[0]
+        assert small_hierarchy.internal_children(leaf_parent) == []
+        assert len(small_hierarchy.leaf_children(leaf_parent)) == 2
+
+    def test_postorder_visits_children_first(self, small_hierarchy):
+        order = small_hierarchy.internal_ids_postorder()
+        seen = set()
+        for node_id in order:
+            for child in small_hierarchy.internal_children(node_id):
+                assert child in seen
+            seen.add(node_id)
+        assert order[-1] == small_hierarchy.root_id
+
+    def test_ancestry(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        some_leaf = small_hierarchy.leaf_ids()[0]
+        assert small_hierarchy.is_strict_ancestor(root, some_leaf)
+        assert not small_hierarchy.is_strict_ancestor(some_leaf, root)
+        assert small_hierarchy.on_same_root_leaf_path(root, some_leaf)
+        assert small_hierarchy.on_same_root_leaf_path(root, root)
+        assert root in small_hierarchy.ancestors(some_leaf)
+
+    def test_descendants_count(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        assert (
+            len(small_hierarchy.descendants(root))
+            == small_hierarchy.num_nodes - 1
+        )
+
+    def test_leaf_node_id_bounds(self, small_hierarchy):
+        with pytest.raises(HierarchyError):
+            small_hierarchy.leaf_node_id(small_hierarchy.num_leaves)
+        with pytest.raises(HierarchyError):
+            small_hierarchy.leaf_node_id(-1)
+
+    def test_leaf_values_under(self, small_hierarchy):
+        root = small_hierarchy.root_id
+        values = small_hierarchy.leaf_values_under(root)
+        assert list(values) == list(
+            range(small_hierarchy.num_leaves)
+        )
+
+    def test_iteration_and_len(self, small_hierarchy):
+        assert len(small_hierarchy) == small_hierarchy.num_nodes
+        assert (
+            len(list(small_hierarchy)) == small_hierarchy.num_nodes
+        )
+
+
+class TestValidation:
+    def test_child_level_must_increment(self):
+        nodes = [
+            Node(0, None, (1,), ROOT_LEVEL, 0, 0),
+            Node(1, 0, (), ROOT_LEVEL + 2, 0, 0),
+        ]
+        with pytest.raises(HierarchyError):
+            Hierarchy(nodes)
+
+    def test_children_must_tile_span(self):
+        nodes = [
+            Node(0, None, (1, 2), 1, 0, 1),
+            Node(1, 0, (), 2, 0, 0),
+            Node(2, 0, (), 2, 0, 0),  # duplicates leaf 0
+        ]
+        with pytest.raises(HierarchyError):
+            Hierarchy(nodes)
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy([])
+
+
+class TestPaperHierarchies:
+    @pytest.mark.parametrize(
+        "num_leaves,height", [(20, 4), (50, 5), (100, 4)]
+    )
+    def test_shapes(self, num_leaves, height):
+        hierarchy = paper_hierarchy(num_leaves)
+        assert hierarchy.num_leaves == num_leaves
+        assert hierarchy.height == height
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(HierarchyError):
+            paper_hierarchy(42)
+
+
+class TestNode:
+    def test_properties(self):
+        node = Node(3, 1, (), 4, 7, 7, name="leaf7")
+        assert node.is_leaf
+        assert not node.is_root
+        assert node.num_leaves == 1
+        assert node.covers_leaf(7)
+        assert not node.covers_leaf(8)
+        assert "leaf" in repr(node)

@@ -1,0 +1,102 @@
+"""Tests for tombstone deletes and vacuum on the appendable index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap.index import HierarchicalBitmapIndex
+from repro.errors import WorkloadError
+from repro.hierarchy.tree import Hierarchy
+
+
+@pytest.fixture
+def hierarchy() -> Hierarchy:
+    return Hierarchy.from_nested([[3, 3], [2, 4]])
+
+
+@pytest.fixture
+def column(hierarchy, rng) -> np.ndarray:
+    return rng.integers(0, hierarchy.num_leaves, size=2000)
+
+
+@pytest.fixture
+def index(hierarchy, column) -> HierarchicalBitmapIndex:
+    return HierarchicalBitmapIndex(hierarchy, column)
+
+
+class TestDelete:
+    def test_deleted_rows_leave_query_answers(self, index, column):
+        victims = np.array([0, 5, 100, 1999])
+        index.delete_rows(victims)
+        assert index.num_deleted == 4
+        assert index.num_live_rows == column.size - 4
+        answer = index.lookup_range(0, index.hierarchy.num_leaves - 1)
+        assert answer.count() == column.size - 4
+        for victim in victims:
+            assert not answer.get(int(victim))
+
+    def test_delete_is_idempotent(self, index):
+        index.delete_rows(np.array([1, 2, 3]))
+        index.delete_rows(np.array([2, 3, 4]))
+        assert index.num_deleted == 4
+
+    def test_range_lookup_respects_tombstones(self, index, column):
+        in_range = np.flatnonzero((column >= 2) & (column <= 7))
+        victims = in_range[:10]
+        index.delete_rows(victims)
+        answer = index.lookup_range(2, 7)
+        expected = set(in_range.tolist()) - set(victims.tolist())
+        assert set(answer.to_positions().tolist()) == expected
+
+    def test_bad_row_ids_rejected(self, index):
+        with pytest.raises(WorkloadError):
+            index.delete_rows(np.array([index.num_rows]))
+        with pytest.raises(WorkloadError):
+            index.delete_rows(np.array([-1]))
+
+    def test_empty_delete_is_noop(self, index):
+        index.delete_rows(np.array([], dtype=np.int64))
+        assert index.num_deleted == 0
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_and_renumbers(self, index, column):
+        victims = np.array([0, 7, 1500])
+        index.delete_rows(victims)
+        reclaimed = index.vacuum()
+        assert reclaimed == 3
+        assert index.num_rows == column.size - 3
+        assert index.num_deleted == 0
+        index.verify_consistency()
+        # The surviving column, in order, drives the new bitmaps.
+        survivors = np.delete(column, victims)
+        fresh = HierarchicalBitmapIndex(index.hierarchy, survivors)
+        for node in index.hierarchy:
+            assert index.bitmap(node.node_id) == fresh.bitmap(
+                node.node_id
+            )
+
+    def test_vacuum_without_deletes_is_noop(self, index, column):
+        assert index.vacuum() == 0
+        assert index.num_rows == column.size
+
+    def test_queries_after_vacuum(self, index, column):
+        victims = np.flatnonzero(column == 3)[:5]
+        index.delete_rows(victims)
+        before = index.lookup_range(3, 3).count()
+        index.vacuum()
+        after = index.lookup_range(3, 3).count()
+        assert after == before
+        assert after == (column == 3).sum() - victims.size
+
+    def test_append_after_vacuum(self, index, hierarchy, column):
+        index.delete_rows(np.arange(50))
+        index.vacuum()
+        extra = np.full(30, 1, dtype=np.int64)
+        index.append_rows(extra)
+        assert index.num_rows == column.size - 50 + 30
+        index.verify_consistency()
+        leaf1 = index.lookup_range(1, 1).count()
+        expected = (column[50:] == 1).sum() + 30
+        assert leaf1 == expected

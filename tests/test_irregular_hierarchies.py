@@ -1,0 +1,179 @@
+"""Tests on irregular hierarchies: mixed internal/leaf children and
+leaves at different depths.
+
+The paper evaluates balanced hierarchies; the library generalizes the
+DP to trees where an internal node has both leaf and internal children
+(the leaf children are read directly when the cut descends past their
+parent).  These tests pin that behavior against exhaustive search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import exhaustive_single_optimum
+from repro.core.multi import select_cut_multi
+from repro.core.workload_cost import single_query_cut_cost
+from repro.hierarchy.enumeration import iter_antichains
+from repro.core.opnodes import build_query_plan
+from repro.core.single import hybrid_cut
+from repro.core.workload_cost import WorkloadNodeStats
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.catalog import ModeledNodeCatalog
+from repro.storage.costmodel import CostModel
+from repro.workload.query import RangeQuery, Workload
+
+
+@pytest.fixture
+def mixed_hierarchy() -> Hierarchy:
+    """Leaves at depths 2, 3, and 4; one node mixes child kinds."""
+    return Hierarchy.from_named(
+        {
+            "deep": {
+                "inner": {"x": None, "y": None},
+                "shallow_leaf": None,
+            },
+            "mid": {"a": None, "b": None, "c": None},
+            "top_leaf": None,
+        }
+    )
+
+
+@pytest.fixture
+def mixed_catalog(mixed_hierarchy, paper_cost_model):
+    rng = np.random.default_rng(5)
+    probabilities = rng.dirichlet(
+        np.ones(mixed_hierarchy.num_leaves)
+    )
+    return ModeledNodeCatalog(
+        mixed_hierarchy, probabilities, paper_cost_model, 150_000_000
+    )
+
+
+class TestMixedChildren:
+    def test_structure(self, mixed_hierarchy):
+        deep = mixed_hierarchy.node_by_name("deep")
+        assert len(
+            mixed_hierarchy.internal_children(deep.node_id)
+        ) == 1
+        assert len(
+            mixed_hierarchy.leaf_children(deep.node_id)
+        ) == 1
+        levels = {
+            mixed_hierarchy.node(leaf_id).level
+            for leaf_id in mixed_hierarchy.leaf_ids()
+        }
+        assert levels == {2, 3, 4}
+
+    @pytest.mark.parametrize(
+        "spec", [(0, 2), (1, 4), (0, 5), (3, 3), (2, 6)]
+    )
+    def test_hybrid_matches_antichain_brute_force(
+        self, mixed_catalog, spec
+    ):
+        """On trees with leaf children the plan space is the full
+        antichain family (uncovered leaves read directly) — complete
+        cuts alone are too narrow a baseline."""
+        query = RangeQuery([spec])
+        hybrid = hybrid_cut(mixed_catalog, query)
+        brute = min(
+            single_query_cut_cost(mixed_catalog, query, members)
+            for members in iter_antichains(
+                mixed_catalog.hierarchy
+            )
+        )
+        assert hybrid.cost == pytest.approx(brute)
+        # The complete-cut exhaustive baseline is an upper bound here.
+        optimum = exhaustive_single_optimum(mixed_catalog, query)
+        assert hybrid.cost <= optimum.cost + 1e-9
+
+    def test_plan_covers_leaf_children_outside_cut(
+        self, mixed_catalog, mixed_hierarchy
+    ):
+        """A cut through 'inner' leaves 'shallow_leaf' uncovered; the
+        plan must read it directly."""
+        inner = mixed_hierarchy.node_by_name("inner").node_id
+        shallow = mixed_hierarchy.leaf_value("shallow_leaf")
+        query = RangeQuery([(0, shallow)])
+        plan = build_query_plan(mixed_catalog, query, [inner])
+        shallow_id = mixed_hierarchy.leaf_node_id(shallow)
+        assert shallow_id in plan.operation_node_ids
+
+    def test_plan_cost_matches_dp(self, mixed_catalog):
+        for spec in [(0, 2), (1, 4), (0, 6), (5, 6)]:
+            query = RangeQuery([spec])
+            selection = hybrid_cut(mixed_catalog, query)
+            plan = build_query_plan(
+                mixed_catalog,
+                query,
+                selection.cut.node_ids,
+                labels=selection.labels,
+            )
+            assert plan.predicted_cost_mb == pytest.approx(
+                selection.cost
+            )
+
+    def test_multi_query_dp_runs_and_bounds(self, mixed_catalog):
+        workload = Workload(
+            [RangeQuery([(0, 3)]), RangeQuery([(2, 6)])]
+        )
+        stats = WorkloadNodeStats(mixed_catalog, workload)
+        result = select_cut_multi(mixed_catalog, workload, stats)
+        assert (
+            result.cost <= stats.leaf_only_cost_case2() + 1e-9
+        )
+
+
+@st.composite
+def named_tree(draw, depth=3):
+    """A random irregular named tree (>= 1 leaf)."""
+    counter = draw(st.integers(0, 10**6))
+
+    def build(level, prefix):
+        width = draw(st.integers(min_value=1, max_value=3))
+        children = {}
+        for index in range(width):
+            name = f"{prefix}{index}"
+            if level == 0 or draw(st.booleans()):
+                children[name] = None
+            else:
+                children[name] = build(level - 1, name + "_")
+        return children
+
+    return build(depth, f"t{counter}_")
+
+
+class TestRandomIrregularTrees:
+    @given(named_tree(), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_hybrid_matches_exhaustive_on_random_trees(
+        self, spec, seed
+    ):
+        hierarchy = Hierarchy.from_named(spec)
+        num_leaves = hierarchy.num_leaves
+        rng = np.random.default_rng(seed)
+        catalog = ModeledNodeCatalog(
+            hierarchy,
+            rng.dirichlet(np.ones(num_leaves)),
+            CostModel.paper_2014(),
+            150_000_000,
+        )
+        start = int(rng.integers(0, num_leaves))
+        end = int(rng.integers(start, num_leaves))
+        query = RangeQuery([(start, end)])
+        hybrid = hybrid_cut(catalog, query)
+        brute = min(
+            single_query_cut_cost(catalog, query, members)
+            for members in iter_antichains(hierarchy)
+        )
+        assert hybrid.cost == pytest.approx(brute)
+        plan = build_query_plan(
+            catalog,
+            query,
+            hybrid.cut.node_ids,
+            labels=hybrid.labels,
+        )
+        assert plan.predicted_cost_mb == pytest.approx(hybrid.cost)

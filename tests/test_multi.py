@@ -1,0 +1,146 @@
+"""Tests for Case-2 cut selection (Alg. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import exhaustive_multi_optimum
+from repro.core.multi import select_cut_multi
+from repro.core.workload_cost import (
+    WorkloadNodeStats,
+    case2_cut_cost,
+)
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.catalog import ModeledNodeCatalog
+from repro.storage.costmodel import CostModel
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery, Workload
+
+
+class TestBasics:
+    def test_returns_complete_cut(self, tpch_catalog100):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        result = select_cut_multi(tpch_catalog100, workload)
+        assert result.cut.is_complete
+
+    def test_dp_cost_matches_evaluator(self, tpch_catalog100):
+        workload = fraction_workload(100, 0.5, 15, seed=1)
+        result = select_cut_multi(tpch_catalog100, workload)
+        evaluated = case2_cut_cost(
+            result.stats, result.cut.node_ids
+        )
+        assert result.cost == pytest.approx(evaluated)
+
+    def test_beats_or_matches_leaf_only(self, tpch_catalog100):
+        for fraction in (0.1, 0.5, 0.9):
+            workload = fraction_workload(100, fraction, 15, seed=2)
+            result = select_cut_multi(tpch_catalog100, workload)
+            assert (
+                result.cost
+                <= result.stats.leaf_only_cost_case2() + 1e-9
+            )
+
+    def test_accepts_precomputed_stats(self, tpch_catalog100):
+        workload = fraction_workload(100, 0.5, 5, seed=3)
+        stats = WorkloadNodeStats(tpch_catalog100, workload)
+        result = select_cut_multi(tpch_catalog100, workload, stats)
+        assert result.stats is stats
+
+
+class TestOptimality:
+    """Alg. 3 must equal the exhaustive optimum (paper Fig. 5)."""
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9])
+    @pytest.mark.parametrize("num_queries", [5, 15, 25])
+    def test_matches_exhaustive(
+        self, tpch_catalog100, fraction, num_queries
+    ):
+        workload = fraction_workload(
+            100, fraction, num_queries, seed=7
+        )
+        stats = WorkloadNodeStats(tpch_catalog100, workload)
+        hybrid = select_cut_multi(
+            tpch_catalog100, workload, stats
+        ).cost
+        optimum = exhaustive_multi_optimum(
+            tpch_catalog100, workload, stats
+        ).cost
+        assert hybrid == pytest.approx(optimum)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_exhaustive_on_random_instances(
+        self, seed, num_queries
+    ):
+        rng = np.random.default_rng(seed)
+
+        def random_spec(depth):
+            if depth == 0:
+                return int(rng.integers(1, 5))
+            width = int(rng.integers(1, 4))
+            return [random_spec(depth - 1) for _ in range(width)]
+
+        hierarchy = Hierarchy.from_nested(
+            random_spec(int(rng.integers(1, 4)))
+        )
+        num_leaves = hierarchy.num_leaves
+        probabilities = rng.dirichlet(np.ones(num_leaves))
+        catalog = ModeledNodeCatalog(
+            hierarchy,
+            probabilities,
+            CostModel.paper_2014(),
+            150_000_000,
+        )
+        queries = []
+        for _ in range(num_queries):
+            start = int(rng.integers(0, num_leaves))
+            end = int(rng.integers(start, num_leaves))
+            queries.append(RangeQuery([(start, end)]))
+        workload = Workload(queries)
+        stats = WorkloadNodeStats(catalog, workload)
+        hybrid = select_cut_multi(catalog, workload, stats).cost
+        optimum = exhaustive_multi_optimum(
+            catalog, workload, stats
+        ).cost
+        assert hybrid == pytest.approx(optimum)
+
+
+class TestCachingBehavior:
+    def test_duplicate_queries_cost_like_one(self, tpch_catalog100):
+        """Eq. 3: a repeated query reuses every cached bitmap."""
+        query = RangeQuery([(10, 59)])
+        single = select_cut_multi(
+            tpch_catalog100, Workload([query])
+        ).cost
+        repeated = select_cut_multi(
+            tpch_catalog100, Workload([query] * 5)
+        ).cost
+        assert repeated == pytest.approx(single)
+
+    def test_combined_cost_bounded_by_single_query_costs(
+        self, tpch_catalog100
+    ):
+        """The shared-cut workload cost sits between the dearest
+        single-query optimum (more queries only add cost) and the
+        union leaf-only baseline (the degenerate cut)."""
+        a = RangeQuery([(0, 59)])
+        b = RangeQuery([(40, 99)])
+        workload = Workload([a, b])
+        stats = WorkloadNodeStats(tpch_catalog100, workload)
+        combined = select_cut_multi(
+            tpch_catalog100, workload, stats
+        ).cost
+        single_costs = [
+            select_cut_multi(
+                tpch_catalog100, Workload([query])
+            ).cost
+            for query in (a, b)
+        ]
+        assert combined >= max(single_costs) - 1e-9
+        assert combined <= stats.leaf_only_cost_case2() + 1e-9

@@ -1,0 +1,190 @@
+"""Tests for operation-node extraction (Alg. 2) and plan building."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import StrategyLabel
+from repro.core.opnodes import build_query_plan, leaf_only_plan
+from repro.core.single import hybrid_cut
+from repro.storage.catalog import ModeledNodeCatalog
+from repro.workload.query import RangeQuery
+
+
+@pytest.fixture
+def us_catalog(us_hierarchy, paper_cost_model):
+    probabilities = np.array(
+        [0.25, 0.20, 0.05, 0.20, 0.15, 0.15]
+    )
+    return ModeledNodeCatalog(
+        us_hierarchy, probabilities, paper_cost_model, 150_000_000
+    )
+
+
+def _name_ids(hierarchy, *names):
+    return {
+        hierarchy.node_by_name(name).node_id for name in names
+    }
+
+
+class TestPaperPlans:
+    """The four example plans of §2.2.2 and their operation nodes."""
+
+    def test_inclusive_plan_at_cut_ca_az(
+        self, us_catalog, us_hierarchy
+    ):
+        query = RangeQuery([(0, us_hierarchy.leaf_value("PHX"))])
+        cut = _name_ids(us_hierarchy, "CA", "AZ")
+        plan = build_query_plan(
+            us_catalog,
+            query,
+            cut,
+            labels={
+                us_hierarchy.node_by_name("CA").node_id:
+                    StrategyLabel.COMPLETE,
+                us_hierarchy.node_by_name("AZ").node_id:
+                    StrategyLabel.INCLUSIVE,
+            },
+        )
+        # ON_q = [CA, PHX]: CA complete, AZ handled via its one
+        # in-range leaf.
+        expected = _name_ids(us_hierarchy, "CA", "PHX")
+        assert set(plan.operation_node_ids) == expected
+
+    def test_exclusive_plan_at_root(self, us_catalog, us_hierarchy):
+        query = RangeQuery([(0, us_hierarchy.leaf_value("PHX"))])
+        root = us_hierarchy.root_id
+        plan = build_query_plan(
+            us_catalog,
+            query,
+            [root],
+            labels={root: StrategyLabel.EXCLUSIVE},
+        )
+        # ON_q = [U.S., Tempe, Tucson].
+        expected = _name_ids(
+            us_hierarchy, "U.S.", "Tempe", "Tucson"
+        )
+        assert set(plan.operation_node_ids) == expected
+        exclusive_atoms = [
+            atom
+            for atom in plan.atoms
+            if atom.label is StrategyLabel.EXCLUSIVE
+        ]
+        assert len(exclusive_atoms) == 1
+        assert exclusive_atoms[0].leaf_values == (
+            us_hierarchy.leaf_value("Tempe"),
+            us_hierarchy.leaf_value("Tucson"),
+        )
+
+    def test_leaf_only_plan(self, us_catalog, us_hierarchy):
+        query = RangeQuery([(0, us_hierarchy.leaf_value("PHX"))])
+        plan = leaf_only_plan(us_catalog, query)
+        expected = _name_ids(
+            us_hierarchy, "SFO", "L.A.", "S.D.", "PHX"
+        )
+        assert set(plan.operation_node_ids) == expected
+
+
+class TestPredictedCosts:
+    def test_hybrid_plan_cost_equals_dp_cost(self, tpch_catalog100):
+        for spec in [(0, 9), (10, 59), (5, 94), (0, 99)]:
+            query = RangeQuery([spec])
+            result = hybrid_cut(tpch_catalog100, query)
+            plan = build_query_plan(
+                tpch_catalog100,
+                query,
+                result.cut.node_ids,
+                labels=result.labels,
+            )
+            assert plan.predicted_cost_mb == pytest.approx(
+                result.cost
+            )
+
+    def test_leaf_only_cost(self, tpch_catalog100):
+        query = RangeQuery([(10, 29)])
+        plan = leaf_only_plan(tpch_catalog100, query)
+        assert plan.predicted_cost_mb == pytest.approx(
+            tpch_catalog100.leaf_range_cost(10, 29)
+        )
+        assert plan.num_operation_nodes == 20
+
+    def test_cached_members_not_charged(self, tpch_catalog100):
+        query = RangeQuery([(0, 99)])
+        root = tpch_catalog100.hierarchy.root_id
+        charged = build_query_plan(
+            tpch_catalog100, query, [root], node_is_cached=False
+        )
+        free = build_query_plan(
+            tpch_catalog100, query, [root], node_is_cached=True
+        )
+        assert free.predicted_cost_mb <= charged.predicted_cost_mb
+
+
+class TestIncompleteCuts:
+    def test_uncovered_range_leaves_read_directly(
+        self, tpch_catalog100
+    ):
+        hierarchy = tpch_catalog100.hierarchy
+        # Use only the first root child (covers leaves 0..24) as cut;
+        # query extends beyond it.
+        member = hierarchy.internal_children(hierarchy.root_id)[0]
+        query = RangeQuery([(0, 40)])
+        plan = build_query_plan(tpch_catalog100, query, [member])
+        uncovered_leaves = {
+            hierarchy.leaf_node_id(value)
+            for value in range(25, 41)
+        }
+        assert uncovered_leaves <= set(plan.operation_node_ids)
+
+    def test_empty_cut_plan_equals_leaf_only(self, tpch_catalog100):
+        query = RangeQuery([(3, 17)])
+        empty = build_query_plan(tpch_catalog100, query, [])
+        leaf = leaf_only_plan(tpch_catalog100, query)
+        assert (
+            empty.operation_node_ids == leaf.operation_node_ids
+        )
+
+    def test_empty_member_contributes_no_atoms(
+        self, tpch_catalog100
+    ):
+        hierarchy = tpch_catalog100.hierarchy
+        # Query inside the first child; second child is empty.
+        first, second = hierarchy.internal_children(
+            hierarchy.root_id
+        )[:2]
+        query = RangeQuery([(0, 10)])
+        plan = build_query_plan(
+            tpch_catalog100, query, [first, second]
+        )
+        assert second not in plan.operation_node_ids
+
+
+class TestAtomStructure:
+    def test_atoms_reconstruct_range(self, tpch_catalog100):
+        """Every range leaf is produced by exactly one atom's span."""
+        query = RangeQuery([(5, 94)])
+        result = hybrid_cut(tpch_catalog100, query)
+        plan = build_query_plan(
+            tpch_catalog100,
+            query,
+            result.cut.node_ids,
+            labels=result.labels,
+        )
+        hierarchy = tpch_catalog100.hierarchy
+        produced: set[int] = set()
+        for atom in plan.atoms:
+            if atom.label is StrategyLabel.COMPLETE:
+                node = hierarchy.node(atom.node_id)
+                produced.update(
+                    range(node.leaf_lo, node.leaf_hi + 1)
+                )
+            elif atom.label is StrategyLabel.INCLUSIVE:
+                produced.update(atom.leaf_values)
+            else:
+                node = hierarchy.node(atom.node_id)
+                span = set(
+                    range(node.leaf_lo, node.leaf_hi + 1)
+                )
+                produced.update(span - set(atom.leaf_values))
+        assert produced == set(query.range_leaves())

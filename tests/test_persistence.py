@@ -1,0 +1,139 @@
+"""Tests for hierarchy and workload JSON persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HierarchyError, WorkloadError
+from repro.hierarchy.serialization import (
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    load_hierarchy,
+    save_hierarchy,
+)
+from repro.hierarchy.tree import Hierarchy, paper_hierarchy
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery, Workload
+from repro.workload.serialization import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+class TestHierarchyPersistence:
+    @pytest.mark.parametrize("num_leaves", [20, 50, 100])
+    def test_roundtrip_paper_shapes(self, num_leaves):
+        original = paper_hierarchy(num_leaves)
+        restored = hierarchy_from_dict(
+            hierarchy_to_dict(original)
+        )
+        assert restored.num_leaves == original.num_leaves
+        assert restored.nodes() == original.nodes()
+
+    def test_roundtrip_preserves_names(self, us_hierarchy):
+        restored = hierarchy_from_dict(
+            hierarchy_to_dict(us_hierarchy)
+        )
+        assert restored.node_by_name("CA").leaf_span == (0, 2)
+        assert restored.leaf_value("Tucson") == 5
+
+    def test_dict_is_json_serializable(self, small_hierarchy):
+        text = json.dumps(hierarchy_to_dict(small_hierarchy))
+        restored = hierarchy_from_dict(json.loads(text))
+        assert restored.nodes() == small_hierarchy.nodes()
+
+    def test_file_roundtrip(self, tmp_path, small_hierarchy):
+        path = tmp_path / "hierarchy.json"
+        save_hierarchy(small_hierarchy, path)
+        assert load_hierarchy(path).nodes() == (
+            small_hierarchy.nodes()
+        )
+
+    def test_malformed_payloads_rejected(self, small_hierarchy):
+        with pytest.raises(HierarchyError):
+            hierarchy_from_dict("nope")  # type: ignore[arg-type]
+        with pytest.raises(HierarchyError):
+            hierarchy_from_dict({"format": "other"})
+        with pytest.raises(HierarchyError):
+            hierarchy_from_dict(
+                {"format": "repro-hierarchy-v1", "nodes": []}
+            )
+        payload = hierarchy_to_dict(small_hierarchy)
+        payload["nodes"][0] = {"id": 0}
+        with pytest.raises(HierarchyError):
+            hierarchy_from_dict(payload)
+
+    def test_leaf_count_mismatch_rejected(self, small_hierarchy):
+        payload = hierarchy_to_dict(small_hierarchy)
+        payload["num_leaves"] = 999
+        with pytest.raises(HierarchyError):
+            hierarchy_from_dict(payload)
+
+    def test_tampered_structure_fails_validation(
+        self, small_hierarchy
+    ):
+        payload = hierarchy_to_dict(small_hierarchy)
+        payload["nodes"][1]["level"] = 7
+        with pytest.raises(HierarchyError):
+            hierarchy_from_dict(payload)
+
+
+class TestWorkloadPersistence:
+    def test_roundtrip(self):
+        workload = fraction_workload(100, 0.3, 8, seed=4)
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert list(restored) == list(workload)
+        assert [q.label for q in restored] == [
+            q.label for q in workload
+        ]
+
+    def test_multi_spec_roundtrip(self):
+        workload = Workload(
+            [RangeQuery([(0, 3), (7, 9)], label="gaps")]
+        )
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored[0].specs == workload[0].specs
+
+    def test_file_roundtrip(self, tmp_path):
+        workload = fraction_workload(50, 0.5, 3, seed=1)
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        assert list(load_workload(path)) == list(workload)
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_dict([1, 2])  # type: ignore[arg-type]
+        with pytest.raises(WorkloadError):
+            workload_from_dict({"format": "other"})
+        with pytest.raises(WorkloadError):
+            workload_from_dict(
+                {"format": "repro-workload-v1", "queries": []}
+            )
+        with pytest.raises(WorkloadError):
+            workload_from_dict(
+                {
+                    "format": "repro-workload-v1",
+                    "queries": [{"specs": [["a", 2]]}],
+                }
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 40), st.integers(0, 40)
+            ).map(lambda pair: (min(pair), max(pair))),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_random_queries(self, raw_specs):
+        workload = Workload([RangeQuery(raw_specs)])
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored[0] == workload[0]

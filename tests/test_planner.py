@@ -1,0 +1,98 @@
+"""Tests for the CutSelector facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constrained import ConstrainedCutResult
+from repro.core.multi import MultiQueryCutResult
+from repro.core.planner import CutSelector
+from repro.core.single import SingleQueryCutResult
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery, Workload
+
+
+@pytest.fixture
+def selector(tpch_catalog100) -> CutSelector:
+    return CutSelector(tpch_catalog100)
+
+
+class TestDispatch:
+    def test_single_query_routes_to_case1(self, selector):
+        result = selector.select(RangeQuery([(10, 40)]))
+        assert isinstance(result, SingleQueryCutResult)
+        assert result.strategy == "hybrid"
+
+    def test_single_query_strategy_flag(self, selector):
+        result = selector.select(
+            RangeQuery([(10, 40)]), strategy="exclusive"
+        )
+        assert result.strategy == "exclusive"
+
+    def test_workload_routes_to_case2(self, selector):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        result = selector.select(workload)
+        assert isinstance(result, MultiQueryCutResult)
+
+    def test_workload_with_budget_routes_to_case3(self, selector):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        result = selector.select(workload, budget_mb=60.0, k=10)
+        assert isinstance(result, ConstrainedCutResult)
+        assert result.k == 10
+
+    def test_budget_with_k1_uses_one_cut(self, selector):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        result = selector.select(workload, budget_mb=60.0, k=1)
+        assert result.k == 1
+
+    def test_budget_with_k_none_uses_auto_stop(self, selector):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        result = selector.select(workload, budget_mb=60.0, k=None)
+        assert isinstance(result, ConstrainedCutResult)
+
+    def test_single_query_with_budget_wraps_into_workload(
+        self, selector
+    ):
+        result = selector.select(
+            RangeQuery([(10, 40)]), budget_mb=30.0
+        )
+        assert isinstance(result, ConstrainedCutResult)
+
+    def test_rejects_unknown_target(self, selector):
+        with pytest.raises(TypeError):
+            selector.select("not a query")  # type: ignore[arg-type]
+
+    def test_multi_query_is_hybrid_only(self, selector):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        with pytest.raises(ValueError):
+            selector.select(workload, strategy="inclusive")
+
+
+class TestPlanBuilding:
+    def test_plan_without_result_is_leaf_only(self, selector):
+        query = RangeQuery([(10, 19)])
+        plan = selector.plan(query)
+        assert plan.num_operation_nodes == 10
+
+    def test_plan_for_single_result_matches_cost(self, selector):
+        query = RangeQuery([(5, 94)])
+        result = selector.select(query)
+        plan = selector.plan(query, result)
+        assert plan.predicted_cost_mb == pytest.approx(result.cost)
+
+    def test_plan_for_workload_result_treats_cut_as_cached(
+        self, selector
+    ):
+        workload = fraction_workload(100, 0.5, 5, seed=0)
+        result = selector.select(workload)
+        plan = selector.plan(workload[0], result)
+        cached = set(result.cut.node_ids)
+        charged = sum(
+            selector.catalog.read_cost_mb(node_id)
+            for node_id in plan.operation_node_ids
+            if node_id not in cached
+        )
+        assert plan.predicted_cost_mb == pytest.approx(charged)
+
+    def test_catalog_property(self, selector, tpch_catalog100):
+        assert selector.catalog is tpch_catalog100

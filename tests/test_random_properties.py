@@ -1,0 +1,195 @@
+"""Cross-cutting property tests on random instances.
+
+These tie the whole stack together: random hierarchies, random
+distributions, and random (multi-range) workloads, checked for the
+paper's optimality/consistency invariants end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (
+    exhaustive_constrained_optimum,
+    sample_antichain,
+)
+from repro.core.constrained import k_cut_selection, one_cut_selection
+from repro.core.multi import select_cut_multi
+from repro.core.opnodes import build_query_plan
+from repro.core.simulate import simulate_workload
+from repro.core.single import hybrid_cut
+from repro.core.workload_cost import (
+    WorkloadNodeStats,
+    case2_cut_cost,
+    case3_cut_cost,
+)
+from repro.hierarchy.cuts import Cut
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.catalog import ModeledNodeCatalog
+from repro.storage.costmodel import CostModel
+from repro.workload.query import RangeQuery, Workload
+
+
+def _random_instance(seed: int, num_queries: int):
+    """A random hierarchy + distribution + multi-range workload."""
+    rng = np.random.default_rng(seed)
+
+    def random_spec(depth):
+        if depth == 0:
+            return int(rng.integers(1, 5))
+        width = int(rng.integers(1, 4))
+        return [random_spec(depth - 1) for _ in range(width)]
+
+    hierarchy = Hierarchy.from_nested(
+        random_spec(int(rng.integers(1, 4)))
+    )
+    num_leaves = hierarchy.num_leaves
+    catalog = ModeledNodeCatalog(
+        hierarchy,
+        rng.dirichlet(np.ones(num_leaves)),
+        CostModel.paper_2014(),
+        150_000_000,
+    )
+    queries = []
+    for _ in range(num_queries):
+        num_specs = int(rng.integers(1, 3))
+        specs = []
+        for _ in range(num_specs):
+            start = int(rng.integers(0, num_leaves))
+            end = int(
+                rng.integers(start, min(num_leaves, start + 6))
+            )
+            specs.append((start, min(end, num_leaves - 1)))
+        queries.append(RangeQuery(specs))
+    return catalog, Workload(queries)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_simulator_agrees_with_evaluators_on_random_cuts(
+    seed, num_queries
+):
+    catalog, workload = _random_instance(seed, num_queries)
+    stats = WorkloadNodeStats(catalog, workload)
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    members = sample_antichain(catalog.hierarchy, rng)
+    case2 = simulate_workload(
+        catalog, workload, members, cache_everything=True
+    )
+    assert case2.total_io_mb == pytest.approx(
+        case2_cut_cost(stats, members)
+    )
+    case3 = simulate_workload(
+        catalog, workload, members, cache_everything=False
+    )
+    assert case3.total_io_mb == pytest.approx(
+        case3_cut_cost(stats, members)
+    )
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=5),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_constrained_greedy_vs_exhaustive_on_random_instances(
+    seed, num_queries, budget_fraction
+):
+    catalog, workload = _random_instance(seed, num_queries)
+    stats = WorkloadNodeStats(catalog, workload)
+    total_internal_size = sum(
+        catalog.size_mb(node_id)
+        for node_id in catalog.hierarchy.internal_ids_postorder()
+    )
+    budget = budget_fraction * total_internal_size
+    optimum = exhaustive_constrained_optimum(
+        catalog, workload, budget, stats
+    )
+    greedy = one_cut_selection(catalog, workload, budget, stats)
+    multi = k_cut_selection(catalog, workload, budget, 10, stats)
+    # Exhaustive is a true lower bound; greedy cuts respect budget.
+    assert greedy.cost >= optimum.cost - 1e-9
+    assert multi.cost >= optimum.cost - 1e-9
+    assert multi.cost <= greedy.cost + 1e-9
+    for result in (greedy, multi):
+        used = sum(
+            catalog.size_mb(member)
+            for member in result.cut.node_ids
+        )
+        assert used <= budget + 1e-9
+        Cut(catalog.hierarchy, result.cut.node_ids)  # antichain
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_multi_range_queries_flow_through_every_algorithm(
+    seed, num_queries
+):
+    """Queries with several disjoint ranges keep every invariant."""
+    catalog, workload = _random_instance(seed, num_queries)
+    stats = WorkloadNodeStats(catalog, workload)
+    # Case 1 per query: DP cost == plan predicted cost, cut complete.
+    for query in workload:
+        selection = hybrid_cut(catalog, query)
+        plan = build_query_plan(
+            catalog,
+            query,
+            selection.cut.node_ids,
+            labels=selection.labels,
+        )
+        assert plan.predicted_cost_mb == pytest.approx(
+            selection.cost
+        )
+    # Case 2: DP == evaluator and <= leaf-only.
+    result = select_cut_multi(catalog, workload, stats)
+    assert result.cost == pytest.approx(
+        case2_cut_cost(stats, result.cut.node_ids)
+    )
+    assert result.cost <= stats.leaf_only_cost_case2() + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_executed_io_matches_prediction_on_random_materialized(
+    seed
+):
+    """Plans over real bitmaps incur exactly the predicted bytes."""
+    from repro.core.executor import QueryExecutor, scan_answer
+    from repro.storage.cache import BufferPool
+    from repro.storage.catalog import MaterializedNodeCatalog
+    from repro.workload.datagen import sample_column
+
+    rng = np.random.default_rng(seed)
+    hierarchy = Hierarchy.from_nested(
+        [int(rng.integers(2, 5)) for _ in range(3)]
+    )
+    num_leaves = hierarchy.num_leaves
+    probabilities = rng.dirichlet(np.ones(num_leaves))
+    column = sample_column(probabilities, 3000, seed=seed)
+    catalog = MaterializedNodeCatalog(hierarchy, column)
+    start = int(rng.integers(0, num_leaves))
+    end = int(rng.integers(start, num_leaves))
+    query = RangeQuery([(start, end)])
+    selection = hybrid_cut(catalog, query)
+    plan = build_query_plan(
+        catalog,
+        query,
+        selection.cut.node_ids,
+        labels=selection.labels,
+    )
+    executor = QueryExecutor(
+        catalog, BufferPool(catalog.store, budget_bytes=0)
+    )
+    result = executor.execute_plan(plan)
+    assert result.answer == scan_answer(column, query)
+    assert result.io_mb == pytest.approx(plan.predicted_cost_mb)

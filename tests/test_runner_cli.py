@@ -1,0 +1,54 @@
+"""Tests for the hcs-experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import main, run_experiment
+
+
+class TestMain:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "table-cuts" in out
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["table-cuts"]) == 0
+        out = capsys.readouterr().out
+        assert "1185922" in out
+        assert "completed in" in out
+
+    def test_fast_flag(self, capsys):
+        assert main(["fig4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "node-label distribution" in out
+
+    def test_runs_override(self, capsys):
+        assert main(["fig4", "--runs", "2"]) == 0
+        assert "runs=2" in capsys.readouterr().out
+
+    def test_unknown_name_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+
+class TestRunExperiment:
+    def test_runs_parameter_ignored_when_unsupported(self):
+        # fig11 has no `runs` parameter; the override must not break it.
+        result = run_experiment("table-cuts", runs=3)
+        assert result.rows
+
+    def test_fast_parameters_do_not_leak(self):
+        # _FAST_OVERRIDES must not be mutated by the runs override.
+        run_experiment("fig4", fast=True, runs=1)
+        from repro.experiments.runner import _FAST_OVERRIDES
+
+        assert "runs" not in _FAST_OVERRIDES["fig4"] or (
+            _FAST_OVERRIDES["fig4"]["runs"] == 1
+        )

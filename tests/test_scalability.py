@@ -1,0 +1,52 @@
+"""Scalability guardrails (beyond the paper's largest settings).
+
+These keep the vectorized statistics and the linear-time DPs honest:
+if someone reintroduces a quadratic loop, these tests get slow/fail
+long before the benchmarks are run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.multi import select_cut_multi
+from repro.core.single import hybrid_cut
+from repro.experiments.common import catalog_for
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery
+
+
+class TestLargeHierarchies:
+    def test_single_query_on_10k_leaves(self):
+        catalog = catalog_for("tpch", 10_000, height=4)
+        query = RangeQuery([(500, 8_999)])
+        started = time.perf_counter()
+        result = hybrid_cut(catalog, query)
+        elapsed = time.perf_counter() - started
+        assert result.cut.is_complete
+        assert elapsed < 2.0
+
+    def test_workload_on_5k_leaves(self):
+        catalog = catalog_for("tpch", 5_000, height=4)
+        workload = fraction_workload(5_000, 0.5, 100, seed=0)
+        started = time.perf_counter()
+        result = select_cut_multi(catalog, workload)
+        elapsed = time.perf_counter() - started
+        assert result.cost > 0
+        assert elapsed < 5.0
+
+    def test_cost_scales_sublinearly_with_hierarchy_size(self):
+        """Bigger hierarchies give finer cuts, never worse cost than a
+        coarser hierarchy of the same domain distribution."""
+        costs = {}
+        for num_leaves in (100, 1000):
+            catalog = catalog_for("uniform", num_leaves, height=4)
+            fraction_lo = int(0.2 * num_leaves)
+            fraction_hi = int(0.7 * num_leaves) - 1
+            query = RangeQuery([(fraction_lo, fraction_hi)])
+            costs[num_leaves] = hybrid_cut(catalog, query).cost
+        # Same logical half-domain query: the fine hierarchy can only
+        # help (more internal nodes to choose from).
+        assert costs[1000] <= costs[100] * 3.0

@@ -1,0 +1,74 @@
+"""Tests for the WAH on-disk serialization format."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.bitmap.serialization import (
+    FORMAT_VERSION,
+    HEADER_SIZE_BYTES,
+    MAGIC,
+    deserialize_wah,
+    serialize_wah,
+)
+from repro.bitmap.wah import WahBitmap
+from repro.errors import BitmapDecodeError
+
+
+def test_roundtrip_preserves_bitmap():
+    bitmap = WahBitmap.from_positions([0, 100, 5000, 99_999], 100_000)
+    assert deserialize_wah(serialize_wah(bitmap)) == bitmap
+
+
+def test_serialized_size_matches_property():
+    bitmap = WahBitmap.from_positions(range(0, 500, 7), 1000)
+    payload = serialize_wah(bitmap)
+    assert len(payload) == bitmap.serialized_size_bytes
+    assert len(payload) == HEADER_SIZE_BYTES + 4 * bitmap.num_words
+
+
+def test_header_layout():
+    bitmap = WahBitmap.zeros(62)
+    payload = serialize_wah(bitmap)
+    magic, version, _reserved, num_bits, num_words = struct.unpack_from(
+        "<4sHHQQ", payload
+    )
+    assert magic == MAGIC
+    assert version == FORMAT_VERSION
+    assert num_bits == 62
+    assert num_words == bitmap.num_words
+
+
+def test_empty_bitmap_roundtrip():
+    bitmap = WahBitmap.zeros(0)
+    assert deserialize_wah(serialize_wah(bitmap)) == bitmap
+
+
+class TestMalformedPayloads:
+    def test_truncated_header(self):
+        with pytest.raises(BitmapDecodeError):
+            deserialize_wah(b"WA")
+
+    def test_bad_magic(self):
+        payload = bytearray(serialize_wah(WahBitmap.zeros(10)))
+        payload[:4] = b"NOPE"
+        with pytest.raises(BitmapDecodeError):
+            deserialize_wah(bytes(payload))
+
+    def test_bad_version(self):
+        payload = bytearray(serialize_wah(WahBitmap.zeros(10)))
+        payload[4:6] = struct.pack("<H", 99)
+        with pytest.raises(BitmapDecodeError):
+            deserialize_wah(bytes(payload))
+
+    def test_truncated_words(self):
+        payload = serialize_wah(WahBitmap.from_positions([1, 40], 62))
+        with pytest.raises(BitmapDecodeError):
+            deserialize_wah(payload[:-1])
+
+    def test_trailing_garbage(self):
+        payload = serialize_wah(WahBitmap.zeros(10)) + b"\x00"
+        with pytest.raises(BitmapDecodeError):
+            deserialize_wah(payload)

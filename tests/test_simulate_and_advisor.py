@@ -1,0 +1,278 @@
+"""Tests for the workload simulator, the materialization advisor, the
+restricted Alg. 3 DP, and plan explanation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advisor import recommend_materialization
+from repro.core.multi import select_cut_multi
+from repro.core.opnodes import build_query_plan, leaf_only_plan
+from repro.core.simulate import simulate_workload
+from repro.core.single import hybrid_cut
+from repro.core.workload_cost import (
+    WorkloadNodeStats,
+    case2_cut_cost,
+    case3_cut_cost,
+)
+from repro.storage.diskmodel import DiskProfile
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery, Workload
+
+
+@pytest.fixture
+def workload100():
+    return fraction_workload(100, 0.5, 15, seed=1)
+
+
+@pytest.fixture
+def stats100(tpch_catalog100, workload100):
+    return WorkloadNodeStats(tpch_catalog100, workload100)
+
+
+class TestSimulator:
+    def test_case2_total_matches_evaluator(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        cut = select_cut_multi(
+            tpch_catalog100, workload100, stats100
+        ).cut
+        simulation = simulate_workload(
+            tpch_catalog100,
+            workload100,
+            cut.node_ids,
+            cache_everything=True,
+        )
+        assert simulation.total_io_mb == pytest.approx(
+            case2_cut_cost(stats100, cut.node_ids)
+        )
+
+    def test_case3_total_matches_evaluator(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        cut = select_cut_multi(
+            tpch_catalog100, workload100, stats100
+        ).cut
+        simulation = simulate_workload(
+            tpch_catalog100,
+            workload100,
+            cut.node_ids,
+            cache_everything=False,
+        )
+        assert simulation.total_io_mb == pytest.approx(
+            case3_cut_cost(stats100, cut.node_ids)
+        )
+
+    def test_empty_cut_simulation(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        simulation = simulate_workload(
+            tpch_catalog100, workload100, (), cache_everything=True
+        )
+        assert simulation.pin_io_mb == 0.0
+        assert simulation.total_io_mb == pytest.approx(
+            stats100.leaf_only_cost_case2()
+        )
+
+    def test_traces_cover_every_query(
+        self, tpch_catalog100, workload100
+    ):
+        simulation = simulate_workload(
+            tpch_catalog100, workload100, ()
+        )
+        assert len(simulation.traces) == len(workload100)
+        assert simulation.traces[0].label == workload100[0].label
+
+    def test_estimated_seconds_positive_and_device_ordered(
+        self, tpch_catalog100, workload100
+    ):
+        simulation = simulate_workload(
+            tpch_catalog100, workload100, ()
+        )
+        sata = simulation.estimated_seconds(DiskProfile.sata_7200())
+        nvme = simulation.estimated_seconds(DiskProfile.nvme())
+        assert 0 < nvme < sata
+
+    def test_to_text_contains_totals(
+        self, tpch_catalog100, workload100
+    ):
+        simulation = simulate_workload(
+            tpch_catalog100, workload100, ()
+        )
+        text = simulation.to_text()
+        assert "total" in text
+        assert "pin cut" in text
+
+
+class TestRestrictedDP:
+    def test_empty_allowed_set_is_leaf_only(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        result = select_cut_multi(
+            tpch_catalog100,
+            workload100,
+            stats100,
+            allowed_node_ids=set(),
+        )
+        assert result.cost == pytest.approx(
+            stats100.leaf_only_cost_case2()
+        )
+
+    def test_full_allowed_set_matches_unrestricted(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        everything = set(
+            tpch_catalog100.hierarchy.internal_ids_postorder()
+        )
+        restricted = select_cut_multi(
+            tpch_catalog100,
+            workload100,
+            stats100,
+            allowed_node_ids=everything,
+        )
+        unrestricted = select_cut_multi(
+            tpch_catalog100, workload100, stats100
+        )
+        assert restricted.cost == pytest.approx(unrestricted.cost)
+
+    def test_restriction_is_monotone(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        unrestricted = select_cut_multi(
+            tpch_catalog100, workload100, stats100
+        )
+        some = set(
+            list(
+                tpch_catalog100.hierarchy.internal_ids_postorder()
+            )[:5]
+        )
+        restricted = select_cut_multi(
+            tpch_catalog100,
+            workload100,
+            stats100,
+            allowed_node_ids=some,
+        )
+        assert restricted.cost >= unrestricted.cost - 1e-9
+        assert (
+            restricted.cost
+            <= stats100.leaf_only_cost_case2() + 1e-9
+        )
+
+
+class TestAdvisor:
+    def test_budget_respected(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        plan = recommend_materialization(
+            tpch_catalog100, workload100, 100.0, stats100
+        )
+        used = sum(
+            tpch_catalog100.size_mb(node_id)
+            for node_id in plan.node_ids
+        )
+        assert used <= 100.0 + 1e-9
+        assert plan.disk_mb == pytest.approx(used)
+
+    def test_zero_budget_keeps_leaf_only_cost(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        plan = recommend_materialization(
+            tpch_catalog100, workload100, 0.0, stats100
+        )
+        # Only zero-size bitmaps can be picked for free.
+        assert plan.disk_mb == pytest.approx(0.0)
+        assert plan.optimized_cost_mb <= plan.baseline_cost_mb
+
+    def test_savings_never_negative_and_monotone_in_budget(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        costs = []
+        for budget in (0.0, 60.0, 200.0, 10_000.0):
+            plan = recommend_materialization(
+                tpch_catalog100, workload100, budget, stats100
+            )
+            assert plan.saving_mb >= -1e-9
+            assert 0.0 <= plan.saving_fraction <= 1.0
+            costs.append(plan.optimized_cost_mb)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_huge_budget_reaches_unrestricted_optimum(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        plan = recommend_materialization(
+            tpch_catalog100, workload100, 1e9, stats100
+        )
+        optimum = select_cut_multi(
+            tpch_catalog100, workload100, stats100
+        ).cost
+        # Greedy marginal picks can stop slightly short of optimal,
+        # but in practice reach it on these instances.
+        assert plan.optimized_cost_mb <= optimum * 1.05 + 1e-9
+
+    def test_max_picks_cap(
+        self, tpch_catalog100, workload100, stats100
+    ):
+        plan = recommend_materialization(
+            tpch_catalog100,
+            workload100,
+            1e9,
+            stats100,
+            max_picks=2,
+        )
+        assert len(plan.node_ids) <= 2
+
+    def test_negative_budget_rejected(
+        self, tpch_catalog100, workload100
+    ):
+        with pytest.raises(ValueError):
+            recommend_materialization(
+                tpch_catalog100, workload100, -1.0
+            )
+
+
+class TestPlanExplain:
+    def test_explain_names_paper_example(
+        self, us_hierarchy, paper_cost_model
+    ):
+        import numpy as np
+
+        from repro.storage.catalog import ModeledNodeCatalog
+
+        catalog = ModeledNodeCatalog(
+            us_hierarchy,
+            np.full(6, 1 / 6),
+            paper_cost_model,
+            150_000_000,
+        )
+        query = RangeQuery([(0, us_hierarchy.leaf_value("PHX"))])
+        root = us_hierarchy.root_id
+        from repro.core.costs import StrategyLabel
+
+        plan = build_query_plan(
+            catalog,
+            query,
+            [root],
+            labels={root: StrategyLabel.EXCLUSIVE},
+        )
+        text = plan.explain(catalog)
+        assert "U.S. ANDNOT" in text
+        assert "Tempe" in text and "Tucson" in text
+        assert "predicted IO" in text
+
+    def test_explain_without_catalog(self, tpch_catalog100):
+        query = RangeQuery([(0, 9)])
+        plan = leaf_only_plan(tpch_catalog100, query)
+        text = plan.explain()
+        assert "leaf0" in text
+        assert "more" in text  # long leaf lists are elided
+
+    def test_explain_complete_atom(self, tpch_catalog100):
+        query = RangeQuery([(0, 99)])
+        selection = hybrid_cut(tpch_catalog100, query)
+        plan = build_query_plan(
+            tpch_catalog100,
+            query,
+            selection.cut.node_ids,
+            labels=selection.labels,
+        )
+        assert "[complete " in plan.explain(tpch_catalog100)

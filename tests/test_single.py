@@ -1,0 +1,199 @@
+"""Tests for the Case-1 cut-selection algorithms (Alg. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (
+    exhaustive_single_optimum,
+    leaf_only_single_cost,
+)
+from repro.core.single import (
+    exclusive_cut,
+    hybrid_cut,
+    inclusive_cut,
+    select_cut_single,
+)
+from repro.core.workload_cost import single_query_cut_cost
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.catalog import ModeledNodeCatalog
+from repro.storage.costmodel import CostModel
+from repro.workload.query import RangeQuery
+
+
+class TestBasicProperties:
+    def test_returns_complete_valid_cut(self, tpch_catalog100):
+        result = hybrid_cut(tpch_catalog100, RangeQuery([(10, 40)]))
+        assert result.cut.is_complete
+
+    def test_hybrid_never_worse_than_pure_strategies(
+        self, tpch_catalog100
+    ):
+        for spec in [(0, 9), (20, 70), (5, 94), (0, 99), (50, 50)]:
+            query = RangeQuery([spec])
+            hybrid = hybrid_cut(tpch_catalog100, query).cost
+            inclusive = inclusive_cut(tpch_catalog100, query).cost
+            exclusive = exclusive_cut(tpch_catalog100, query).cost
+            assert hybrid <= inclusive + 1e-9
+            assert hybrid <= exclusive + 1e-9
+
+    def test_all_strategies_beat_or_match_leaf_only(
+        self, tpch_catalog100
+    ):
+        for spec in [(0, 9), (20, 70), (5, 94)]:
+            query = RangeQuery([spec])
+            baseline = leaf_only_single_cost(tpch_catalog100, query)
+            assert (
+                hybrid_cut(tpch_catalog100, query).cost
+                <= baseline + 1e-9
+            )
+            assert (
+                inclusive_cut(tpch_catalog100, query).cost
+                <= baseline + 1e-9
+            )
+
+    def test_dp_cost_matches_evaluator(self, tpch_catalog100):
+        """The DP objective equals the shared Eq. 1 cut evaluator."""
+        for spec in [(0, 9), (20, 70), (5, 94), (0, 99)]:
+            query = RangeQuery([spec])
+            result = hybrid_cut(tpch_catalog100, query)
+            evaluated = single_query_cut_cost(
+                tpch_catalog100, query, result.cut.node_ids
+            )
+            assert result.cost == pytest.approx(evaluated)
+
+    def test_invalid_strategy_rejected(self, tpch_catalog100):
+        with pytest.raises(ValueError):
+            select_cut_single(
+                tpch_catalog100, RangeQuery([(0, 1)]), "bogus"
+            )
+
+    def test_multi_spec_query(self, tpch_catalog100):
+        query = RangeQuery([(0, 9), (30, 44), (80, 99)])
+        result = hybrid_cut(tpch_catalog100, query)
+        assert result.cut.is_complete
+        assert result.cost <= leaf_only_single_cost(
+            tpch_catalog100, query
+        )
+
+
+class TestOptimality:
+    """H-CS must equal the exhaustive optimum (the paper's Fig. 3)."""
+
+    def test_hybrid_matches_exhaustive_on_paper_hierarchy(
+        self, tpch_catalog100
+    ):
+        for spec in [(0, 9), (10, 59), (5, 94), (0, 99), (37, 42)]:
+            query = RangeQuery([spec])
+            hybrid = hybrid_cut(tpch_catalog100, query).cost
+            optimum = exhaustive_single_optimum(
+                tpch_catalog100, query
+            ).cost
+            assert hybrid == pytest.approx(optimum)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hybrid_matches_exhaustive_on_random_instances(
+        self, shape_seed, query_seed
+    ):
+        rng = np.random.default_rng(shape_seed)
+
+        def random_spec(depth):
+            if depth == 0:
+                return int(rng.integers(1, 5))
+            width = int(rng.integers(1, 4))
+            return [random_spec(depth - 1) for _ in range(width)]
+
+        hierarchy = Hierarchy.from_nested(
+            random_spec(int(rng.integers(1, 4)))
+        )
+        num_leaves = hierarchy.num_leaves
+        probabilities = rng.dirichlet(np.ones(num_leaves))
+        catalog = ModeledNodeCatalog(
+            hierarchy,
+            probabilities,
+            CostModel.paper_2014(),
+            150_000_000,
+        )
+        qrng = np.random.default_rng(query_seed)
+        start = int(qrng.integers(0, num_leaves))
+        end = int(qrng.integers(start, num_leaves))
+        query = RangeQuery([(start, end)])
+        hybrid = hybrid_cut(catalog, query).cost
+        optimum = exhaustive_single_optimum(catalog, query).cost
+        assert hybrid == pytest.approx(optimum)
+
+
+class TestExpectedRegimes:
+    def test_exclusive_wins_for_large_ranges(self, tpch_catalog100):
+        """§4.1: the exclusive strategy is more efficient when the
+        query ranges are large."""
+        query = RangeQuery([(2, 97)])
+        inclusive = inclusive_cut(tpch_catalog100, query).cost
+        exclusive = exclusive_cut(tpch_catalog100, query).cost
+        assert exclusive < inclusive
+
+    def test_full_domain_query_reads_root_only(
+        self, tpch_catalog100
+    ):
+        query = RangeQuery([(0, 99)])
+        result = hybrid_cut(tpch_catalog100, query)
+        root = tpch_catalog100.hierarchy.root_id
+        # Density-1 root compresses to nothing: the whole query is
+        # answered by one free read.
+        assert result.cost == pytest.approx(0.0)
+        assert set(result.cut.node_ids) == {root}
+
+    def test_single_leaf_query_prefers_leaf(self, tpch_catalog100):
+        query = RangeQuery([(50, 50)])
+        result = hybrid_cut(tpch_catalog100, query)
+        leaf_id = tpch_catalog100.hierarchy.leaf_node_id(50)
+        assert result.cost == pytest.approx(
+            tpch_catalog100.read_cost_mb(leaf_id)
+        )
+
+
+class TestLabels:
+    def test_label_counts_sum_to_cut_size(self, tpch_catalog100):
+        result = hybrid_cut(tpch_catalog100, RangeQuery([(5, 94)]))
+        counts = result.label_counts()
+        assert sum(counts.values()) == len(result.cut)
+
+    def test_pure_strategies_carry_matching_labels(
+        self, tpch_catalog100
+    ):
+        from repro.core.costs import StrategyLabel
+
+        query = RangeQuery([(5, 94)])
+        inclusive = inclusive_cut(tpch_catalog100, query)
+        assert all(
+            label
+            in (
+                StrategyLabel.INCLUSIVE,
+                StrategyLabel.COMPLETE,
+                StrategyLabel.EMPTY,
+            )
+            for label in inclusive.labels.values()
+        )
+        assert StrategyLabel.EXCLUSIVE not in set(
+            inclusive.labels.values()
+        )
+        exclusive = exclusive_cut(tpch_catalog100, query)
+        assert all(
+            label
+            in (
+                StrategyLabel.EXCLUSIVE,
+                StrategyLabel.COMPLETE,
+                StrategyLabel.EMPTY,
+            )
+            for label in exclusive.labels.values()
+        )
+        assert StrategyLabel.INCLUSIVE not in set(
+            exclusive.labels.values()
+        )

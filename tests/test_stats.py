@@ -1,0 +1,89 @@
+"""Tests for per-node query coverage statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import NodeClass, QueryNodeStats
+from repro.workload.query import RangeQuery
+
+
+@pytest.fixture
+def stats(small_catalog):
+    # 12-leaf hierarchy [[2,2],[3,2],[3]]; query over leaves 2..8.
+    return QueryNodeStats(small_catalog, RangeQuery([(2, 8)]))
+
+
+class TestCounts:
+    def test_counts_match_brute_force(self, small_catalog):
+        query = RangeQuery([(1, 4), (7, 9)])
+        stats = QueryNodeStats(small_catalog, query)
+        wanted = set(query.range_leaves())
+        for node in small_catalog.hierarchy:
+            leaves = set(
+                range(node.leaf_lo, node.leaf_hi + 1)
+            )
+            assert stats.range_count[node.node_id] == len(
+                leaves & wanted
+            )
+            assert stats.span_count[node.node_id] == len(leaves)
+
+    def test_total_range_cost_is_leaf_only_cost(self, small_catalog):
+        query = RangeQuery([(0, 11)])
+        stats = QueryNodeStats(small_catalog, query)
+        full = small_catalog.leaf_range_cost(0, 11)
+        assert stats.total_range_cost == pytest.approx(full)
+
+
+class TestCosts:
+    def test_range_leaf_cost_matches_brute_force(self, small_catalog):
+        query = RangeQuery([(2, 8)])
+        stats = QueryNodeStats(small_catalog, query)
+        hierarchy = small_catalog.hierarchy
+        leaf_ids = hierarchy.leaf_ids()
+        for node in hierarchy:
+            expected = sum(
+                small_catalog.read_cost_mb(leaf_ids[value])
+                for value in range(node.leaf_lo, node.leaf_hi + 1)
+                if 2 <= value <= 8
+            )
+            assert stats.range_leaf_cost[
+                node.node_id
+            ] == pytest.approx(expected)
+
+    def test_non_range_cost_complements(self, stats, small_catalog):
+        for node in small_catalog.hierarchy:
+            node_id = node.node_id
+            assert stats.non_range_leaf_cost(node_id) == pytest.approx(
+                stats.total_leaf_cost[node_id]
+                - stats.range_leaf_cost[node_id]
+            )
+
+
+class TestClassification:
+    def test_classes(self, stats, small_catalog):
+        hierarchy = small_catalog.hierarchy
+        root = hierarchy.root_id
+        assert stats.classify(root) is NodeClass.PARTIAL
+        # First root child covers leaves 0..3 -> partial (2,3 in range)
+        first, second, third = hierarchy.internal_children(root)
+        assert stats.classify(first) is NodeClass.PARTIAL
+        # Second child covers 4..8 -> complete
+        assert stats.classify(second) is NodeClass.COMPLETE
+        # Third child covers 9..11 -> empty
+        assert stats.classify(third) is NodeClass.EMPTY
+        assert stats.is_empty(third)
+        assert stats.is_complete(second)
+        assert not stats.is_complete(third)
+
+    def test_leaf_value_lists(self, stats, small_catalog):
+        hierarchy = small_catalog.hierarchy
+        first = hierarchy.internal_children(hierarchy.root_id)[0]
+        assert stats.range_leaf_values(first) == [2, 3]
+        assert stats.non_range_leaf_values(first) == [0, 1]
+
+    def test_multi_spec_leaf_values(self, small_catalog):
+        query = RangeQuery([(0, 1), (3, 3)])
+        stats = QueryNodeStats(small_catalog, query)
+        root = small_catalog.hierarchy.root_id
+        assert stats.range_leaf_values(root) == [0, 1, 3]

@@ -1,0 +1,127 @@
+"""Tests for the Table facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.table import Table
+from repro.errors import WorkloadError
+from repro.hierarchy.tree import Hierarchy
+from repro.workload.datagen import sample_column
+from repro.workload.generator import fraction_workload
+from repro.workload.query import RangeQuery
+
+
+@pytest.fixture(scope="module")
+def table_setup():
+    hierarchy = Hierarchy.from_nested([[4, 4], [4, 4]])
+    rng = np.random.default_rng(2)
+    probabilities = rng.dirichlet(np.ones(hierarchy.num_leaves))
+    column = sample_column(probabilities, 20_000, seed=3)
+    amounts = rng.uniform(1.0, 10.0, size=column.size)
+    return hierarchy, column, amounts
+
+
+@pytest.fixture
+def table(table_setup) -> Table:
+    hierarchy, column, amounts = table_setup
+    return Table(hierarchy, column, measures={"amount": amounts})
+
+
+class TestSelection:
+    def test_select_matches_scan(self, table, table_setup):
+        _hierarchy, column, _amounts = table_setup
+        rows = table.select((3, 9))
+        expected = np.flatnonzero(
+            (column >= 3) & (column <= 9)
+        )
+        np.testing.assert_array_equal(rows, expected)
+
+    def test_count(self, table, table_setup):
+        _hierarchy, column, _amounts = table_setup
+        assert table.count((0, 5)) == (
+            (column >= 0) & (column <= 5)
+        ).sum()
+
+    def test_multi_range_and_query_inputs(self, table, table_setup):
+        _hierarchy, column, _amounts = table_setup
+        by_list = table.count([(0, 2), (10, 12)])
+        by_query = table.count(RangeQuery([(0, 2), (10, 12)]))
+        expected = (
+            ((column >= 0) & (column <= 2))
+            | ((column >= 10) & (column <= 12))
+        ).sum()
+        assert by_list == by_query == expected
+
+
+class TestAggregation:
+    def test_sum_matches_numpy(self, table, table_setup):
+        _hierarchy, column, amounts = table_setup
+        total = table.aggregate((2, 11), measure="amount")
+        mask = (column >= 2) & (column <= 11)
+        assert total == pytest.approx(amounts[mask].sum())
+
+    def test_unknown_measure(self, table):
+        with pytest.raises(WorkloadError):
+            table.aggregate((0, 1), measure="ghost")
+
+    def test_measure_shape_validated(self, table_setup):
+        hierarchy, column, _amounts = table_setup
+        with pytest.raises(WorkloadError):
+            Table(
+                hierarchy,
+                column,
+                measures={"bad": np.zeros(3)},
+            )
+
+
+class TestOptimization:
+    def test_optimize_reduces_io(self, table_setup):
+        hierarchy, column, amounts = table_setup
+        workload = fraction_workload(
+            hierarchy.num_leaves, 0.5, 8, seed=5
+        )
+
+        naive = Table(hierarchy, column)
+        for query in workload:
+            naive.count(query)
+        naive_bytes = naive.bytes_read
+
+        tuned = Table(hierarchy, column)
+        tuned.optimize_for(workload)
+        for query in workload:
+            tuned.count(query)
+        assert tuned.bytes_read <= naive_bytes
+
+    def test_optimize_with_budget_respects_pool(self, table_setup):
+        hierarchy, column, _amounts = table_setup
+        workload = fraction_workload(
+            hierarchy.num_leaves, 0.5, 8, seed=5
+        )
+        table = Table(hierarchy, column)
+        members = table.optimize_for(
+            workload, memory_budget_mb=0.05
+        )
+        assert table.cut == members
+        for query in workload:
+            table.count(query)  # must not raise BudgetExceeded
+
+    def test_results_unchanged_by_optimization(self, table_setup):
+        hierarchy, column, amounts = table_setup
+        workload = fraction_workload(
+            hierarchy.num_leaves, 0.9, 5, seed=6
+        )
+        plain = Table(hierarchy, column)
+        tuned = Table(hierarchy, column)
+        tuned.optimize_for(workload)
+        for query in workload:
+            np.testing.assert_array_equal(
+                plain.select(query), tuned.select(query)
+            )
+
+    def test_io_report_and_repr(self, table):
+        table.count((0, 3))
+        report = table.io_report()
+        assert "MB read" in report
+        assert "rows=20000" in repr(table)

@@ -1,0 +1,188 @@
+"""Tests for static plan verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import StrategyLabel
+from repro.core.opnodes import (
+    PlanAtom,
+    QueryPlan,
+    build_query_plan,
+    leaf_only_plan,
+)
+from repro.core.single import (
+    exclusive_cut,
+    hybrid_cut,
+    inclusive_cut,
+)
+from repro.core.verify import PlanVerificationError, verify_plan
+from repro.workload.query import RangeQuery
+
+
+class TestSoundPlans:
+    @pytest.mark.parametrize(
+        "algorithm", [inclusive_cut, exclusive_cut, hybrid_cut]
+    )
+    @pytest.mark.parametrize(
+        "spec", [(0, 9), (10, 59), (5, 94), (0, 99), (42, 42)]
+    )
+    def test_selected_plans_verify(
+        self, tpch_catalog100, algorithm, spec
+    ):
+        query = RangeQuery([spec])
+        selection = algorithm(tpch_catalog100, query)
+        plan = build_query_plan(
+            tpch_catalog100,
+            query,
+            selection.cut.node_ids,
+            labels=selection.labels,
+        )
+        verify_plan(plan, tpch_catalog100.hierarchy)
+
+    def test_leaf_only_plan_verifies(self, tpch_catalog100):
+        plan = leaf_only_plan(
+            tpch_catalog100, RangeQuery([(5, 20), (40, 41)])
+        )
+        verify_plan(plan, tpch_catalog100.hierarchy)
+
+    def test_incomplete_cut_plans_verify(self, tpch_catalog100):
+        hierarchy = tpch_catalog100.hierarchy
+        member = hierarchy.internal_children(hierarchy.root_id)[0]
+        plan = build_query_plan(
+            tpch_catalog100, RangeQuery([(0, 70)]), [member]
+        )
+        verify_plan(plan, hierarchy)
+
+    @given(
+        st.integers(0, 99),
+        st.integers(0, 99),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_cached_plans_verify(self, a, b, seed):
+        from repro.core.baselines import sample_antichain
+        from repro.hierarchy.tree import paper_hierarchy
+        from repro.storage.catalog import ModeledNodeCatalog
+        from repro.storage.costmodel import CostModel
+        from repro.workload.datagen import (
+            tpch_acctbal_leaf_probabilities,
+        )
+
+        catalog = ModeledNodeCatalog(
+            paper_hierarchy(100),
+            tpch_acctbal_leaf_probabilities(100),
+            CostModel.paper_2014(),
+            150_000_000,
+        )
+        query = RangeQuery([(min(a, b), max(a, b))])
+        rng = np.random.default_rng(seed)
+        members = sample_antichain(catalog.hierarchy, rng)
+        plan = build_query_plan(
+            catalog, query, members, node_is_cached=True
+        )
+        verify_plan(plan, catalog.hierarchy)
+
+
+class TestExecutorIntegration:
+    def test_verifying_executor_accepts_sound_plans(
+        self, materialized_setup
+    ):
+        from repro.core.executor import QueryExecutor, scan_answer
+
+        _hierarchy, column, catalog = materialized_setup
+        executor = QueryExecutor(catalog, verify=True)
+        query = RangeQuery([(2, 11)])
+        result = executor.execute_plan(
+            leaf_only_plan(catalog, query)
+        )
+        assert result.answer == scan_answer(column, query)
+
+    def test_verifying_executor_rejects_broken_plans(
+        self, materialized_setup
+    ):
+        from repro.core.executor import QueryExecutor
+
+        _hierarchy, _column, catalog = materialized_setup
+        executor = QueryExecutor(catalog, verify=True)
+        query = RangeQuery([(0, 5)])
+        broken = QueryPlan(
+            query=query,
+            atoms=(
+                PlanAtom(StrategyLabel.INCLUSIVE, None, (0, 1)),
+            ),
+            operation_node_ids=frozenset(),
+            predicted_cost_mb=0.0,
+        )
+        with pytest.raises(PlanVerificationError):
+            executor.execute_plan(broken)
+
+
+class TestDefectDetection:
+    def _plan(self, query, atoms):
+        return QueryPlan(
+            query=query,
+            atoms=tuple(atoms),
+            operation_node_ids=frozenset(),
+            predicted_cost_mb=0.0,
+        )
+
+    def test_missing_leaves_detected(self, tpch_catalog100):
+        query = RangeQuery([(0, 5)])
+        plan = self._plan(
+            query,
+            [PlanAtom(StrategyLabel.INCLUSIVE, None, (0, 1, 2))],
+        )
+        with pytest.raises(PlanVerificationError, match="misses"):
+            verify_plan(plan, tpch_catalog100.hierarchy)
+
+    def test_extra_leaves_detected(self, tpch_catalog100):
+        query = RangeQuery([(0, 2)])
+        plan = self._plan(
+            query,
+            [
+                PlanAtom(
+                    StrategyLabel.INCLUSIVE, None, (0, 1, 2, 3)
+                )
+            ],
+        )
+        with pytest.raises(
+            PlanVerificationError, match="non-range"
+        ):
+            verify_plan(plan, tpch_catalog100.hierarchy)
+
+    def test_duplicate_production_detected(self, tpch_catalog100):
+        query = RangeQuery([(0, 4)])
+        hierarchy = tpch_catalog100.hierarchy
+        leaf_parent = hierarchy.node(
+            hierarchy.leaf_node_id(0)
+        ).parent_id
+        plan = self._plan(
+            query,
+            [
+                PlanAtom(StrategyLabel.COMPLETE, leaf_parent, ()),
+                PlanAtom(StrategyLabel.INCLUSIVE, None, (0,)),
+            ],
+        )
+        with pytest.raises(
+            PlanVerificationError, match="more than one atom"
+        ):
+            verify_plan(plan, tpch_catalog100.hierarchy)
+
+    def test_malformed_atoms_detected(self, tpch_catalog100):
+        query = RangeQuery([(0, 4)])
+        plan = self._plan(
+            query, [PlanAtom(StrategyLabel.COMPLETE, None, ())]
+        )
+        with pytest.raises(PlanVerificationError):
+            verify_plan(plan, tpch_catalog100.hierarchy)
+        plan = self._plan(
+            query, [PlanAtom(StrategyLabel.EMPTY, None, ())]
+        )
+        with pytest.raises(
+            PlanVerificationError, match="unexecutable"
+        ):
+            verify_plan(plan, tpch_catalog100.hierarchy)

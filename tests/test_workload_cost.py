@@ -1,0 +1,164 @@
+"""Tests for the workload-level cost evaluators (Eqs. 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload_cost import (
+    WorkloadNodeStats,
+    case2_cut_cost,
+    case3_cut_cost,
+    single_query_cut_cost,
+)
+from repro.workload.query import RangeQuery, Workload
+
+
+@pytest.fixture
+def workload():
+    return Workload(
+        [
+            RangeQuery([(0, 5)]),
+            RangeQuery([(3, 9)]),
+            RangeQuery([(8, 11)]),
+        ]
+    )
+
+
+@pytest.fixture
+def wstats(small_catalog, workload):
+    return WorkloadNodeStats(small_catalog, workload)
+
+
+class TestWorkloadNodeStats:
+    def test_union_query_merges_specs(self, wstats):
+        assert wstats.union_query.specs[0].start == 0
+        assert wstats.union_query.specs[0].end == 11
+        assert len(wstats.union_query.specs) == 1
+
+    def test_sum_range_cost_adds_per_query(
+        self, small_catalog, workload, wstats
+    ):
+        root = small_catalog.hierarchy.root_id
+        expected = sum(
+            small_catalog.leaf_range_cost(
+                spec.start, spec.end
+            )
+            for query in workload
+            for spec in query.specs
+        )
+        assert wstats.sum_range_cost[root] == pytest.approx(expected)
+        assert wstats.total_sum_range_cost == pytest.approx(expected)
+
+    def test_union_cost_leq_sum(self, wstats):
+        assert (
+            wstats.total_union_range_cost
+            <= wstats.total_sum_range_cost + 1e-9
+        )
+
+    def test_untouched_node_contributes_nothing(
+        self, small_catalog
+    ):
+        workload = Workload([RangeQuery([(0, 1)])])
+        stats = WorkloadNodeStats(small_catalog, workload)
+        hierarchy = small_catalog.hierarchy
+        third_child = hierarchy.internal_children(
+            hierarchy.root_id
+        )[2]
+        assert not stats.touched[third_child]
+        assert stats.case2_contrib[third_child] == 0.0
+        assert stats.case3_contrib[third_child] == 0.0
+        assert stats.case3_saving[third_child] == 0.0
+
+    def test_complete_node_saving_is_full_range_cost(
+        self, small_catalog
+    ):
+        hierarchy = small_catalog.hierarchy
+        second_child = hierarchy.internal_children(
+            hierarchy.root_id
+        )[1]
+        node = hierarchy.node(second_child)
+        workload = Workload(
+            [RangeQuery([(node.leaf_lo, node.leaf_hi)])]
+        )
+        stats = WorkloadNodeStats(small_catalog, workload)
+        expected = small_catalog.leaf_range_cost(
+            node.leaf_lo, node.leaf_hi
+        ) - small_catalog.read_cost_mb(second_child)
+        assert stats.case3_saving[second_child] == pytest.approx(
+            expected
+        )
+        assert stats.node_read[second_child]
+
+
+class TestCase2Evaluator:
+    def test_empty_cut_is_leaf_only_union(self, wstats):
+        assert case2_cut_cost(wstats, []) == pytest.approx(
+            wstats.leaf_only_cost_case2()
+        )
+
+    def test_root_cut(self, small_catalog, wstats):
+        root = small_catalog.hierarchy.root_id
+        cost = case2_cut_cost(wstats, [root])
+        assert cost == pytest.approx(
+            float(wstats.case2_contrib[root])
+        )
+
+    def test_cut_with_untouched_member_adds_nothing(
+        self, small_catalog
+    ):
+        workload = Workload([RangeQuery([(0, 1)])])
+        stats = WorkloadNodeStats(small_catalog, workload)
+        hierarchy = small_catalog.hierarchy
+        children = hierarchy.internal_children(hierarchy.root_id)
+        with_empty = case2_cut_cost(stats, children)
+        without = case2_cut_cost(stats, children[:1])
+        assert with_empty == pytest.approx(without)
+
+
+class TestCase3Evaluator:
+    def test_empty_cut_is_per_query_leaf_cost(self, wstats):
+        assert case3_cut_cost(wstats, []) == pytest.approx(
+            wstats.leaf_only_cost_case3()
+        )
+
+    def test_cost_decomposes_by_savings(self, small_catalog, wstats):
+        hierarchy = small_catalog.hierarchy
+        children = hierarchy.internal_children(hierarchy.root_id)
+        expected = wstats.total_sum_range_cost - sum(
+            float(wstats.case3_saving[child]) for child in children
+        )
+        assert case3_cut_cost(wstats, children) == pytest.approx(
+            expected
+        )
+
+    def test_case3_geq_case2_for_same_cut(
+        self, small_catalog, wstats
+    ):
+        """No cross-query caching can only cost more."""
+        hierarchy = small_catalog.hierarchy
+        for members in ([], [hierarchy.root_id]):
+            assert (
+                case3_cut_cost(wstats, members)
+                >= case2_cut_cost(wstats, members) - 1e-9
+            )
+
+
+class TestSingleQueryEvaluator:
+    def test_empty_cut_is_leaf_only(self, small_catalog):
+        query = RangeQuery([(2, 8)])
+        cost = single_query_cut_cost(small_catalog, query, [])
+        assert cost == pytest.approx(
+            small_catalog.leaf_range_cost(2, 8)
+        )
+
+    def test_empty_member_ignored(self, small_catalog):
+        hierarchy = small_catalog.hierarchy
+        query = RangeQuery([(0, 1)])
+        third_child = hierarchy.internal_children(
+            hierarchy.root_id
+        )[2]
+        with_member = single_query_cut_cost(
+            small_catalog, query, [third_child]
+        )
+        without = single_query_cut_cost(small_catalog, query, [])
+        assert with_member == pytest.approx(without)
