@@ -1,0 +1,24 @@
+# Convenience targets for the HCS reproduction.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-wah-smoke bench-wah bench
+
+# Tier-1 verification (what CI must keep green).
+test:
+	$(PY) -m pytest -x -q
+
+# Tier-1-adjacent smoke: execute the WAH kernel micro-benchmark with
+# small operands and no timing assertions, emitting BENCH_wah.json so
+# every run leaves a performance record.
+bench-wah-smoke:
+	WAH_BENCH_MODE=check $(PY) -m pytest benchmarks/test_micro_wah_kernels.py -q
+
+# Full-scale WAH kernel micro-benchmark (asserts the >= 5x union_all
+# speedup over the scalar reference and records it in BENCH_wah.json).
+bench-wah:
+	WAH_BENCH_MODE=full $(PY) -m pytest benchmarks/test_micro_wah_kernels.py -q
+
+# Regenerate every paper figure/table benchmark.
+bench:
+	$(PY) -m pytest benchmarks/ -q

@@ -1,0 +1,158 @@
+"""Micro-benchmark: vectorized WAH kernels vs. the scalar reference.
+
+Times the operations the query executor bottoms out in — k-way
+``union_all``, pairwise OR / ANDNOT, complement, and ``count`` — with
+the numpy kernel path against the scalar per-word reference, asserting
+bit-identical results, and records the timings in ``BENCH_wah.json``
+at the repository root so later PRs have a performance trajectory.
+
+Run modes (``WAH_BENCH_MODE`` environment variable):
+
+* ``full`` (default) — paper-scale operands (1M-bit bitmaps, 64-way
+  union); asserts the kernel k-way union is at least 5x faster than
+  the scalar reference.
+* ``check`` — small operands and **no timing assertions**; this is the
+  tier-1-adjacent smoke target (``make bench-wah-smoke``) that just
+  proves the benchmark executes and emits the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bitmap import kernels
+from repro.bitmap.wah import WahBitmap
+
+MODE = (
+    os.environ.get("WAH_BENCH_MODE", "full").strip().lower() or "full"
+)
+CHECK_MODE = MODE == "check"
+
+NUM_BITS = 100_000 if CHECK_MODE else 1_000_000
+NUM_BITMAPS = 8 if CHECK_MODE else 64
+DENSITY = 0.01
+MIN_UNION_SPEEDUP = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wah.json"
+
+_RECORDS: dict = {
+    "benchmark": "wah_kernels_micro",
+    "mode": MODE,
+    "num_bits": NUM_BITS,
+    "density": DENSITY,
+    "operations": {},
+}
+
+
+def _fresh_bitmaps(count: int) -> list[WahBitmap]:
+    rng = np.random.default_rng(7)
+    size = max(1, int(NUM_BITS * DENSITY))
+    return [
+        WahBitmap.from_positions(
+            rng.choice(NUM_BITS, size=size, replace=False), NUM_BITS
+        )
+        for _ in range(count)
+    ]
+
+
+def _strip_word_cache(bitmaps: list[WahBitmap]) -> list[WahBitmap]:
+    """Rebuild the operands so kernel timings include the one-time
+    word-list -> array decode (cold-cache, worst case for the kernel)."""
+    return [
+        WahBitmap(list(bitmap._words), bitmap.num_bits)
+        for bitmap in bitmaps
+    ]
+
+
+def _time(fn, repeats: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _record(name: str, scalar_s: float, kernel_s: float) -> None:
+    _RECORDS["operations"][name] = {
+        "scalar_seconds": scalar_s,
+        "kernel_seconds": kernel_s,
+        "speedup": scalar_s / kernel_s if kernel_s > 0 else None,
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    RESULT_PATH.write_text(
+        json.dumps(_RECORDS, indent=2) + "\n"
+    )
+
+
+def test_union_all_kway():
+    """The acceptance-criterion case: 64-way union of 1M-bit operands."""
+    _RECORDS["num_bitmaps"] = NUM_BITMAPS
+    operands = _fresh_bitmaps(NUM_BITMAPS)
+    with kernels.use_kernel_mode("numpy"):
+        kernel_s, kernel_result = _time(
+            lambda: WahBitmap.union_all(
+                _strip_word_cache(operands)
+            ),
+            repeats=3,
+        )
+    with kernels.use_kernel_mode("scalar"):
+        scalar_s, scalar_result = _time(
+            lambda: WahBitmap.union_all(operands), repeats=1
+        )
+    assert kernel_result.words == scalar_result.words
+    _record("union_all", scalar_s, kernel_s)
+    if not CHECK_MODE:
+        assert scalar_s / kernel_s >= MIN_UNION_SPEEDUP, (
+            f"kernel union_all only {scalar_s / kernel_s:.1f}x faster "
+            f"than the scalar reference (need >= {MIN_UNION_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.parametrize("op_name", ["or", "and", "andnot", "xor"])
+def test_pairwise_ops(op_name):
+    a, b = _fresh_bitmaps(2)
+    ops = {
+        "or": lambda x, y: x | y,
+        "and": lambda x, y: x & y,
+        "andnot": lambda x, y: x.andnot(y),
+        "xor": lambda x, y: x ^ y,
+    }
+    op = ops[op_name]
+    with kernels.use_kernel_mode("numpy"):
+        kernel_s, kernel_result = _time(
+            lambda: op(*_strip_word_cache([a, b]))
+        )
+    with kernels.use_kernel_mode("scalar"):
+        scalar_s, scalar_result = _time(lambda: op(a, b))
+    assert kernel_result.words == scalar_result.words
+    _record(f"pairwise_{op_name}", scalar_s, kernel_s)
+
+
+def test_invert_and_count():
+    (bitmap,) = _fresh_bitmaps(1)
+    with kernels.use_kernel_mode("numpy"):
+        kernel_inv_s, kernel_inv = _time(
+            lambda: ~_strip_word_cache([bitmap])[0]
+        )
+        kernel_cnt_s, kernel_cnt = _time(
+            lambda: _strip_word_cache([bitmap])[0].count()
+        )
+    with kernels.use_kernel_mode("scalar"):
+        scalar_inv_s, scalar_inv = _time(lambda: ~bitmap)
+        scalar_cnt_s, scalar_cnt = _time(bitmap.count)
+    assert kernel_inv.words == scalar_inv.words
+    assert kernel_cnt == scalar_cnt
+    _record("invert", scalar_inv_s, kernel_inv_s)
+    _record("count", scalar_cnt_s, kernel_cnt_s)

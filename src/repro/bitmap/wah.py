@@ -17,6 +17,12 @@ is the property that makes bitmap indices attractive for column stores.
 The logical length (``num_bits``) need not be a multiple of 31; the final
 group is padded with zero bits that are maintained as an invariant by every
 constructor and operation (so ``count`` and ``density`` never see padding).
+
+The binary operations, ``union_all``, ``__invert__``, and ``count``
+normally dispatch to the vectorized run-array kernels in
+:mod:`repro.bitmap.kernels`; the per-word scalar implementations in this
+module are kept as the reference oracle and can be forced with
+``REPRO_WAH_KERNELS=scalar`` (see :func:`repro.bitmap.kernels.set_kernel_mode`).
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from ..errors import BitmapDecodeError, BitmapLengthMismatchError
+from . import kernels
+from .kernels import LITERAL_PAYLOAD_MASK, WORD_PAYLOAD_BITS
 
 __all__ = [
     "WahBitmap",
@@ -33,12 +41,10 @@ __all__ = [
     "LITERAL_PAYLOAD_MASK",
 ]
 
-WORD_PAYLOAD_BITS = 31
-LITERAL_PAYLOAD_MASK = (1 << WORD_PAYLOAD_BITS) - 1  # 0x7FFFFFFF
-_FILL_FLAG = 1 << 31
-_FILL_VALUE_BIT = 1 << 30
-_FILL_COUNT_MASK = (1 << 30) - 1
-_MAX_FILL_GROUPS = _FILL_COUNT_MASK
+_FILL_FLAG = kernels.FILL_FLAG
+_FILL_VALUE_BIT = kernels.FILL_VALUE_BIT
+_FILL_COUNT_MASK = kernels.FILL_COUNT_MASK
+_MAX_FILL_GROUPS = kernels.MAX_FILL_GROUPS
 
 
 def _groups_for_bits(num_bits: int) -> int:
@@ -148,7 +154,7 @@ class WahBitmap:
     is calibrated against.
     """
 
-    __slots__ = ("_words", "_num_bits")
+    __slots__ = ("_words", "_num_bits", "_np_words")
 
     def __init__(self, words: list[int], num_bits: int):
         # Internal constructor: trusts that `words` is canonical and that
@@ -156,6 +162,15 @@ class WahBitmap:
         # should use the classmethod constructors.
         self._words = words
         self._num_bits = num_bits
+        self._np_words: np.ndarray | None = None
+
+    def _word_array(self) -> np.ndarray:
+        """The code words as an int64 array (cached; words are immutable)."""
+        cached = self._np_words
+        if cached is None:
+            cached = np.asarray(self._words, dtype=np.int64)
+            self._np_words = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Constructors
@@ -288,6 +303,8 @@ class WahBitmap:
 
     def count(self) -> int:
         """Number of set bits (computed on the compressed form)."""
+        if kernels.kernels_enabled():
+            return kernels.count_words(self._word_array())
         total = 0
         for word in self._words:
             if word & _FILL_FLAG:
@@ -376,13 +393,30 @@ class WahBitmap:
                 self._num_bits, other._num_bits
             )
 
-    def _binary(self, other: "WahBitmap", op) -> "WahBitmap":
-        """Merge two compressed word streams group-aligned under ``op``.
+    def _binary(self, other: "WahBitmap", op_name: str, op) -> "WahBitmap":
+        """Merge two compressed word streams group-aligned under an op.
+
+        Dispatches to the vectorized kernel when enabled; otherwise
+        falls back to the scalar reference merge.
+        """
+        if kernels.kernels_enabled():
+            self._check_compatible(other)
+            return WahBitmap(
+                kernels.binary_words(
+                    self._word_array(), other._word_array(), op_name
+                ),
+                self._num_bits,
+            )
+        return self._binary_scalar(other, op)
+
+    def _binary_scalar(self, other: "WahBitmap", op) -> "WahBitmap":
+        """Reference (scalar) merge of two word streams under ``op``.
 
         ``op`` maps two 31-bit payloads to a 31-bit payload.  Fill runs on
         both sides are consumed in bulk, so the loop cost is proportional
         to the number of *runs*, not the number of groups, except where
-        both operands are literal-dense.
+        both operands are literal-dense.  Kept as the oracle the
+        vectorized kernels are property-tested against.
         """
         self._check_compatible(other)
         left = _RunCursor(self._words)
@@ -413,22 +447,27 @@ class WahBitmap:
         return WahBitmap(encoder.words, self._num_bits)
 
     def __and__(self, other: "WahBitmap") -> "WahBitmap":
-        return self._binary(other, lambda a, b: a & b)
+        return self._binary(other, "and", lambda a, b: a & b)
 
     def __or__(self, other: "WahBitmap") -> "WahBitmap":
-        return self._binary(other, lambda a, b: a | b)
+        return self._binary(other, "or", lambda a, b: a | b)
 
     def __xor__(self, other: "WahBitmap") -> "WahBitmap":
-        return self._binary(other, lambda a, b: a ^ b)
+        return self._binary(other, "xor", lambda a, b: a ^ b)
 
     def andnot(self, other: "WahBitmap") -> "WahBitmap":
         """Bits set in ``self`` but not in ``other`` (the paper's ANDNOT)."""
         return self._binary(
-            other, lambda a, b: a & ~b & LITERAL_PAYLOAD_MASK
+            other, "andnot", lambda a, b: a & ~b & LITERAL_PAYLOAD_MASK
         )
 
     def __invert__(self) -> "WahBitmap":
         """Bitwise complement over the logical length (padding kept zero)."""
+        if kernels.kernels_enabled():
+            return WahBitmap(
+                kernels.invert_words(self._word_array(), self._num_bits),
+                self._num_bits,
+            )
         encoder = _WahEncoder()
         for is_fill, fill_value, ngroups, literal in self.iter_runs():
             if is_fill:
@@ -490,11 +529,13 @@ class WahBitmap:
     ) -> "WahBitmap":
         """OR together any number of bitmaps (empty input => all zeros).
 
-        Uses pairwise tree reduction: with ``k`` sparse operands the
-        cost is ``O(total_runs * log k)`` instead of the ``O(k *
-        result_runs)`` a left-to-right fold pays once the accumulated
-        result grows dense.  ``num_bits`` is required when ``bitmaps``
-        may be empty.
+        With the vectorized kernels enabled this is a chunked k-way
+        bulk segment merge (:func:`repro.bitmap.kernels.union_all_words`);
+        the scalar reference path uses pairwise tree reduction: with
+        ``k`` sparse operands the cost is ``O(total_runs * log k)``
+        instead of the ``O(k * result_runs)`` a left-to-right fold pays
+        once the accumulated result grows dense.  ``num_bits`` is
+        required when ``bitmaps`` may be empty.
         """
         pending = list(bitmaps)
         if not pending:
@@ -504,6 +545,19 @@ class WahBitmap:
                     "num_bits"
                 )
             return WahBitmap.zeros(num_bits)
+        first_bits = pending[0]._num_bits
+        for bitmap in pending[1:]:
+            if bitmap._num_bits != first_bits:
+                raise BitmapLengthMismatchError(
+                    first_bits, bitmap._num_bits
+                )
+        if kernels.kernels_enabled():
+            return WahBitmap(
+                kernels.union_all_words(
+                    [bitmap._word_array() for bitmap in pending]
+                ),
+                first_bits,
+            )
         while len(pending) > 1:
             merged = [
                 pending[i] | pending[i + 1]

@@ -112,7 +112,7 @@ class QueryExecutor:
         accountant = self._pool.accountant
         before = accountant.bytes_read
         num_bits = self._catalog.num_rows
-        answer = WahBitmap.zeros(num_bits)
+        terms: list[WahBitmap] = []
         for atom in plan.atoms:
             if atom.label is StrategyLabel.COMPLETE:
                 assert atom.node_id is not None
@@ -136,7 +136,10 @@ class QueryExecutor:
                     num_bits=num_bits,
                 )
                 term = node_bitmap.andnot(removal)
-            answer = answer | term
+            terms.append(term)
+        # One k-way union over all atoms (vectorized kernel path)
+        # instead of a left-to-right OR fold over a growing answer.
+        answer = WahBitmap.union_all(terms, num_bits=num_bits)
         return ExecutionResult(
             query=plan.query,
             answer=answer,
@@ -220,9 +223,14 @@ class QueryExecutor:
         """
         if pin and cut_node_ids:
             self.pin_cut(cut_node_ids)
+        # Plans may only assume cut members are resident when the pool
+        # actually pinned them; with pin=False the members are streamed
+        # like any other bitmap, so predicting with node_is_cached=True
+        # would undercount the measured IO (Alg. 2 cost vs. Eq. 4).
+        node_is_cached = pin and bool(cut_node_ids)
         results = [
             self.execute_query(
-                query, cut_node_ids, node_is_cached=bool(cut_node_ids)
+                query, cut_node_ids, node_is_cached=node_is_cached
             )
             for query in workload
         ]

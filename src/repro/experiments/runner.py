@@ -17,6 +17,7 @@ import sys
 import time
 from collections.abc import Callable
 
+from ..bitmap import kernels
 from . import (
     ablations,
     compression,
@@ -133,7 +134,18 @@ def main(argv: list[str] | None = None) -> int:
             "experiments (the paper uses 10)"
         ),
     )
+    parser.add_argument(
+        "--wah-kernel",
+        choices=kernels.KERNEL_MODES,
+        default=None,
+        help=(
+            "WAH bitmap dispatch: 'numpy' (vectorized kernels, the "
+            "default) or 'scalar' (per-word reference implementation)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.wah_kernel is not None:
+        kernels.set_kernel_mode(args.wah_kernel)
 
     if args.list or not args.names:
         print("available experiments:")

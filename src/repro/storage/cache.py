@@ -75,6 +75,20 @@ class BufferPool:
         return self._pinned_bytes
 
     @property
+    def lru_bytes(self) -> int:
+        """Bytes currently held by the LRU overflow area."""
+        return self._lru_bytes
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes resident in memory (pinned + LRU).
+
+        Never exceeds ``budget_bytes`` when a budget is set (the
+        Case-3 ``S_total`` constraint, §2.3.4).
+        """
+        return self._pinned_bytes + self._lru_bytes
+
+    @property
     def cached_names(self) -> set[str]:
         """Names currently resident in memory (pinned or LRU)."""
         return set(self._pinned) | set(self._lru)
@@ -112,6 +126,18 @@ class BufferPool:
                 payload = self._fetch(name)
             self._pinned[name] = payload
             self._pinned_bytes += len(payload)
+        # Pinning shrinks the spare budget the LRU area may occupy;
+        # evict until pinned + LRU fits the budget again, or the
+        # resident set would violate the Case-3 S_total constraint.
+        self._shrink_lru_to_spare()
+
+    def _shrink_lru_to_spare(self) -> None:
+        if self._budget is None:
+            return
+        spare = self._budget - self._pinned_bytes
+        while self._lru and self._lru_bytes > spare:
+            _, evicted = self._lru.popitem(last=False)
+            self._lru_bytes -= len(evicted)
 
     def unpin_all(self) -> None:
         """Release every pinned file (contents are dropped)."""

@@ -105,9 +105,11 @@ class CostModel:
         """Fit the model to measured ``{density: size_mb}`` samples.
 
         ``a``/``b`` come from a least-squares fit over the sparse region;
-        each plateau is the mean of its region's samples.  Regions with no
-        samples fall back to the previous region's boundary value so the
-        model stays monotone.
+        each plateau is the mean of its region's samples, clamped so the
+        fitted curve is monotone non-decreasing in effective density
+        (``a*dx1 + b <= k1 <= k2 <= k3``) even when sample noise would
+        order the plateau means the other way.  Regions with no samples
+        fall back to the previous region's boundary value.
 
         Raises:
             CalibrationError: if the sparse region has fewer than two
@@ -148,10 +150,12 @@ class CostModel:
         b = max(b, 0.0)
         boundary = a * dx1 + b
         k1 = (
-            sum(bands[1]) / len(bands[1]) if bands[1] else boundary
+            max(sum(bands[1]) / len(bands[1]), boundary)
+            if bands[1]
+            else boundary
         )
-        k2 = sum(bands[2]) / len(bands[2]) if bands[2] else k1
-        k3 = sum(bands[3]) / len(bands[3]) if bands[3] else k2
+        k2 = max(sum(bands[2]) / len(bands[2]), k1) if bands[2] else k1
+        k3 = max(sum(bands[3]) / len(bands[3]), k2) if bands[3] else k2
         return cls(a=a, b=b, k1=k1, k2=k2, k3=k3,
                    dx1=dx1, dx2=dx2, dx3=dx3)
 

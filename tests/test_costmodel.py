@@ -120,6 +120,42 @@ class TestFitting:
         with pytest.raises(CalibrationError):
             CostModel.fitted({0.005: 5.0, 0.995: 5.0})
 
+    def test_fit_clamps_non_monotone_plateau_samples(self):
+        """Regression: noisy samples used to fit ``k2 < k1`` etc.,
+        contradicting the documented monotonicity guarantee."""
+        samples = {
+            0.001: 1.0,
+            0.005: 5.0,
+            0.012: 20.0,  # band 1 sample, higher than bands 2/3
+            0.02: 10.0,   # band 2 sample below band 1
+            0.1: 5.0,     # band 3 sample below band 2
+        }
+        fitted = CostModel.fitted(samples)
+        assert fitted.k1 <= fitted.k2 <= fitted.k3
+        assert fitted.k1 >= fitted.a * fitted.dx1 + fitted.b
+        assert fitted.k1 == pytest.approx(20.0)
+        assert fitted.k2 == pytest.approx(20.0)
+        assert fitted.k3 == pytest.approx(20.0)
+
+    def test_fit_clamps_plateau_below_linear_boundary(self):
+        """A band-1 mean below the linear region's value at ``dx1``
+        would make the curve dip; it is clamped to the boundary."""
+        samples = {
+            0.001: 1.0,
+            0.005: 5.0,
+            0.012: 2.0,  # below a*dx1 + b = 10
+        }
+        fitted = CostModel.fitted(samples)
+        boundary = fitted.a * fitted.dx1 + fitted.b
+        assert fitted.k1 == pytest.approx(boundary)
+        assert fitted.k1 <= fitted.k2 <= fitted.k3
+        # The fitted curve is monotone over effective density.
+        costs = [
+            fitted.read_cost_mb(density)
+            for density in (0.002, 0.008, 0.012, 0.02, 0.1, 0.5)
+        ]
+        assert costs == sorted(costs)
+
     def test_fit_with_missing_plateaus_falls_back(self):
         samples = {0.001: 1.0, 0.005: 5.0, 0.009: 9.0}
         fitted = CostModel.fitted(samples)

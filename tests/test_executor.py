@@ -14,6 +14,7 @@ from repro.core.single import (
     inclusive_cut,
 )
 from repro.storage.cache import BufferPool
+from repro.storage.catalog import node_file_name
 from repro.storage.costmodel import MB
 from repro.workload.query import RangeQuery, Workload
 
@@ -137,6 +138,73 @@ class TestIOAccounting:
         assert all(
             count == 1
             for count in snapshot.reads_by_name.values()
+        )
+
+    def test_unpinned_workload_io_matches_uncached_prediction(
+        self, materialized_setup
+    ):
+        """Regression: with ``pin=False`` the plans must not assume the
+        cut is resident — measured IO equals the uncached (Eq. 1-style)
+        prediction, not the Case-2/3 cached one."""
+        hierarchy, column, catalog = materialized_setup
+        workload = Workload(
+            [RangeQuery([(0, 9)]), RangeQuery([(4, 13)])]
+        )
+        members = hierarchy.internal_children(hierarchy.root_id)
+        pool = BufferPool(catalog.store, budget_bytes=0)
+        executor = QueryExecutor(catalog, pool)
+        results, snapshot = executor.execute_workload(
+            workload, members, pin=False
+        )
+        for result, query in zip(results, workload):
+            assert result.answer == scan_answer(column, query)
+        predicted = sum(
+            build_query_plan(
+                catalog, query, members, node_is_cached=False
+            ).predicted_cost_mb
+            for query in workload
+        )
+        assert snapshot.mb_read == pytest.approx(predicted)
+        # Per-query results carry the same uncached predictions.
+        for result, query in zip(results, workload):
+            plan = build_query_plan(
+                catalog, query, members, node_is_cached=False
+            )
+            assert result.io_mb == pytest.approx(
+                plan.predicted_cost_mb
+            )
+
+    def test_pinned_workload_io_matches_cached_prediction(
+        self, materialized_setup
+    ):
+        """With ``pin=True`` measured IO is the one-time cut read plus
+        the per-query Case-2/3 (cached-members) predictions."""
+        hierarchy, column, catalog = materialized_setup
+        workload = Workload(
+            [RangeQuery([(0, 9)]), RangeQuery([(4, 13)])]
+        )
+        members = hierarchy.internal_children(hierarchy.root_id)
+        pin_bytes = sum(
+            catalog.store.size_bytes(node_file_name(node_id))
+            for node_id in members
+        )
+        pool = BufferPool(
+            catalog.store, budget_bytes=pin_bytes
+        )
+        executor = QueryExecutor(catalog, pool)
+        results, snapshot = executor.execute_workload(
+            workload, members, pin=True
+        )
+        for result, query in zip(results, workload):
+            assert result.answer == scan_answer(column, query)
+        predicted = sum(
+            build_query_plan(
+                catalog, query, members, node_is_cached=True
+            ).predicted_cost_mb
+            for query in workload
+        )
+        assert snapshot.mb_read == pytest.approx(
+            predicted + pin_bytes / MB
         )
 
     def test_streaming_rereads_unpinned_files(

@@ -1,0 +1,261 @@
+"""Property tests: vectorized WAH kernels vs. the scalar reference.
+
+The scalar per-word implementation in :mod:`repro.bitmap.wah` is the
+oracle; the numpy kernels in :mod:`repro.bitmap.kernels` must produce
+**bit-identical canonical word streams** for every operation, across
+random densities, lengths (including non-multiples of 31), and run
+structures.  Word-level equality is stronger than logical equality: it
+pins the canonical encoding (fill merging, uniform-literal collapsing)
+the serialization format and the cost accounting depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import kernels
+from repro.bitmap.wah import (
+    LITERAL_PAYLOAD_MASK,
+    WahBitmap,
+    _WahEncoder,
+)
+from repro.errors import BitmapDecodeError, BitmapLengthMismatchError
+
+MAX_BITS = 700
+
+
+@st.composite
+def wah_bitmap(draw, num_bits: int) -> WahBitmap:
+    """A random bitmap biased toward interesting run structure."""
+    style = draw(st.integers(min_value=0, max_value=2))
+    if style == 0:
+        positions = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_bits - 1),
+                max_size=num_bits,
+            )
+        )
+        return WahBitmap.from_positions(positions, num_bits)
+    if style == 1:
+        # Long 1-runs exercise fill merging.
+        edges = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_bits),
+                max_size=8,
+            )
+        )
+        edges = sorted(set(edges))
+        runs = list(zip(edges[::2], edges[1::2]))
+        return WahBitmap.from_runs(runs, num_bits)
+    density = draw(st.floats(min_value=0.0, max_value=1.0))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    return WahBitmap.from_dense(rng.random(num_bits) < density)
+
+
+@st.composite
+def bitmap_pair(draw):
+    num_bits = draw(st.integers(min_value=1, max_value=MAX_BITS))
+    return (
+        draw(wah_bitmap(num_bits)),
+        draw(wah_bitmap(num_bits)),
+    )
+
+
+@st.composite
+def bitmap_list(draw):
+    num_bits = draw(st.integers(min_value=1, max_value=MAX_BITS))
+    count = draw(st.integers(min_value=1, max_value=7))
+    return num_bits, [
+        draw(wah_bitmap(num_bits)) for _ in range(count)
+    ]
+
+
+def _scalar(fn):
+    with kernels.use_kernel_mode("scalar"):
+        return fn()
+
+
+def _kernel(fn):
+    with kernels.use_kernel_mode("numpy"):
+        return fn()
+
+
+class TestBinaryOps:
+    @given(bitmap_pair())
+    @settings(max_examples=150)
+    def test_binary_ops_bit_identical(self, pair):
+        a, b = pair
+        for op in (
+            lambda: a & b,
+            lambda: a | b,
+            lambda: a ^ b,
+            lambda: a.andnot(b),
+        ):
+            assert _kernel(op).words == _scalar(op).words
+
+    @given(bitmap_pair())
+    @settings(max_examples=80)
+    def test_results_stay_canonical(self, pair):
+        """Kernel outputs survive a WAH round-trip unchanged (no
+        adjacent same-value fills, no uniform literals)."""
+        a, b = pair
+        result = _kernel(lambda: a | b)
+        encoder = _WahEncoder()
+        for is_fill, value, ngroups, literal in result.iter_runs():
+            if is_fill:
+                encoder.append_fill(value, ngroups)
+            else:
+                encoder.append_literal(literal)
+        assert encoder.words == list(result.words)
+
+    def test_length_mismatch_raises(self):
+        a = WahBitmap.zeros(62)
+        b = WahBitmap.zeros(31)
+        with pytest.raises(BitmapLengthMismatchError):
+            _kernel(lambda: a | b)
+
+
+class TestInvertAndCount:
+    @given(st.integers(min_value=0, max_value=MAX_BITS), st.data())
+    @settings(max_examples=150)
+    def test_invert_and_count_bit_identical(self, num_bits, data):
+        if num_bits == 0:
+            bitmap = WahBitmap.zeros(0)
+        else:
+            bitmap = data.draw(wah_bitmap(num_bits))
+        assert (
+            _kernel(lambda: ~bitmap).words
+            == _scalar(lambda: ~bitmap).words
+        )
+        assert _kernel(bitmap.count) == _scalar(bitmap.count)
+
+
+class TestUnionAll:
+    @given(bitmap_list())
+    @settings(max_examples=100)
+    def test_union_all_bit_identical(self, data):
+        num_bits, bitmaps = data
+        union = lambda: WahBitmap.union_all(
+            bitmaps, num_bits=num_bits
+        )
+        assert _kernel(union).words == _scalar(union).words
+
+    def test_union_all_empty_input(self):
+        result = _kernel(
+            lambda: WahBitmap.union_all([], num_bits=100)
+        )
+        assert result == WahBitmap.zeros(100)
+
+    def test_union_all_length_mismatch_raises(self):
+        bitmaps = [WahBitmap.zeros(31), WahBitmap.zeros(62)]
+        with pytest.raises(BitmapLengthMismatchError):
+            _kernel(lambda: WahBitmap.union_all(bitmaps))
+
+
+class TestLargerDeterministicCases:
+    """Seeded larger-scale cases beyond hypothesis' size sweet spot."""
+
+    NUM_BITS = 200_013  # deliberately not a multiple of 31
+
+    @pytest.mark.parametrize(
+        "density", [1e-4, 1e-3, 1e-2, 0.05, 0.3, 0.5, 0.9, 0.999]
+    )
+    def test_dense_sweep_bit_identical(self, density):
+        rng = np.random.default_rng(int(density * 1e6))
+        a = WahBitmap.from_dense(
+            rng.random(self.NUM_BITS) < density
+        )
+        b = WahBitmap.from_dense(
+            rng.random(self.NUM_BITS) < density
+        )
+        for op in (
+            lambda: a & b,
+            lambda: a | b,
+            lambda: a ^ b,
+            lambda: a.andnot(b),
+            lambda: ~a,
+        ):
+            assert _kernel(op).words == _scalar(op).words
+        assert _kernel(a.count) == _scalar(a.count)
+
+    def test_many_way_union_bit_identical(self):
+        rng = np.random.default_rng(42)
+        bitmaps = [
+            WahBitmap.from_positions(
+                rng.choice(self.NUM_BITS, size=500, replace=False),
+                self.NUM_BITS,
+            )
+            for _ in range(24)
+        ]
+        union = lambda: WahBitmap.union_all(bitmaps)
+        assert _kernel(union).words == _scalar(union).words
+
+
+class TestKernelPrimitives:
+    def test_decode_encode_roundtrip_is_identity(self):
+        rng = np.random.default_rng(9)
+        bitmap = WahBitmap.from_positions(
+            rng.choice(10_000, size=700, replace=False), 10_000
+        )
+        lengths, payloads = kernels.decode_words(bitmap.words)
+        assert kernels.encode_runs(lengths, payloads) == list(
+            bitmap.words
+        )
+
+    def test_encode_splits_oversized_fills_like_scalar(self):
+        huge = 3 * kernels.MAX_FILL_GROUPS + 5
+        words = kernels.encode_runs([huge, 1], [0, 0b1010])
+        encoder = _WahEncoder()
+        encoder.append_fill(0, huge)
+        encoder.append_literal(0b1010)
+        assert words == encoder.words
+
+    def test_encode_collapses_uniform_literals(self):
+        words = kernels.encode_runs(
+            [1, 1, 1], [0, 0, LITERAL_PAYLOAD_MASK]
+        )
+        encoder = _WahEncoder()
+        encoder.append_literal(0)
+        encoder.append_literal(0)
+        encoder.append_literal(LITERAL_PAYLOAD_MASK)
+        assert words == encoder.words
+
+    def test_encode_expands_non_uniform_multi_group_runs(self):
+        # Hand-built input violating the literal-length-1 invariant.
+        words = kernels.encode_runs([3], [0b101])
+        assert words == [0b101, 0b101, 0b101]
+
+    def test_binary_words_rejects_group_count_mismatch(self):
+        a = WahBitmap.zeros(62).words
+        b = WahBitmap.zeros(31).words
+        with pytest.raises(BitmapDecodeError):
+            kernels.binary_words(a, b, "or")
+
+    def test_binary_words_rejects_unknown_op(self):
+        words = WahBitmap.zeros(31).words
+        with pytest.raises(ValueError):
+            kernels.binary_words(words, words, "nand")
+
+    def test_popcount32_matches_bit_count(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(
+            0, 2**32, size=1000, dtype=np.uint64
+        ).astype(np.int64)
+        expected = [int(v).bit_count() for v in values]
+        assert kernels.popcount32(values).tolist() == expected
+
+    def test_mode_flag_roundtrip(self):
+        assert kernels.kernel_mode() in kernels.KERNEL_MODES
+        previous = kernels.set_kernel_mode("scalar")
+        try:
+            assert not kernels.kernels_enabled()
+            with kernels.use_kernel_mode("numpy"):
+                assert kernels.kernels_enabled()
+            assert kernels.kernel_mode() == "scalar"
+        finally:
+            kernels.set_kernel_mode(previous)
+        with pytest.raises(ValueError):
+            kernels.set_kernel_mode("cuda")
