@@ -2,11 +2,15 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-wah-smoke bench-wah bench
+.PHONY: test test-chaos bench-wah-smoke bench-wah bench
 
 # Tier-1 verification (what CI must keep green).
 test:
 	$(PY) -m pytest -x -q
+
+# Deterministic fault-injection suite (seeded per test node id).
+test-chaos:
+	$(PY) -m pytest -m chaos -q
 
 # Tier-1-adjacent smoke: execute the WAH kernel micro-benchmark with
 # small operands and no timing assertions, emitting BENCH_wah.json so

@@ -43,6 +43,7 @@ from .bitmap import (
 from .core import (
     ConstrainedCutResult,
     CutSelector,
+    DegradedRead,
     ExecutionResult,
     MultiQueryCutResult,
     QueryExecutor,
@@ -65,10 +66,15 @@ from .errors import (
     BitmapError,
     BudgetExceededError,
     CalibrationError,
+    ChecksumError,
+    FileMissingError,
     HierarchyError,
     InvalidCutError,
     ReproError,
     StorageError,
+    StorageReadError,
+    TransientStorageError,
+    UnrecoverableReadError,
     WorkloadError,
 )
 from .hierarchy import (
@@ -84,6 +90,8 @@ from .storage import (
     BitmapFileStore,
     BufferPool,
     CostModel,
+    FaultPolicy,
+    RetryPolicy,
     IOAccountant,
     MaterializedNodeCatalog,
     ModeledNodeCatalog,
@@ -157,6 +165,7 @@ __all__ = [
     "leaf_only_plan",
     "QueryExecutor",
     "ExecutionResult",
+    "DegradedRead",
     "scan_answer",
     # errors
     "ReproError",
@@ -165,6 +174,13 @@ __all__ = [
     "InvalidCutError",
     "WorkloadError",
     "StorageError",
+    "StorageReadError",
+    "FileMissingError",
+    "TransientStorageError",
+    "UnrecoverableReadError",
+    "ChecksumError",
+    "FaultPolicy",
+    "RetryPolicy",
     "BudgetExceededError",
     "CalibrationError",
 ]

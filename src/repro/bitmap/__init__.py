@@ -22,8 +22,18 @@ from .roaring import (
 )
 from .serialization import (
     HEADER_SIZE_BYTES,
+    TRAILER_SIZE_BYTES,
+    deserialize_bitmap,
+    deserialize_plain,
+    deserialize_plwah,
+    deserialize_roaring,
     deserialize_wah,
+    serialize_bitmap,
+    serialize_plain,
+    serialize_plwah,
+    serialize_roaring,
     serialize_wah,
+    verify_frame,
 )
 from .wah import LITERAL_PAYLOAD_MASK, WORD_PAYLOAD_BITS, WahBitmap
 
@@ -33,8 +43,18 @@ __all__ = [
     "WORD_PAYLOAD_BITS",
     "LITERAL_PAYLOAD_MASK",
     "HEADER_SIZE_BYTES",
+    "TRAILER_SIZE_BYTES",
     "serialize_wah",
     "deserialize_wah",
+    "serialize_plwah",
+    "deserialize_plwah",
+    "serialize_roaring",
+    "deserialize_roaring",
+    "serialize_plain",
+    "deserialize_plain",
+    "serialize_bitmap",
+    "deserialize_bitmap",
+    "verify_frame",
     "build_leaf_bitmaps",
     "build_span_bitmap",
     "bitmap_for_leaf_set",

@@ -26,7 +26,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from .serialization import HEADER_SIZE_BYTES
+from .serialization import HEADER_SIZE_BYTES, TRAILER_SIZE_BYTES
 from .wah import LITERAL_PAYLOAD_MASK, WahBitmap
 
 __all__ = ["PlwahBitmap", "plwah_encode", "plwah_decode"]
@@ -181,8 +181,10 @@ class PlwahBitmap:
 
     @property
     def serialized_size_bytes(self) -> int:
-        """On-disk footprint under the shared header + u32 layout."""
-        return HEADER_SIZE_BYTES + 4 * len(self._words)
+        """On-disk footprint under the shared frame + u32 layout."""
+        return (
+            HEADER_SIZE_BYTES + 4 * len(self._words) + TRAILER_SIZE_BYTES
+        )
 
     def to_wah(self) -> WahBitmap:
         """The operational WAH form (lossless round trip)."""

@@ -211,6 +211,38 @@ class RoaringBitmap:
             np.flatnonzero(bits), int(bits.size)
         )
 
+    @classmethod
+    def from_chunks(
+        cls,
+        chunks: Iterable[tuple[int, str, np.ndarray, int]],
+        num_bits: int,
+    ) -> "RoaringBitmap":
+        """Rebuild from ``chunks()`` output (the serialization path)."""
+        containers: dict[int, _Container] = {}
+        for key, kind, data, cardinality in chunks:
+            if kind == "array":
+                data = np.ascontiguousarray(data, dtype=np.uint16)
+            elif kind == "bitmap":
+                data = np.ascontiguousarray(data, dtype=np.uint64)
+            else:
+                raise ValueError(f"unknown container kind {kind!r}")
+            containers[int(key)] = _Container(
+                kind, data, int(cardinality)
+            )
+        return cls(containers, num_bits)
+
+    def chunks(self) -> list[tuple[int, str, np.ndarray, int]]:
+        """Per-chunk ``(key, kind, data, cardinality)`` in key order."""
+        return [
+            (
+                key,
+                self._containers[key].kind,
+                self._containers[key].data,
+                self._containers[key].cardinality,
+            )
+            for key in sorted(self._containers)
+        ]
+
     # ------------------------------------------------------------------
     @property
     def num_bits(self) -> int:

@@ -295,11 +295,14 @@ class WahBitmap:
     def serialized_size_bytes(self) -> int:
         """Bytes this bitmap occupies on (simulated) secondary storage.
 
-        Matches :mod:`repro.bitmap.serialization`'s header + word layout.
+        Matches :mod:`repro.bitmap.serialization`'s header + word +
+        CRC32 trailer layout.
         """
-        from .serialization import HEADER_SIZE_BYTES
+        from .serialization import HEADER_SIZE_BYTES, TRAILER_SIZE_BYTES
 
-        return HEADER_SIZE_BYTES + 4 * len(self._words)
+        return (
+            HEADER_SIZE_BYTES + 4 * len(self._words) + TRAILER_SIZE_BYTES
+        )
 
     def count(self) -> int:
         """Number of set bits (computed on the compressed form)."""

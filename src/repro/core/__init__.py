@@ -35,7 +35,12 @@ from .costs import (
     node_hybrid_cost,
     node_inclusive_cost,
 )
-from .executor import ExecutionResult, QueryExecutor, scan_answer
+from .executor import (
+    DegradedRead,
+    ExecutionResult,
+    QueryExecutor,
+    scan_answer,
+)
 from .multi import MultiQueryCutResult, nc_node_cost, select_cut_multi
 from .opnodes import (
     PlanAtom,
@@ -114,6 +119,7 @@ __all__ = [
     "sample_antichain",
     "QueryExecutor",
     "ExecutionResult",
+    "DegradedRead",
     "scan_answer",
     "QueryTrace",
     "WorkloadSimulation",

@@ -6,25 +6,70 @@ it: plans from :mod:`repro.core.opnodes` are evaluated as bitmap algebra
 fetched through a :class:`BufferPool` whose accountant tallies the bytes
 read.  Tests compare the tally with the model's prediction and the
 answer with a direct column scan.
+
+Reads are fault tolerant: corrupt payloads (detected by the CRC32 frame
+check) are re-fetched a few times, and a node whose bitmap stays
+unreadable is *re-derived* as the union of its hierarchy descendants'
+bitmaps — the defining invariant of the hierarchical index (an internal
+node's bitmap is the OR of its children's).  The recovery reads go
+through the same pool/accountant, so measured IO stays honest, and each
+recovery surfaces as a :class:`DegradedRead` on the
+:class:`ExecutionResult`.  Only a leaf with no readable copy is fatal
+(:class:`~repro.errors.UnrecoverableReadError`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..bitmap.serialization import deserialize_wah
 from ..bitmap.wah import WahBitmap
+from ..errors import (
+    BitmapDecodeError,
+    StorageError,
+    UnrecoverableReadError,
+)
 from ..storage.accounting import IOSnapshot
 from ..storage.cache import BufferPool
 from ..storage.catalog import MaterializedNodeCatalog, node_file_name
 from ..storage.costmodel import MB
+from ..storage.faults import RetryPolicy
 from ..workload.query import RangeQuery, Workload
 from .costs import StrategyLabel
 from .opnodes import QueryPlan, build_query_plan
 
-__all__ = ["ExecutionResult", "QueryExecutor", "scan_answer"]
+__all__ = [
+    "DegradedRead",
+    "ExecutionResult",
+    "QueryExecutor",
+    "scan_answer",
+]
+
+#: Decode attempts per node before falling back to degradation.
+DEFAULT_DECODE_RETRY = RetryPolicy(max_attempts=3)
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedRead:
+    """One node bitmap that had to be re-derived from its descendants.
+
+    Attributes:
+        node_id: the hierarchy node whose file was unreadable.
+        file_name: the unreadable bitmap file.
+        attempts: how many read+decode attempts were made first.
+        error: string form of the final error.
+        recovered_from: the child node ids whose bitmaps were unioned
+            in its place (each child may itself have degraded —
+            recursively reported as its own event).
+    """
+
+    node_id: int
+    file_name: str
+    attempts: int
+    error: str
+    recovered_from: tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -34,11 +79,17 @@ class ExecutionResult:
     query: RangeQuery
     answer: WahBitmap
     io_bytes: int
+    degraded_reads: tuple[DegradedRead, ...] = field(default=())
 
     @property
     def io_mb(self) -> float:
         """Data read from storage for this query, in MB."""
         return self.io_bytes / MB
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any bitmap had to be recovered from descendants."""
+        return bool(self.degraded_reads)
 
 
 def scan_answer(column: np.ndarray, query: RangeQuery) -> WahBitmap:
@@ -61,6 +112,12 @@ class QueryExecutor:
             is created when omitted.
         verify: statically verify every plan (atoms tile the query's
             range leaves) before touching any bitmap.
+        retry_policy: attempts per node bitmap before degrading to a
+            descendant union (corrupt payloads are re-fetched between
+            attempts); ``RetryPolicy(max_attempts=1)`` disables retries
+            but keeps degradation.
+        allow_degraded: when false, unreadable nodes raise instead of
+            being recovered from descendants.
     """
 
     def __init__(
@@ -68,6 +125,8 @@ class QueryExecutor:
         catalog: MaterializedNodeCatalog,
         pool: BufferPool | None = None,
         verify: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        allow_degraded: bool = True,
     ):
         self._catalog = catalog
         self._pool = (
@@ -76,6 +135,8 @@ class QueryExecutor:
             else BufferPool(catalog.store)
         )
         self._verify = verify
+        self._retry = retry_policy or DEFAULT_DECODE_RETRY
+        self._allow_degraded = allow_degraded
 
     # ------------------------------------------------------------------
     @property
@@ -88,13 +149,79 @@ class QueryExecutor:
         """The buffer pool (and its IO accountant)."""
         return self._pool
 
-    def _bitmap(self, node_id: int) -> WahBitmap:
-        payload = self._pool.get(node_file_name(node_id))
-        return deserialize_wah(payload)
+    def _bitmap(
+        self,
+        node_id: int,
+        events: list[DegradedRead] | None = None,
+    ) -> WahBitmap:
+        """Read one node's bitmap, retrying and degrading as needed.
 
-    def _leaf_bitmap(self, leaf_value: int) -> WahBitmap:
+        Attempt 1 goes through the pool's cache; later attempts force a
+        fresh fetch (a cached copy that failed its checksum is stale by
+        definition).  If every attempt fails and ``events`` is given,
+        the bitmap is recovered as the union of the node's children —
+        recursively, so a damaged subtree heals from whatever level
+        still reads cleanly.
+        """
+        name = node_file_name(node_id)
+        accountant = self._pool.accountant
+        last_error: Exception | None = None
+        attempts = 0
+        for attempt in self._retry.attempts():
+            attempts += 1
+            try:
+                payload = (
+                    self._pool.get(name)
+                    if attempt == 0
+                    else self._pool.reload(name)
+                )
+            except StorageError as err:
+                # The pool already retried transients; anything that
+                # escapes it will not clear by asking again.
+                last_error = err
+                break
+            try:
+                return deserialize_wah(payload)
+            except BitmapDecodeError as err:
+                last_error = err
+                accountant.record_discard(name, len(payload))
+        assert last_error is not None
+        if events is None or not self._allow_degraded:
+            raise last_error
+        node = self._catalog.hierarchy.node(node_id)
+        if node.is_leaf:
+            raise UnrecoverableReadError(
+                name,
+                0,
+                f"leaf node {node_id} unreadable after {attempts} "
+                f"attempts and has no descendants to recover from "
+                f"({last_error})",
+            ) from last_error
+        # Hierarchical degradation: B_n == OR of children's bitmaps.
+        parts = [
+            self._bitmap(child, events) for child in node.children
+        ]
+        recovered = WahBitmap.union_all(
+            parts, num_bits=self._catalog.num_rows
+        )
+        events.append(
+            DegradedRead(
+                node_id=node_id,
+                file_name=name,
+                attempts=attempts,
+                error=f"{type(last_error).__name__}: {last_error}",
+                recovered_from=tuple(node.children),
+            )
+        )
+        return recovered
+
+    def _leaf_bitmap(
+        self,
+        leaf_value: int,
+        events: list[DegradedRead] | None = None,
+    ) -> WahBitmap:
         node_id = self._catalog.hierarchy.leaf_node_id(leaf_value)
-        return self._bitmap(node_id)
+        return self._bitmap(node_id, events)
 
     def pin_cut(self, node_ids) -> None:
         """Load a cut's bitmaps once and keep them resident (Case 2/3)."""
@@ -112,25 +239,26 @@ class QueryExecutor:
         accountant = self._pool.accountant
         before = accountant.bytes_read
         num_bits = self._catalog.num_rows
+        events: list[DegradedRead] = []
         terms: list[WahBitmap] = []
         for atom in plan.atoms:
             if atom.label is StrategyLabel.COMPLETE:
                 assert atom.node_id is not None
-                term = self._bitmap(atom.node_id)
+                term = self._bitmap(atom.node_id, events)
             elif atom.label is StrategyLabel.INCLUSIVE:
                 term = WahBitmap.union_all(
                     (
-                        self._leaf_bitmap(value)
+                        self._leaf_bitmap(value, events)
                         for value in atom.leaf_values
                     ),
                     num_bits=num_bits,
                 )
             else:  # EXCLUSIVE
                 assert atom.node_id is not None
-                node_bitmap = self._bitmap(atom.node_id)
+                node_bitmap = self._bitmap(atom.node_id, events)
                 removal = WahBitmap.union_all(
                     (
-                        self._leaf_bitmap(value)
+                        self._leaf_bitmap(value, events)
                         for value in atom.leaf_values
                     ),
                     num_bits=num_bits,
@@ -144,6 +272,7 @@ class QueryExecutor:
             query=plan.query,
             answer=answer,
             io_bytes=accountant.bytes_read - before,
+            degraded_reads=tuple(events),
         )
 
     def aggregate(

@@ -31,6 +31,23 @@ class BitmapDecodeError(BitmapError):
     """Raised when a serialized bitmap payload is malformed."""
 
 
+class ChecksumError(BitmapDecodeError):
+    """Raised when a serialized bitmap fails its CRC32 integrity check.
+
+    Distinguishes *corruption* (bytes changed between write and read)
+    from structural malformation, so callers can treat it as a
+    potentially transient read fault and retry.
+    """
+
+    def __init__(self, expected_crc: int, actual_crc: int):
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+        super().__init__(
+            f"bitmap payload checksum mismatch: stored "
+            f"0x{expected_crc:08x}, computed 0x{actual_crc:08x}"
+        )
+
+
 class HierarchyError(ReproError):
     """Raised when a hierarchy is structurally invalid or misused."""
 
@@ -45,6 +62,48 @@ class WorkloadError(ReproError):
 
 class StorageError(ReproError):
     """Raised by the simulated secondary-storage layer."""
+
+
+class StorageReadError(StorageError):
+    """A read against the file store failed.
+
+    Carries the file name and byte offset of the failure so callers can
+    log, retry, or degrade without parsing the message.
+    """
+
+    def __init__(self, file_name: str, offset: int = 0, reason: str = ""):
+        self.file_name = file_name
+        self.offset = offset
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"read of bitmap file {file_name!r} failed at offset "
+            f"{offset}{detail}"
+        )
+
+
+class FileMissingError(StorageReadError):
+    """The named bitmap file does not exist in the store."""
+
+    def __init__(self, file_name: str):
+        super().__init__(file_name, 0, "no such bitmap file")
+
+
+class TransientStorageError(StorageReadError):
+    """A read failed in a way expected to clear on retry.
+
+    Raised by fault injection (and by wrapping environmental
+    ``OSError``s such as ``EIO``/``EAGAIN``); the buffer pool retries
+    these with backoff before letting them propagate.
+    """
+
+
+class UnrecoverableReadError(StorageReadError):
+    """A bitmap could not be read even after retries and degradation.
+
+    Raised by the executor when a node's bitmap is unreadable and the
+    node has no descendants whose bitmaps could be unioned in its place
+    (i.e. a leaf), or when every recovery path is itself unreadable.
+    """
 
 
 class BudgetExceededError(StorageError):

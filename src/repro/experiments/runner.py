@@ -18,6 +18,7 @@ import time
 from collections.abc import Callable
 
 from ..bitmap import kernels
+from ..storage.faults import FaultPolicy, set_default_fault_policy
 from . import (
     ablations,
     compression,
@@ -143,9 +144,33 @@ def main(argv: list[str] | None = None) -> int:
             "default) or 'scalar' (per-word reference implementation)"
         ),
     )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "inject storage read faults at this rate (spread evenly "
+            "over transient errors, torn reads, and bit flips) into "
+            "every file store the experiments create"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the injected fault sequence (default 0)",
+    )
     args = parser.parse_args(argv)
     if args.wah_kernel is not None:
         kernels.set_kernel_mode(args.wah_kernel)
+    if not 0.0 <= args.fault_rate <= 1.0:
+        parser.error("--fault-rate must be in [0, 1]")
+    fault_policy = None
+    if args.fault_rate > 0.0:
+        fault_policy = FaultPolicy.uniform(
+            args.fault_rate, seed=args.fault_seed
+        )
+        set_default_fault_policy(fault_policy)
 
     if args.list or not args.names:
         print("available experiments:")
@@ -157,13 +182,20 @@ def main(argv: list[str] | None = None) -> int:
     if names == ["all"]:
         names = list(EXPERIMENTS)
 
-    for name in names:
-        started = time.perf_counter()
-        result = run_experiment(name, fast=args.fast, runs=args.runs)
-        elapsed = time.perf_counter() - started
-        print(result.to_text())
-        print(f"# completed in {elapsed:.1f}s")
-        print()
+    try:
+        for name in names:
+            started = time.perf_counter()
+            result = run_experiment(
+                name, fast=args.fast, runs=args.runs
+            )
+            elapsed = time.perf_counter() - started
+            print(result.to_text())
+            print(f"# completed in {elapsed:.1f}s")
+            print()
+    finally:
+        set_default_fault_policy(None)
+    if fault_policy is not None:
+        print(f"# fault injection: {fault_policy!r}")
     return 0
 
 

@@ -1,8 +1,17 @@
 """Simulated secondary storage: cost model, calibration, file store,
-IO accounting, budgeted buffer pool, and node catalogs."""
+IO accounting, budgeted buffer pool, node catalogs, and deterministic
+fault injection."""
 
 from .accounting import IOAccountant, IOSnapshot
 from .cache import BufferPool
+from .faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultKind,
+    FaultPolicy,
+    RetryPolicy,
+    get_default_fault_policy,
+    set_default_fault_policy,
+)
 from .calibration import (
     DEFAULT_CALIBRATION_DENSITIES,
     calibrate_cost_model,
@@ -28,6 +37,12 @@ __all__ = [
     "IOAccountant",
     "IOSnapshot",
     "BufferPool",
+    "FaultKind",
+    "FaultPolicy",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "set_default_fault_policy",
+    "get_default_fault_policy",
     "NodeCatalog",
     "ModeledNodeCatalog",
     "MaterializedNodeCatalog",

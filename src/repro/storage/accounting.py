@@ -23,6 +23,9 @@ class IOSnapshot:
     bytes_read: int
     read_count: int
     reads_by_name: dict[str, int]
+    retry_count: int = 0
+    discarded_bytes: int = 0
+    discard_count: int = 0
 
     @property
     def mb_read(self) -> float:
@@ -38,6 +41,9 @@ class IOAccountant:
     read_count: int = 0
     reads_by_name: Counter = field(default_factory=Counter)
     bytes_by_name: Counter = field(default_factory=Counter)
+    retry_count: int = 0
+    discarded_bytes: int = 0
+    discard_count: int = 0
 
     def record_read(self, name: str, nbytes: int) -> None:
         """Record that ``nbytes`` of file ``name`` were fetched."""
@@ -47,6 +53,28 @@ class IOAccountant:
         self.read_count += 1
         self.reads_by_name[name] += 1
         self.bytes_by_name[name] += nbytes
+
+    def record_retry(self, name: str) -> None:
+        """Record a failed read attempt that will be retried.
+
+        A transient failure transfers no data, so ``bytes_read`` is
+        untouched — this keeps the paper's "amount of data read" metric
+        honest while still exposing how flaky the storage was.
+        """
+        self.retry_count += 1
+
+    def record_discard(self, name: str, nbytes: int) -> None:
+        """Record that a fetched payload failed validation and was
+        dropped.
+
+        The bytes *were* read (and already charged via
+        :meth:`record_read`); this separates wasted IO from useful IO
+        so degraded runs remain auditable.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.discarded_bytes += nbytes
+        self.discard_count += 1
 
     @property
     def mb_read(self) -> float:
@@ -59,6 +87,9 @@ class IOAccountant:
             bytes_read=self.bytes_read,
             read_count=self.read_count,
             reads_by_name=dict(self.reads_by_name),
+            retry_count=self.retry_count,
+            discarded_bytes=self.discarded_bytes,
+            discard_count=self.discard_count,
         )
 
     def reset(self) -> None:
@@ -67,6 +98,9 @@ class IOAccountant:
         self.read_count = 0
         self.reads_by_name.clear()
         self.bytes_by_name.clear()
+        self.retry_count = 0
+        self.discarded_bytes = 0
+        self.discard_count = 0
 
     def __repr__(self) -> str:
         return (

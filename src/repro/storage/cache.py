@@ -18,8 +18,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Iterable
 
-from ..errors import BudgetExceededError, StorageError
+from ..errors import (
+    BudgetExceededError,
+    StorageError,
+    TransientStorageError,
+)
 from .accounting import IOAccountant
+from .faults import DEFAULT_RETRY_POLICY, RetryPolicy
 from .filestore import BitmapFileStore
 
 __all__ = ["BufferPool"]
@@ -36,6 +41,10 @@ class BufferPool:
             (the no-memory-constraint cases).
         use_spare_budget_lru: when true, unpinned reads may occupy
             leftover budget in an LRU area instead of being streamed.
+        retry_policy: how transient storage failures are retried before
+            propagating; defaults to a few immediate retries
+            (:data:`~repro.storage.faults.DEFAULT_RETRY_POLICY`).  Pass
+            ``RetryPolicy(max_attempts=1)`` to disable.
     """
 
     def __init__(
@@ -44,6 +53,7 @@ class BufferPool:
         accountant: IOAccountant | None = None,
         budget_bytes: int | None = None,
         use_spare_budget_lru: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ):
         if budget_bytes is not None and budget_bytes < 0:
             raise ValueError(
@@ -53,6 +63,7 @@ class BufferPool:
         self._accountant = accountant or IOAccountant()
         self._budget = budget_bytes
         self._use_spare_lru = use_spare_budget_lru
+        self._retry = retry_policy or DEFAULT_RETRY_POLICY
         self._pinned: dict[str, bytes] = {}
         self._pinned_bytes = 0
         self._lru: OrderedDict[str, bytes] = OrderedDict()
@@ -93,10 +104,24 @@ class BufferPool:
         """Names currently resident in memory (pinned or LRU)."""
         return set(self._pinned) | set(self._lru)
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """How transient storage failures are retried."""
+        return self._retry
+
     def _fetch(self, name: str) -> bytes:
-        payload = self._store.read(name)
-        self._accountant.record_read(name, len(payload))
-        return payload
+        last_error: TransientStorageError | None = None
+        for _attempt in self._retry.attempts():
+            try:
+                payload = self._store.read(name)
+            except TransientStorageError as err:
+                last_error = err
+                self._accountant.record_retry(name)
+                continue
+            self._accountant.record_read(name, len(payload))
+            return payload
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------------
     def pin(self, names: Iterable[str]) -> None:
@@ -177,6 +202,39 @@ class BufferPool:
         if self._lru_bytes + len(payload) <= spare:
             self._lru[name] = payload
             self._lru_bytes += len(payload)
+
+    def invalidate(self, name: str) -> bool:
+        """Drop a cached copy (pinned or LRU); returns whether it was
+        pinned.
+
+        Used when a resident payload turns out to be corrupt — the next
+        :meth:`get` re-fetches from storage.
+        """
+        was_pinned = name in self._pinned
+        if was_pinned:
+            payload = self._pinned.pop(name)
+            self._pinned_bytes -= len(payload)
+        elif name in self._lru:
+            payload = self._lru.pop(name)
+            self._lru_bytes -= len(payload)
+        return was_pinned
+
+    def reload(self, name: str) -> bytes:
+        """Force a fresh fetch from storage, replacing any cached copy.
+
+        A previously pinned file stays pinned (with the new payload);
+        an LRU-resident file is re-admitted under the normal policy.
+        The fetch is charged to the accountant like any storage read.
+        """
+        was_pinned = self.invalidate(name)
+        payload = self._fetch(name)
+        if was_pinned:
+            self._pinned[name] = payload
+            self._pinned_bytes += len(payload)
+            self._shrink_lru_to_spare()
+        else:
+            self._maybe_admit(name, payload)
+        return payload
 
     def contains(self, name: str) -> bool:
         """Whether a file is currently resident in memory."""

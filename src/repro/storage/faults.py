@@ -1,0 +1,280 @@
+"""Deterministic fault injection for the simulated secondary storage.
+
+The paper's premise is that cut selection minimizes *disk* IO (§2.2.1) —
+and disks misbehave.  This module lets tests and experiments make the
+simulated storage misbehave on purpose, reproducibly:
+
+* **transient errors** — :class:`~repro.errors.TransientStorageError`
+  raised instead of returning data (cleared by retrying);
+* **torn reads** — the payload comes back truncated at a random offset;
+* **bit flips** — one bit of the payload is inverted in flight;
+* **slow reads** — the read completes but only after a delay;
+* **sticky corruption** — specific files always come back with the same
+  deterministic bit flipped, modelling at-rest corruption that no retry
+  can clear (the executor recovers by unioning the node's descendants).
+
+Every random choice comes from one seeded ``random.Random``, so a fixed
+seed plus a fixed read sequence reproduces the exact same fault
+sequence.  ``max_consecutive_per_name`` bounds how many times in a row
+one file can fault, which makes retry loops provably terminating:
+transient and in-flight faults always clear within that many attempts.
+
+:class:`RetryPolicy` is the matching consumer-side knob: how many
+attempts the buffer pool / executor make and how they back off between
+them.  Backoff sleeps go through an injectable ``sleep`` so tests run
+at full speed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from collections import Counter
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import TransientStorageError
+
+__all__ = [
+    "FaultKind",
+    "FaultPolicy",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "set_default_fault_policy",
+    "get_default_fault_policy",
+]
+
+
+class FaultKind(Enum):
+    """The kinds of read misbehavior the policy can inject."""
+
+    TRANSIENT = "transient"
+    TORN = "torn"
+    BITFLIP = "bitflip"
+    SLOW = "slow"
+    STICKY = "sticky"
+
+
+class FaultPolicy:
+    """Seeded, injectable read-fault generator for a file store.
+
+    Args:
+        seed: seeds the fault RNG; same seed + same read sequence =>
+            same faults.
+        transient_rate: probability a read raises
+            :class:`TransientStorageError`.
+        torn_rate: probability a read returns a truncated payload.
+        bitflip_rate: probability a read returns the payload with one
+            bit inverted.
+        slow_rate: probability a read sleeps ``slow_delay_s`` first.
+        slow_delay_s: delay injected for slow reads.
+        max_consecutive_per_name: after this many consecutive faulted
+            reads of one file, the next read of it is forced clean —
+            transient/in-flight faults always clear within this many
+            retries.  Sticky corruption ignores the cap.
+        sticky_corrupt_names: files whose payload always comes back
+            with one deterministic bit flipped (position derived from
+            the name and seed, so every read is identically corrupt).
+        sleep: the sleep function slow reads use.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        torn_rate: float = 0.0,
+        bitflip_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_delay_s: float = 0.0,
+        max_consecutive_per_name: int = 3,
+        sticky_corrupt_names: Iterable[str] = (),
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        rates = {
+            FaultKind.TRANSIENT: transient_rate,
+            FaultKind.TORN: torn_rate,
+            FaultKind.BITFLIP: bitflip_rate,
+            FaultKind.SLOW: slow_rate,
+        }
+        for kind, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{kind.value}_rate must be in [0, 1], got {rate}"
+                )
+        if sum(rates.values()) > 1.0:
+            raise ValueError(
+                f"fault rates must sum to <= 1, got {sum(rates.values())}"
+            )
+        if max_consecutive_per_name < 1:
+            raise ValueError(
+                "max_consecutive_per_name must be >= 1, got "
+                f"{max_consecutive_per_name}"
+            )
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._rates = rates
+        self._slow_delay_s = slow_delay_s
+        self._max_consecutive = max_consecutive_per_name
+        self.sticky_corrupt_names = set(sticky_corrupt_names)
+        self._sleep = sleep
+        self._consecutive: Counter[str] = Counter()
+        #: Faults injected so far, by kind (observability + tests).
+        self.injected: Counter[FaultKind] = Counter()
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **kwargs) -> "FaultPolicy":
+        """A policy spreading ``rate`` evenly over the three data-path
+        faults (transient / torn / bit flip); slow reads disabled."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        return cls(
+            seed=seed,
+            transient_rate=rate / 3,
+            torn_rate=rate / 3,
+            bitflip_rate=rate / 3,
+            **kwargs,
+        )
+
+    @property
+    def seed(self) -> int:
+        """The seed the fault RNG was created with."""
+        return self._seed
+
+    @property
+    def total_injected(self) -> int:
+        """Total number of faults injected so far."""
+        return sum(self.injected.values())
+
+    def _sticky_flip_position(self, name: str, nbits: int) -> int:
+        # Derived from (seed, name) only: every read of a sticky file
+        # is corrupted identically, so retries can never mask it.
+        return zlib.crc32(f"{self._seed}:{name}".encode()) % nbits
+
+    def _draw_kind(self) -> FaultKind | None:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for kind, rate in self._rates.items():
+            cumulative += rate
+            if roll < cumulative:
+                return kind
+        return None
+
+    def filter_read(self, name: str, payload: bytes) -> bytes:
+        """Pass one read through the policy.
+
+        Returns the (possibly corrupted) payload, raises
+        :class:`TransientStorageError`, or sleeps — according to the
+        seeded draw.  Must be called once per physical read attempt.
+        """
+        if name in self.sticky_corrupt_names and payload:
+            self.injected[FaultKind.STICKY] += 1
+            position = self._sticky_flip_position(name, len(payload) * 8)
+            return self._flip_bit(payload, position)
+        if self._consecutive[name] >= self._max_consecutive:
+            self._consecutive[name] = 0
+            return payload
+        kind = self._draw_kind()
+        if kind is None:
+            self._consecutive[name] = 0
+            return payload
+        if kind is FaultKind.SLOW:
+            # A slow read still succeeds; it does not count toward the
+            # consecutive-failure cap.
+            self.injected[kind] += 1
+            if self._slow_delay_s > 0:
+                self._sleep(self._slow_delay_s)
+            self._consecutive[name] = 0
+            return payload
+        if kind is not FaultKind.TRANSIENT and not payload:
+            # Nothing to corrupt in an empty payload.
+            self._consecutive[name] = 0
+            return payload
+        self._consecutive[name] += 1
+        self.injected[kind] += 1
+        if kind is FaultKind.TRANSIENT:
+            raise TransientStorageError(
+                name, 0, "injected transient IO error"
+            )
+        if kind is FaultKind.TORN:
+            cut = self._rng.randrange(len(payload))
+            return payload[:cut]
+        position = self._rng.randrange(len(payload) * 8)
+        return self._flip_bit(payload, position)
+
+    @staticmethod
+    def _flip_bit(payload: bytes, position: int) -> bytes:
+        corrupted = bytearray(payload)
+        corrupted[position // 8] ^= 1 << (position % 8)
+        return bytes(corrupted)
+
+    def __repr__(self) -> str:
+        rates = ", ".join(
+            f"{kind.value}={rate}"
+            for kind, rate in self._rates.items()
+            if rate
+        )
+        return (
+            f"FaultPolicy(seed={self._seed}, {rates or 'no rates'}, "
+            f"sticky={len(self.sticky_corrupt_names)}, "
+            f"injected={self.total_injected})"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many read attempts to make and how to back off between them.
+
+    ``backoff_s`` is the sleep before the first retry; each further
+    retry multiplies it by ``backoff_multiplier``.  The default backoff
+    of zero keeps tests instant while still exercising the retry path.
+    """
+
+    max_attempts: int = 4
+    backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    sleep: Callable[[float], None] = field(
+        default=time.sleep, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+
+    def attempts(self) -> Iterator[int]:
+        """Yield attempt indices, sleeping the backoff between them."""
+        delay = self.backoff_s
+        for attempt in range(self.max_attempts):
+            if attempt > 0 and delay > 0:
+                self.sleep(delay)
+                delay *= self.backoff_multiplier
+            yield attempt
+
+
+#: The pool-level default: a few fast retries, no backoff.  Costs
+#: nothing on a healthy store and absorbs injected transients.
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=4)
+
+_default_fault_policy: FaultPolicy | None = None
+
+
+def set_default_fault_policy(policy: FaultPolicy | None) -> None:
+    """Install the policy newly created file stores adopt by default.
+
+    This is how ``hcs-experiments --fault-rate`` injects faults into
+    experiments without threading a policy through every constructor.
+    """
+    global _default_fault_policy
+    _default_fault_policy = policy
+
+
+def get_default_fault_policy() -> FaultPolicy | None:
+    """The policy newly created file stores adopt (``None`` = healthy)."""
+    return _default_fault_policy

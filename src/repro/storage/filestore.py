@@ -4,17 +4,36 @@ Each hierarchy node's bitmap lives in one named file; the paper's IO
 metric — "amount of data read" — is the total size of the files fetched.
 The store can be backed by a real directory (so file sizes are genuinely
 what the OS reports) or kept in memory for fast tests.
+
+All failure modes surface as typed :class:`~repro.errors.StorageError`
+subclasses carrying the file name and offset — raw ``OSError`` /
+``KeyError`` never leak.  An optional :class:`~repro.storage.faults.
+FaultPolicy` lets tests and experiments deterministically inject
+transient errors, torn reads, bit flips, and slow reads on the read
+path.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 from collections.abc import Iterator
 from pathlib import Path
 
-from ..errors import StorageError
+from ..errors import (
+    FileMissingError,
+    StorageError,
+    StorageReadError,
+    TransientStorageError,
+)
+from .faults import FaultPolicy, get_default_fault_policy
 
 __all__ = ["BitmapFileStore"]
+
+#: OS error codes that typically clear on retry.
+_TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.EAGAIN, errno.EINTR, errno.EBUSY}
+)
 
 
 class BitmapFileStore:
@@ -23,11 +42,23 @@ class BitmapFileStore:
     Args:
         directory: when given, files are written beneath this directory
             (created if missing); when ``None``, the store is in-memory.
+        fault_policy: read-fault injector; falls back to the module
+            default installed via :func:`~repro.storage.faults.
+            set_default_fault_policy` (``None`` = healthy storage).
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        fault_policy: FaultPolicy | None = None,
+    ):
         self._directory: Path | None = None
         self._blobs: dict[str, bytes] = {}
+        self._fault_policy = (
+            fault_policy
+            if fault_policy is not None
+            else get_default_fault_policy()
+        )
         if directory is not None:
             self._directory = Path(directory)
             self._directory.mkdir(parents=True, exist_ok=True)
@@ -44,42 +75,89 @@ class BitmapFileStore:
         """Whether files are backed by a real directory."""
         return self._directory is not None
 
+    @property
+    def fault_policy(self) -> FaultPolicy | None:
+        """The active read-fault injector (``None`` = healthy)."""
+        return self._fault_policy
+
+    def set_fault_policy(self, policy: FaultPolicy | None) -> None:
+        """Install (or clear) the read-fault injector."""
+        self._fault_policy = policy
+
+    @staticmethod
+    def _wrap_os_error(name: str, err: OSError) -> StorageReadError:
+        if err.errno in _TRANSIENT_ERRNOS:
+            return TransientStorageError(name, 0, err.strerror or str(err))
+        return StorageReadError(name, 0, err.strerror or str(err))
+
     def write(self, name: str, payload: bytes) -> None:
         """Store a bitmap file (overwrites any previous content)."""
         if self._directory is None:
             self._blobs[name] = bytes(payload)
-        else:
+            return
+        try:
             self._path_for(name).write_bytes(payload)
+        except OSError as err:
+            raise self._wrap_os_error(name, err) from err
 
     def read(self, name: str) -> bytes:
-        """Fetch a bitmap file's full content."""
+        """Fetch a bitmap file's full content.
+
+        Raises :class:`FileMissingError` for unknown names,
+        :class:`TransientStorageError` for retryable failures (real or
+        injected), and :class:`StorageReadError` for everything else.
+        """
         if self._directory is None:
             try:
-                return self._blobs[name]
+                payload = self._blobs[name]
             except KeyError:
-                raise StorageError(
-                    f"no bitmap file named {name!r}"
-                ) from None
-        path = self._path_for(name)
-        try:
-            return path.read_bytes()
-        except FileNotFoundError:
-            raise StorageError(f"no bitmap file named {name!r}") from None
+                raise FileMissingError(name) from None
+        else:
+            path = self._path_for(name)
+            try:
+                payload = path.read_bytes()
+            except FileNotFoundError:
+                raise FileMissingError(name) from None
+            except OSError as err:
+                raise self._wrap_os_error(name, err) from err
+        if self._fault_policy is not None:
+            payload = self._fault_policy.filter_read(name, payload)
+        return payload
 
     def size_bytes(self, name: str) -> int:
-        """Size of a bitmap file, in bytes."""
+        """Size of a bitmap file, in bytes.
+
+        Missing names raise :class:`FileMissingError` on both backends.
+        """
         if self._directory is None:
             try:
                 return len(self._blobs[name])
             except KeyError:
-                raise StorageError(
-                    f"no bitmap file named {name!r}"
-                ) from None
+                raise FileMissingError(name) from None
         path = self._path_for(name)
         try:
             return path.stat().st_size
         except FileNotFoundError:
-            raise StorageError(f"no bitmap file named {name!r}") from None
+            raise FileMissingError(name) from None
+        except OSError as err:
+            raise self._wrap_os_error(name, err) from err
+
+    def delete(self, name: str) -> None:
+        """Remove a bitmap file (missing names raise
+        :class:`FileMissingError`)."""
+        if self._directory is None:
+            try:
+                del self._blobs[name]
+            except KeyError:
+                raise FileMissingError(name) from None
+            return
+        path = self._path_for(name)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            raise FileMissingError(name) from None
+        except OSError as err:
+            raise self._wrap_os_error(name, err) from err
 
     def exists(self, name: str) -> bool:
         """Whether a bitmap file with this name exists."""
@@ -107,4 +185,8 @@ class BitmapFileStore:
         backing = (
             str(self._directory) if self._directory else "memory"
         )
-        return f"BitmapFileStore(backing={backing!r})"
+        faults = (
+            "" if self._fault_policy is None
+            else f", faults={self._fault_policy!r}"
+        )
+        return f"BitmapFileStore(backing={backing!r}{faults})"

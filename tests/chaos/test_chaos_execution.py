@@ -1,0 +1,338 @@
+"""Deterministic chaos harness: end-to-end Case 1/2/3 under injected
+storage faults.
+
+Each test sweeps fault rates over a real materialized catalog and
+asserts the *paper-level* contract survives misbehaving storage:
+
+* every query answer is bit-identical to the fault-free oracle
+  (retry + checksum + degradation never silently corrupt results);
+* degraded reads are surfaced as typed events, never swallowed;
+* measured IO still matches the accountant's tally exactly — wasted
+  reads are charged, transient failures are not.
+
+All randomness flows from the ``chaos_seed`` fixture (derived from the
+test's node id), so any failure reproduces from the test name alone.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.constrained import k_cut_selection
+from repro.core.executor import QueryExecutor, scan_answer
+from repro.core.multi import select_cut_multi
+from repro.core.single import hybrid_cut
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.cache import BufferPool
+from repro.storage.catalog import MaterializedNodeCatalog, node_file_name
+from repro.storage.costmodel import MB
+from repro.storage.faults import FaultPolicy, RetryPolicy
+from repro.workload import (
+    sample_column,
+    tpch_acctbal_leaf_probabilities,
+)
+from repro.workload.query import RangeQuery, Workload
+
+pytestmark = pytest.mark.chaos
+
+FAULT_RATES = [0.0, 0.05, 0.2]
+
+#: Faults clear within 2 consecutive reads of a name, so the pool's
+#: 4 store attempts and the executor's 3 decode attempts provably
+#: terminate at any rate (sticky corruption alone bypasses the cap).
+MAX_CONSECUTIVE = 2
+POOL_RETRY = RetryPolicy(max_attempts=4)
+
+
+@pytest.fixture(scope="module")
+def chaos_setup():
+    """A module-private materialized catalog.
+
+    Deliberately *not* the shared session fixture: chaos tests attach
+    fault policies to the store, and an exception between attach and
+    reset must never leak faults into the tier-1 suite.
+    """
+    hierarchy = Hierarchy.from_nested([[3, 3], [2, 4], [4]])
+    probabilities = tpch_acctbal_leaf_probabilities(
+        hierarchy.num_leaves, seed=3
+    )
+    column = sample_column(probabilities, num_rows=20_000, seed=11)
+    catalog = MaterializedNodeCatalog(hierarchy, column)
+    return hierarchy, column, catalog
+
+
+@pytest.fixture(scope="module")
+def case_queries(chaos_setup):
+    hierarchy, _column, _catalog = chaos_setup
+    last = hierarchy.num_leaves - 1
+    return [
+        RangeQuery([(0, 5)]),
+        RangeQuery([(3, 12)]),
+        RangeQuery([(0, last)]),
+        RangeQuery([(2, 4), (9, last)]),
+    ]
+
+
+@pytest.fixture(scope="module")
+def oracle(chaos_setup, case_queries):
+    """Fault-free ground truth, computed once per module."""
+    _hierarchy, column, _catalog = chaos_setup
+    return {
+        query: scan_answer(column, query) for query in case_queries
+    }
+
+
+@contextmanager
+def injected(store, policy):
+    """Attach a fault policy for the duration of one test body."""
+    store.set_fault_policy(policy)
+    try:
+        yield policy
+    finally:
+        store.set_fault_policy(None)
+
+
+def _fresh_executor(catalog, budget_bytes=None):
+    pool = BufferPool(
+        catalog.store,
+        budget_bytes=budget_bytes,
+        retry_policy=POOL_RETRY,
+    )
+    return QueryExecutor(catalog, pool)
+
+
+class TestCase1Chaos:
+    """Single-query H-CS plans under uniform transient/torn/bitflip."""
+
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_answers_bit_identical_and_io_accounted(
+        self, chaos_setup, case_queries, oracle, chaos_seed, rate
+    ):
+        _hierarchy, _column, catalog = chaos_setup
+        policy = FaultPolicy.uniform(
+            rate,
+            seed=chaos_seed,
+            max_consecutive_per_name=MAX_CONSECUTIVE,
+        )
+        with injected(catalog.store, policy):
+            # Several cold rounds per query: H-CS plans touch few
+            # nodes, and the stress assertion below needs enough read
+            # volume for the 0.2 sweep to actually draw faults.
+            for _round in range(4):
+                for query in case_queries:
+                    selection = hybrid_cut(catalog, query)
+                    executor = _fresh_executor(catalog)
+                    result = executor.execute_query(
+                        query, selection.cut.node_ids
+                    )
+                    assert result.answer == oracle[query]
+                    # Fresh pool per query: the per-query delta IS the
+                    # accountant's full tally, wasted reads included.
+                    accountant = executor.pool.accountant
+                    assert result.io_bytes == accountant.bytes_read
+                    if rate == 0.0:
+                        assert not result.degraded
+                        assert accountant.retry_count == 0
+                        assert accountant.discard_count == 0
+        if rate == 0.0:
+            assert policy.total_injected == 0
+        if rate == pytest.approx(0.2):
+            # The sweep's stress level must actually exercise faults.
+            assert policy.total_injected > 0
+
+
+class TestCase2Chaos:
+    """Workload execution over a pinned Alg.-3 cut."""
+
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_pinned_workload_survives_faults(
+        self, chaos_setup, case_queries, oracle, chaos_seed, rate
+    ):
+        _hierarchy, _column, catalog = chaos_setup
+        workload = Workload(case_queries)
+        cut = select_cut_multi(catalog, workload)
+        policy = FaultPolicy.uniform(
+            rate,
+            seed=chaos_seed,
+            max_consecutive_per_name=MAX_CONSECUTIVE,
+        )
+        executor = _fresh_executor(catalog)
+        with injected(catalog.store, policy):
+            # Pin first so the one-time cut read can be separated from
+            # the per-query deltas (execute_workload's pin is then a
+            # no-op: already-pinned names are skipped).
+            executor.pin_cut(cut.cut.node_ids)
+            pin_bytes = executor.pool.accountant.bytes_read
+            results, snapshot = executor.execute_workload(
+                workload, cut.cut.node_ids, pin=True
+            )
+        for result, query in zip(results, workload):
+            assert result.answer == oracle[query]
+        assert snapshot.bytes_read == pin_bytes + sum(
+            result.io_bytes for result in results
+        )
+        if rate == 0.0:
+            assert policy.total_injected == 0
+            assert snapshot.retry_count == 0
+            assert snapshot.discard_count == 0
+            assert not any(result.degraded for result in results)
+
+
+class TestCase3Chaos:
+    """Budget-constrained k-cut execution with a budgeted pool."""
+
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_budgeted_workload_survives_faults(
+        self, chaos_setup, case_queries, oracle, chaos_seed, rate
+    ):
+        hierarchy, _column, catalog = chaos_setup
+        workload = Workload(case_queries)
+        budget_mb = 0.5 * sum(
+            catalog.size_mb(node_id)
+            for node_id in hierarchy.internal_children(
+                hierarchy.root_id
+            )
+        )
+        cut = k_cut_selection(catalog, workload, budget_mb, k=4)
+        assert cut.used_mb <= budget_mb
+        policy = FaultPolicy.uniform(
+            rate,
+            seed=chaos_seed,
+            max_consecutive_per_name=MAX_CONSECUTIVE,
+        )
+        executor = _fresh_executor(
+            catalog, budget_bytes=int(budget_mb * MB)
+        )
+        with injected(catalog.store, policy):
+            results, snapshot = executor.execute_workload(
+                workload, cut.cut.node_ids, pin=True
+            )
+        for result, query in zip(results, workload):
+            assert result.answer == oracle[query]
+        # The budgeted pool never exceeds S_total, faults or not.
+        assert executor.pool.resident_bytes <= int(budget_mb * MB)
+        if rate == 0.0:
+            assert policy.total_injected == 0
+            assert snapshot.retry_count == 0
+
+
+class TestStickyDegradation:
+    """At-rest corruption of a cut member: answers stay bit-identical,
+    the degradation is *reported*, and IO stays honest."""
+
+    def _internal_cut_members(self, hierarchy, node_ids):
+        return [
+            node_id
+            for node_id in node_ids
+            if not hierarchy.node(node_id).is_leaf
+        ]
+
+    @pytest.mark.parametrize("rate", [0.0, 0.2])
+    def test_sticky_cut_member_degrades_but_answers_hold(
+        self, chaos_setup, case_queries, oracle, chaos_seed, rate
+    ):
+        hierarchy, _column, catalog = chaos_setup
+        workload = Workload(case_queries)
+        cut = select_cut_multi(catalog, workload)
+        internals = self._internal_cut_members(
+            hierarchy, cut.cut.node_ids
+        )
+        assert internals, "Alg. 3 cut has no internal members to corrupt"
+        # Sticky victims must be internal: leaves have no descendants
+        # to recover from (that path is TestExecutorDegradation's).
+        victim = min(internals)
+        policy = FaultPolicy.uniform(
+            rate,
+            seed=chaos_seed,
+            max_consecutive_per_name=MAX_CONSECUTIVE,
+            sticky_corrupt_names={node_file_name(victim)},
+        )
+        executor = _fresh_executor(catalog)
+        with injected(catalog.store, policy):
+            executor.pin_cut(cut.cut.node_ids)
+            pin_bytes = executor.pool.accountant.bytes_read
+            results, snapshot = executor.execute_workload(
+                workload, cut.cut.node_ids, pin=True
+            )
+        for result, query in zip(results, workload):
+            assert result.answer == oracle[query]
+        events = [
+            event
+            for result in results
+            for event in result.degraded_reads
+        ]
+        assert events, "sticky corruption must surface DegradedRead"
+        assert {event.node_id for event in events} == {victim}
+        for event in events:
+            assert event.recovered_from == tuple(
+                hierarchy.node(victim).children
+            )
+        # Wasted reads (corrupt payload fetch + reloads) are charged
+        # and itemized; the total still reconciles exactly.
+        assert snapshot.discard_count > 0
+        assert snapshot.bytes_read == pin_bytes + sum(
+            result.io_bytes for result in results
+        )
+
+
+class TestDeterminism:
+    """Same seed, same faults, same IO — byte for byte."""
+
+    def _run_once(self, catalog, workload, cut_node_ids, seed):
+        policy = FaultPolicy.uniform(
+            0.2,
+            seed=seed,
+            max_consecutive_per_name=MAX_CONSECUTIVE,
+        )
+        executor = _fresh_executor(catalog)
+        with injected(catalog.store, policy):
+            results, snapshot = executor.execute_workload(
+                workload, cut_node_ids, pin=True
+            )
+        return results, snapshot, policy
+
+    def test_same_seed_reproduces_run_exactly(
+        self, chaos_setup, case_queries, chaos_seed
+    ):
+        _hierarchy, _column, catalog = chaos_setup
+        workload = Workload(case_queries)
+        cut = select_cut_multi(catalog, workload)
+        first = self._run_once(
+            catalog, workload, cut.cut.node_ids, chaos_seed
+        )
+        second = self._run_once(
+            catalog, workload, cut.cut.node_ids, chaos_seed
+        )
+        results_a, snapshot_a, policy_a = first
+        results_b, snapshot_b, policy_b = second
+        assert policy_a.injected == policy_b.injected
+        assert snapshot_a.bytes_read == snapshot_b.bytes_read
+        assert snapshot_a.retry_count == snapshot_b.retry_count
+        assert snapshot_a.discarded_bytes == snapshot_b.discarded_bytes
+        for result_a, result_b in zip(results_a, results_b):
+            assert result_a.answer == result_b.answer
+            assert result_a.io_bytes == result_b.io_bytes
+            assert (
+                result_a.degraded_reads == result_b.degraded_reads
+            )
+
+    def test_different_seed_changes_fault_sequence(
+        self, chaos_setup, case_queries, chaos_seed
+    ):
+        _hierarchy, _column, catalog = chaos_setup
+        workload = Workload(case_queries)
+        cut = select_cut_multi(catalog, workload)
+        _, _, policy_a = self._run_once(
+            catalog, workload, cut.cut.node_ids, chaos_seed
+        )
+        _, _, policy_b = self._run_once(
+            catalog, workload, cut.cut.node_ids, chaos_seed + 1
+        )
+        # Both runs draw from the same rate, but the realized fault
+        # sequences should differ (astronomically unlikely to collide).
+        assert (
+            policy_a.injected != policy_b.injected
+            or policy_a.total_injected == 0
+        )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -99,3 +101,20 @@ def materialized_setup():
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def chaos_seed(request) -> int:
+    """A seed derived from the test's node id.
+
+    Stable across runs and machines (so every chaos failure is
+    reproducible from the test name alone) yet distinct per test (so
+    parametrized sweeps explore different fault sequences).
+    """
+    return zlib.crc32(request.node.nodeid.encode())
+
+
+@pytest.fixture
+def chaos_rng(chaos_seed) -> np.random.Generator:
+    """Seeded RNG for chaos tests; see :func:`chaos_seed`."""
+    return np.random.default_rng(chaos_seed)

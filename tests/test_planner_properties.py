@@ -1,0 +1,108 @@
+"""Hypothesis properties tying the three Case-1 planners to execution.
+
+Two invariants from the paper, checked over *random* hierarchies and
+queries rather than the fixed fixtures:
+
+* H-CS is optimal (§3.1.3): its predicted cost never exceeds the best
+  of I-CS and E-CS on the same instance.
+* The planner's predicted cost is the truth: executing the plan on an
+  uncached in-memory store incurs exactly the predicted bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import QueryExecutor, scan_answer
+from repro.core.opnodes import build_query_plan
+from repro.core.single import (
+    exclusive_cut,
+    hybrid_cut,
+    inclusive_cut,
+)
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.catalog import (
+    MaterializedNodeCatalog,
+    ModeledNodeCatalog,
+)
+from repro.storage.cache import BufferPool
+from repro.storage.costmodel import MB, CostModel
+from repro.workload.query import RangeQuery
+
+# Nested specs: an int is a leaf-parent with that many leaf children, a
+# list is an internal node.  Depth <= 3, fanout <= 3 keeps hierarchies
+# small enough for many examples while still varying shape.
+_LEAF_GROUP = st.integers(min_value=1, max_value=3)
+_LEVEL2 = st.lists(_LEAF_GROUP, min_size=1, max_size=3)
+_SPEC = st.lists(
+    st.one_of(_LEAF_GROUP, _LEVEL2), min_size=2, max_size=3
+)
+
+
+@st.composite
+def hierarchy_query_seed(draw):
+    spec = draw(_SPEC)
+    hierarchy = Hierarchy.from_nested(spec)
+    num_leaves = hierarchy.num_leaves
+    start = draw(st.integers(0, num_leaves - 1))
+    end = draw(st.integers(start, num_leaves - 1))
+    specs = [(start, end)]
+    if draw(st.booleans()) and end + 2 <= num_leaves - 1:
+        second_start = draw(st.integers(end + 2, num_leaves - 1))
+        second_end = draw(
+            st.integers(second_start, num_leaves - 1)
+        )
+        specs.append((second_start, second_end))
+    seed = draw(st.integers(0, 2**16))
+    return hierarchy, RangeQuery(specs), seed
+
+
+@given(case=hierarchy_query_seed())
+@settings(max_examples=60, deadline=None)
+def test_hybrid_cost_never_beaten_by_pure_strategies(case):
+    hierarchy, query, seed = case
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(hierarchy.num_leaves))
+    catalog = ModeledNodeCatalog(
+        hierarchy,
+        weights,
+        CostModel.paper_2014(),
+        num_rows=1_000_000,
+    )
+    hybrid = hybrid_cut(catalog, query).cost
+    inclusive = inclusive_cut(catalog, query).cost
+    exclusive = exclusive_cut(catalog, query).cost
+    assert hybrid <= min(inclusive, exclusive) + 1e-9
+
+
+@given(case=hierarchy_query_seed())
+@settings(max_examples=25, deadline=None)
+def test_measured_io_equals_predicted_on_uncached_store(case):
+    hierarchy, query, seed = case
+    rng = np.random.default_rng(seed)
+    column = rng.integers(
+        0, hierarchy.num_leaves, size=2_000, dtype=np.int64
+    )
+    catalog = MaterializedNodeCatalog(hierarchy, column)
+    selection = hybrid_cut(catalog, query)
+    plan = build_query_plan(
+        catalog,
+        query,
+        selection.cut.node_ids,
+        labels=selection.labels,
+    )
+    # budget 0 + no spare LRU: nothing is ever cached, so every
+    # operation node is read exactly once from storage.
+    pool = BufferPool(catalog.store, budget_bytes=0)
+    executor = QueryExecutor(catalog, pool=pool)
+    result = executor.execute_plan(plan)
+    assert result.answer == scan_answer(column, query)
+    assert abs(result.io_bytes / MB - plan.predicted_cost_mb) < 1e-9
+    # And the plan's own prediction agrees with the per-node catalog.
+    expected = sum(
+        catalog.read_cost_mb(node_id)
+        for node_id in plan.operation_node_ids
+    )
+    assert abs(plan.predicted_cost_mb - expected) < 1e-9

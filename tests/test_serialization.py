@@ -7,9 +7,11 @@ import struct
 import pytest
 
 from repro.bitmap.serialization import (
+    CODEC_WAH,
     FORMAT_VERSION,
     HEADER_SIZE_BYTES,
     MAGIC,
+    TRAILER_SIZE_BYTES,
     deserialize_wah,
     serialize_wah,
 )
@@ -26,17 +28,20 @@ def test_serialized_size_matches_property():
     bitmap = WahBitmap.from_positions(range(0, 500, 7), 1000)
     payload = serialize_wah(bitmap)
     assert len(payload) == bitmap.serialized_size_bytes
-    assert len(payload) == HEADER_SIZE_BYTES + 4 * bitmap.num_words
+    assert len(payload) == (
+        HEADER_SIZE_BYTES + 4 * bitmap.num_words + TRAILER_SIZE_BYTES
+    )
 
 
 def test_header_layout():
     bitmap = WahBitmap.zeros(62)
     payload = serialize_wah(bitmap)
-    magic, version, _reserved, num_bits, num_words = struct.unpack_from(
+    magic, version, codec, num_bits, num_words = struct.unpack_from(
         "<4sHHQQ", payload
     )
     assert magic == MAGIC
     assert version == FORMAT_VERSION
+    assert codec == CODEC_WAH
     assert num_bits == 62
     assert num_words == bitmap.num_words
 

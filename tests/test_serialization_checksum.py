@@ -1,0 +1,137 @@
+"""CRC32 framing tests: round trips for all four codecs, plus rejection
+of truncated and single-bit-flipped payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitmap.plain import PlainBitmap
+from repro.bitmap.plwah import PlwahBitmap
+from repro.bitmap.roaring import RoaringBitmap
+from repro.bitmap.serialization import (
+    CODEC_PLAIN,
+    CODEC_PLWAH,
+    CODEC_ROARING,
+    CODEC_WAH,
+    deserialize_bitmap,
+    deserialize_plain,
+    deserialize_plwah,
+    deserialize_roaring,
+    deserialize_wah,
+    payload_codec,
+    serialize_bitmap,
+    serialize_plain,
+    serialize_plwah,
+    serialize_roaring,
+    serialize_wah,
+    verify_frame,
+)
+from repro.bitmap.wah import WahBitmap
+from repro.errors import BitmapDecodeError, ChecksumError
+
+POSITIONS = [0, 3, 64, 65, 1000, 4095, 9999]
+NUM_BITS = 10_000
+
+CODECS = {
+    "wah": (
+        lambda: WahBitmap.from_positions(POSITIONS, NUM_BITS),
+        serialize_wah,
+        deserialize_wah,
+        CODEC_WAH,
+    ),
+    "plwah": (
+        lambda: PlwahBitmap.from_positions(POSITIONS, NUM_BITS),
+        serialize_plwah,
+        deserialize_plwah,
+        CODEC_PLWAH,
+    ),
+    "roaring": (
+        lambda: RoaringBitmap.from_positions(POSITIONS, NUM_BITS),
+        serialize_roaring,
+        deserialize_roaring,
+        CODEC_ROARING,
+    ),
+    "plain": (
+        lambda: PlainBitmap.from_positions(POSITIONS, NUM_BITS),
+        serialize_plain,
+        deserialize_plain,
+        CODEC_PLAIN,
+    ),
+}
+
+
+@pytest.fixture(params=sorted(CODECS), ids=sorted(CODECS))
+def codec(request):
+    return request.param
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_bitmap(self, codec):
+        build, serialize, deserialize, _ = CODECS[codec]
+        bitmap = build()
+        restored = deserialize(serialize(bitmap))
+        assert restored == bitmap
+        assert list(restored.to_positions()) == POSITIONS
+
+    def test_empty_bitmap_roundtrip(self, codec):
+        build, serialize, deserialize, _ = CODECS[codec]
+        cls = type(build())
+        empty = cls.zeros(512)
+        assert deserialize(serialize(empty)) == empty
+
+    def test_frame_reports_codec(self, codec):
+        build, serialize, _, codec_id = CODECS[codec]
+        payload = serialize(build())
+        assert payload_codec(payload) == codec_id
+        assert verify_frame(payload) == codec_id
+
+    def test_generic_dispatch_roundtrip(self, codec):
+        build, _, _, _ = CODECS[codec]
+        bitmap = build()
+        restored = deserialize_bitmap(serialize_bitmap(bitmap))
+        assert type(restored) is type(bitmap)
+        assert restored == bitmap
+
+    def test_wrong_codec_rejected(self, codec):
+        build, serialize, _, _ = CODECS[codec]
+        payload = serialize(build())
+        others = [
+            CODECS[name][2] for name in sorted(CODECS) if name != codec
+        ]
+        for deserialize_other in others:
+            with pytest.raises(BitmapDecodeError):
+                deserialize_other(payload)
+
+
+class TestCorruptionRejection:
+    def test_every_truncation_rejected(self, codec):
+        build, serialize, deserialize, _ = CODECS[codec]
+        payload = serialize(build())
+        for cut in range(len(payload)):
+            with pytest.raises(BitmapDecodeError):
+                deserialize(payload[:cut])
+
+    def test_every_single_bit_flip_rejected(self, codec):
+        """CRC32 detects any single-bit error by construction."""
+        build, serialize, deserialize, _ = CODECS[codec]
+        payload = serialize(build())
+        for position in range(len(payload) * 8):
+            corrupted = bytearray(payload)
+            corrupted[position // 8] ^= 1 << (position % 8)
+            with pytest.raises(BitmapDecodeError):
+                deserialize(bytes(corrupted))
+
+    def test_trailing_garbage_rejected(self, codec):
+        build, serialize, deserialize, _ = CODECS[codec]
+        payload = serialize(build())
+        with pytest.raises(BitmapDecodeError):
+            deserialize(payload + b"\x00")
+
+    def test_payload_corruption_is_checksum_error(self, codec):
+        """A flip in the body (past the length-checked header fields)
+        surfaces as the typed ChecksumError, the executor's retry cue."""
+        build, serialize, deserialize, _ = CODECS[codec]
+        payload = bytearray(serialize(build()))
+        payload[-5] ^= 0x10  # inside body, away from header/CRC trailer
+        with pytest.raises(ChecksumError):
+            deserialize(bytes(payload))
