@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-chaos bench-wah-smoke bench-wah bench
+.PHONY: test test-chaos bench-wah-smoke bench-wah bench docs
 
 # Tier-1 verification (what CI must keep green).
 test:
@@ -26,3 +26,10 @@ bench-wah:
 # Regenerate every paper figure/table benchmark.
 bench:
 	$(PY) -m pytest benchmarks/ -q
+
+# Documentation gate: public-API docstring coverage (>= 90%), relative
+# links, mkdocs nav completeness; runs `mkdocs build --strict` when
+# mkdocs is installed (CI does; offline dev images need not).
+docs:
+	$(PY) tools/check_docstrings.py --fail-under 90
+	python tools/check_docs.py

@@ -45,7 +45,9 @@ from .core import (
     CutSelector,
     DegradedRead,
     ExecutionResult,
+    ExplainReport,
     MultiQueryCutResult,
+    NodeIOReport,
     QueryExecutor,
     QueryPlan,
     SingleQueryCutResult,
@@ -76,6 +78,19 @@ from .errors import (
     TransientStorageError,
     UnrecoverableReadError,
     WorkloadError,
+)
+from .obs import (
+    MetricsRegistry,
+    TraceCollector,
+    TraceEvent,
+    collecting_metrics,
+    get_metrics,
+    get_recorder,
+    record,
+    recording,
+    set_metrics,
+    set_recorder,
+    span,
 )
 from .hierarchy import (
     Cut,
@@ -167,6 +182,20 @@ __all__ = [
     "ExecutionResult",
     "DegradedRead",
     "scan_answer",
+    # observability
+    "ExplainReport",
+    "NodeIOReport",
+    "TraceEvent",
+    "TraceCollector",
+    "recording",
+    "record",
+    "span",
+    "get_recorder",
+    "set_recorder",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "collecting_metrics",
     # errors
     "ReproError",
     "BitmapError",

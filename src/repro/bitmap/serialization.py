@@ -48,6 +48,7 @@ __all__ = [
     "serialize_bitmap",
     "deserialize_bitmap",
     "payload_codec",
+    "codec_name",
     "verify_frame",
 ]
 
@@ -142,6 +143,14 @@ def verify_frame(payload: bytes) -> int:
 def payload_codec(payload: bytes) -> int:
     """The codec id of a framed payload (validates the frame)."""
     return verify_frame(payload)
+
+
+def codec_name(codec: int) -> str:
+    """Human-readable name of a codec id (``"unknown"`` if unmapped).
+
+    Used as the ``codec`` metrics label on decode counters.
+    """
+    return _CODEC_NAMES.get(codec, "unknown")
 
 
 # ----------------------------------------------------------------------

@@ -41,6 +41,11 @@ from .executor import (
     QueryExecutor,
     scan_answer,
 )
+from .explain import (
+    ExplainReport,
+    NodeIOReport,
+    build_explain_report,
+)
 from .multi import MultiQueryCutResult, nc_node_cost, select_cut_multi
 from .opnodes import (
     PlanAtom,
@@ -121,6 +126,9 @@ __all__ = [
     "ExecutionResult",
     "DegradedRead",
     "scan_answer",
+    "ExplainReport",
+    "NodeIOReport",
+    "build_explain_report",
     "QueryTrace",
     "WorkloadSimulation",
     "simulate_workload",

@@ -23,10 +23,11 @@ they are skipped under the same label.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
-
 from ..hierarchy.cuts import Cut
+from ..obs import get_metrics, span
 from ..storage.catalog import NodeCatalog
 from ..workload.query import Workload
 from .workload_cost import WorkloadNodeStats, case3_cut_cost
@@ -103,6 +104,31 @@ def one_cut_selection(
     stats: WorkloadNodeStats | None = None,
 ) -> ConstrainedCutResult:
     """Alg. 4: greedy single-cut selection under a memory budget."""
+    with span(
+        "planner.1cut",
+        queries=len(workload),
+        budget_mb=float(budget_mb),
+    ) as sp:
+        started = time.perf_counter()
+        result = _one_cut_selection(catalog, workload, budget_mb, stats)
+        get_metrics().observe(
+            "planner_seconds",
+            time.perf_counter() - started,
+            algorithm="1cut",
+        )
+        sp.annotate(
+            cost_mb=result.cost, cut_size=len(result.cut.node_ids)
+        )
+    return result
+
+
+def _one_cut_selection(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    stats: WorkloadNodeStats | None = None,
+) -> ConstrainedCutResult:
+    """The Alg. 4 greedy behind :func:`one_cut_selection`."""
     if budget_mb < 0:
         raise ValueError(f"budget_mb must be >= 0, got {budget_mb}")
     if stats is None:
@@ -177,6 +203,43 @@ def k_cut_selection(
             (:func:`polish_cut`) on the winner — an enhancement beyond
             the paper that narrows the high-memory optimality gap.
     """
+    with span(
+        "planner.kcut",
+        queries=len(workload),
+        budget_mb=float(budget_mb),
+        k=k,
+    ) as sp:
+        started = time.perf_counter()
+        result = _k_cut_selection(
+            catalog,
+            workload,
+            budget_mb,
+            k,
+            stats,
+            enable_replacement,
+            polish,
+        )
+        get_metrics().observe(
+            "planner_seconds",
+            time.perf_counter() - started,
+            algorithm="kcut",
+        )
+        sp.annotate(
+            cost_mb=result.cost, cut_size=len(result.cut.node_ids)
+        )
+    return result
+
+
+def _k_cut_selection(
+    catalog: NodeCatalog,
+    workload: Workload,
+    budget_mb: float,
+    k: int,
+    stats: WorkloadNodeStats | None = None,
+    enable_replacement: bool = True,
+    polish: bool = False,
+) -> ConstrainedCutResult:
+    """The Alg. 5 greedy behind :func:`k_cut_selection`."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if budget_mb < 0:

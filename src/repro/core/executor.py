@@ -20,17 +20,23 @@ recovery surfaces as a :class:`DegradedRead` on the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..bitmap.serialization import deserialize_wah
+from ..bitmap.serialization import (
+    codec_name,
+    deserialize_wah,
+    payload_codec,
+)
 from ..bitmap.wah import WahBitmap
 from ..errors import (
     BitmapDecodeError,
     StorageError,
     UnrecoverableReadError,
 )
+from ..obs import TraceCollector, get_metrics, record, recording, span
 from ..storage.accounting import IOSnapshot
 from ..storage.cache import BufferPool
 from ..storage.catalog import MaterializedNodeCatalog, node_file_name
@@ -38,6 +44,7 @@ from ..storage.costmodel import MB
 from ..storage.faults import RetryPolicy
 from ..workload.query import RangeQuery, Workload
 from .costs import StrategyLabel
+from .explain import ExplainReport, build_explain_report
 from .opnodes import QueryPlan, build_query_plan
 
 __all__ = [
@@ -165,6 +172,7 @@ class QueryExecutor:
         """
         name = node_file_name(node_id)
         accountant = self._pool.accountant
+        metrics = get_metrics()
         last_error: Exception | None = None
         attempts = 0
         for attempt in self._retry.attempts():
@@ -181,10 +189,31 @@ class QueryExecutor:
                 last_error = err
                 break
             try:
+                if metrics.enabled:
+                    started = time.perf_counter()
+                    bitmap = deserialize_wah(payload)
+                    metrics.observe(
+                        "decode_seconds",
+                        time.perf_counter() - started,
+                    )
+                    metrics.inc(
+                        "decoded_bytes_total",
+                        len(payload),
+                        codec=codec_name(payload_codec(payload)),
+                    )
+                    return bitmap
                 return deserialize_wah(payload)
             except BitmapDecodeError as err:
                 last_error = err
                 accountant.record_discard(name, len(payload))
+                record(
+                    "executor.discard",
+                    name,
+                    node_id=node_id,
+                    nbytes=len(payload),
+                    error=type(err).__name__,
+                )
+                metrics.inc("decode_discards_total")
         assert last_error is not None
         if events is None or not self._allow_degraded:
             raise last_error
@@ -213,6 +242,14 @@ class QueryExecutor:
                 recovered_from=tuple(node.children),
             )
         )
+        record(
+            "executor.degraded",
+            name,
+            node_id=node_id,
+            attempts=attempts,
+            recovered_from=tuple(node.children),
+        )
+        metrics.inc("degraded_reads_total")
         return recovered
 
     def _leaf_bitmap(
@@ -237,41 +274,58 @@ class QueryExecutor:
 
             verify_plan(plan, self._catalog.hierarchy)
         accountant = self._pool.accountant
-        before = accountant.bytes_read
+        before = accountant.snapshot()
         num_bits = self._catalog.num_rows
         events: list[DegradedRead] = []
         terms: list[WahBitmap] = []
-        for atom in plan.atoms:
-            if atom.label is StrategyLabel.COMPLETE:
-                assert atom.node_id is not None
-                term = self._bitmap(atom.node_id, events)
-            elif atom.label is StrategyLabel.INCLUSIVE:
-                term = WahBitmap.union_all(
-                    (
-                        self._leaf_bitmap(value, events)
-                        for value in atom.leaf_values
-                    ),
-                    num_bits=num_bits,
+        with span(
+            "executor.plan",
+            query=plan.query.label or repr(plan.query),
+            atoms=len(plan.atoms),
+        ) as sp:
+            for atom in plan.atoms:
+                record(
+                    "executor.atom",
+                    atom.label.value,
+                    node_id=atom.node_id,
+                    leaves=len(atom.leaf_values),
                 )
-            else:  # EXCLUSIVE
-                assert atom.node_id is not None
-                node_bitmap = self._bitmap(atom.node_id, events)
-                removal = WahBitmap.union_all(
-                    (
-                        self._leaf_bitmap(value, events)
-                        for value in atom.leaf_values
-                    ),
-                    num_bits=num_bits,
-                )
-                term = node_bitmap.andnot(removal)
-            terms.append(term)
-        # One k-way union over all atoms (vectorized kernel path)
-        # instead of a left-to-right OR fold over a growing answer.
-        answer = WahBitmap.union_all(terms, num_bits=num_bits)
+                if atom.label is StrategyLabel.COMPLETE:
+                    assert atom.node_id is not None
+                    term = self._bitmap(atom.node_id, events)
+                elif atom.label is StrategyLabel.INCLUSIVE:
+                    term = WahBitmap.union_all(
+                        (
+                            self._leaf_bitmap(value, events)
+                            for value in atom.leaf_values
+                        ),
+                        num_bits=num_bits,
+                    )
+                else:  # EXCLUSIVE
+                    assert atom.node_id is not None
+                    node_bitmap = self._bitmap(atom.node_id, events)
+                    removal = WahBitmap.union_all(
+                        (
+                            self._leaf_bitmap(value, events)
+                            for value in atom.leaf_values
+                        ),
+                        num_bits=num_bits,
+                    )
+                    term = node_bitmap.andnot(removal)
+                terms.append(term)
+            # One k-way union over all atoms (vectorized kernel path)
+            # instead of a left-to-right OR fold over a growing answer.
+            answer = WahBitmap.union_all(terms, num_bits=num_bits)
+            delta = accountant.diff_since(before)
+            get_metrics().observe("union_width", len(terms))
+            sp.annotate(
+                io_bytes=delta.bytes_read,
+                degraded=len(events),
+            )
         return ExecutionResult(
             query=plan.query,
             answer=answer,
-            io_bytes=accountant.bytes_read - before,
+            io_bytes=delta.bytes_read,
             degraded_reads=tuple(events),
         )
 
@@ -321,6 +375,72 @@ class QueryExecutor:
             return float(selected.max()), result
         raise ValueError(
             f"agg must be one of count/sum/avg/min/max, got {agg!r}"
+        )
+
+    def explain_analyze(
+        self,
+        query: RangeQuery | QueryPlan,
+        cut_node_ids=(),
+        node_is_cached: bool = False,
+    ) -> ExplainReport:
+        """Execute a query with tracing on and report predicted vs
+        measured IO for every operation node.
+
+        The executor's EXPLAIN ANALYZE: plans the query (Alg. 2, unless
+        a prebuilt :class:`QueryPlan` is passed), runs it with a private
+        :class:`~repro.obs.TraceCollector` installed, and attributes
+        the accountant's byte delta file-by-file — so each node row
+        shows the :class:`~repro.storage.costmodel.CostModel`/catalog
+        prediction next to the bytes actually read, plus cache hits,
+        retries, checksum discards, and degraded recoveries.
+
+        On a cold pool over healthy storage every row satisfies
+        ``measured_bytes == predicted_bytes`` exactly; retried or
+        degraded reads cost more and flag the row.
+
+        Args:
+            query: the query to explain, or an already-built plan.
+            cut_node_ids: cut members to plan against.
+            node_is_cached: plan under the Cases-2/3 assumption that
+                cut members are resident (their read cost is sunk).
+
+        Returns:
+            The :class:`~repro.core.explain.ExplainReport`, renderable
+            via ``to_text(catalog)`` or ``to_json()``.
+
+        Note:
+            events emitted while the report runs go to the report's own
+            collector, not any previously installed ambient recorder.
+        """
+        planner_seconds: float | None = None
+        if isinstance(query, QueryPlan):
+            plan = query
+        else:
+            started = time.perf_counter()
+            plan = build_query_plan(
+                self._catalog,
+                query,
+                cut_node_ids,
+                node_is_cached=node_is_cached,
+            )
+            planner_seconds = time.perf_counter() - started
+        pre_cached = tuple(sorted(self._pool.cached_names))
+        before = self._pool.accountant.snapshot()
+        collector = TraceCollector()
+        started = time.perf_counter()
+        with recording(collector):
+            result = self.execute_plan(plan)
+        execute_seconds = time.perf_counter() - started
+        delta = self._pool.accountant.diff_since(before)
+        return build_explain_report(
+            self._catalog,
+            plan,
+            result,
+            io=delta,
+            events=tuple(collector.events),
+            pre_cached=pre_cached,
+            planner_seconds=planner_seconds,
+            execute_seconds=execute_seconds,
         )
 
     def execute_query(

@@ -1,0 +1,422 @@
+"""EXPLAIN ANALYZE: predicted vs measured IO, node by node.
+
+The paper's central artifact is a cost model whose *predictions* drive
+cut selection; the executor *measures* what those predictions claimed.
+:meth:`~repro.core.executor.QueryExecutor.explain_analyze` runs a plan
+with tracing on and produces an :class:`ExplainReport` that juxtaposes,
+for every operation node, the :class:`~repro.storage.costmodel.
+CostModel` / catalog prediction with the bytes the
+:class:`~repro.storage.accounting.IOAccountant` actually saw — plus
+cache hits, retries, decode discards, and degraded recoveries.
+
+On a cold store the two columns agree *exactly* (asserted in the test
+suite); a disagreement localizes which node, which the aggregate
+"measured == predicted" test never could.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..obs.trace import TraceEvent
+from ..storage.accounting import IOSnapshot
+from ..storage.catalog import NodeCatalog, node_file_name
+from ..storage.costmodel import MB
+from ..workload.query import RangeQuery
+from .costs import StrategyLabel
+from .opnodes import QueryPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import DegradedRead, ExecutionResult
+
+__all__ = ["NodeIOReport", "ExplainReport", "build_explain_report"]
+
+#: How a node participates in the plan, derived from its atom.
+_ROLE_ORDER = (
+    "complete",
+    "exclusive",
+    "inclusive-leaf",
+    "exclusive-leaf",
+    "uncovered-leaf",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeIOReport:
+    """Predicted-vs-measured IO for one operation node of one query.
+
+    Attributes:
+        node_id: the hierarchy node.
+        name: display name (node name when set, else ``node<id>``).
+        file_name: the bitmap file behind the node.
+        role: how the plan uses the node — ``complete`` (its bitmap is
+            OR-ed in), ``exclusive`` (bitmap ANDNOT leaves),
+            ``inclusive-leaf`` / ``exclusive-leaf`` (a leaf read on a
+            partial member's behalf), or ``uncovered-leaf``.
+        predicted_mb: the cost model's charge for the node (0 when the
+            plan assumes it resident, e.g. a pinned cut member).
+        measured_bytes: bytes actually fetched from storage for the
+            node during this query (0 on a cache hit).
+        reads: storage fetches of the node's file.
+        cache_hits: pool hits on the node's file.
+        retries: transient-fault retries on the node's file.
+        discards: payloads that failed the checksum and were dropped.
+        degraded: whether the node's bitmap had to be re-derived from
+            its descendants.
+    """
+
+    node_id: int
+    name: str
+    file_name: str
+    role: str
+    predicted_mb: float
+    measured_bytes: int
+    reads: int
+    cache_hits: int
+    retries: int
+    discards: int
+    degraded: bool
+
+    @property
+    def measured_mb(self) -> float:
+        """Measured bytes in MB (the paper's unit)."""
+        return self.measured_bytes / MB
+
+    @property
+    def predicted_bytes(self) -> int:
+        """The prediction rounded to whole bytes."""
+        return int(round(self.predicted_mb * MB))
+
+    @property
+    def matches_prediction(self) -> bool:
+        """Whether measurement equals prediction to the byte.
+
+        Retried/degraded reads legitimately cost more than predicted;
+        this stays ``True`` only on the clean path.
+        """
+        return self.measured_bytes == self.predicted_bytes
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "node_id": self.node_id,
+            "name": self.name,
+            "file": self.file_name,
+            "role": self.role,
+            "predicted_mb": self.predicted_mb,
+            "predicted_bytes": self.predicted_bytes,
+            "measured_bytes": self.measured_bytes,
+            "measured_mb": self.measured_mb,
+            "reads": self.reads,
+            "cache_hits": self.cache_hits,
+            "retries": self.retries,
+            "discards": self.discards,
+            "degraded": self.degraded,
+            "matches_prediction": self.matches_prediction,
+        }
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """The full EXPLAIN ANALYZE output for one executed query.
+
+    Renders as text (:meth:`to_text`, extending the plan's
+    ``explain()``) or JSON (:meth:`to_json`).  The event stream is the
+    same deterministic schema the chaos suite snapshots; timings live
+    in ``planner_seconds`` / ``execute_seconds`` only, never in events.
+    """
+
+    query: RangeQuery
+    plan: QueryPlan
+    nodes: tuple[NodeIOReport, ...]
+    io: IOSnapshot
+    events: tuple[TraceEvent, ...]
+    degraded_reads: tuple["DegradedRead", ...]
+    answer_count: int
+    planner_seconds: float | None = None
+    execute_seconds: float | None = None
+    pre_cached: tuple[str, ...] = field(default=())
+
+    # ------------------------------------------------------------------
+    @property
+    def predicted_mb(self) -> float:
+        """Total predicted IO (the plan's Alg. 2 charge)."""
+        return self.plan.predicted_cost_mb
+
+    @property
+    def measured_mb(self) -> float:
+        """Total measured IO for the query."""
+        return self.io.bytes_read / MB
+
+    @property
+    def measured_bytes(self) -> int:
+        """Total measured IO in bytes."""
+        return self.io.bytes_read
+
+    @property
+    def matches_prediction(self) -> bool:
+        """Whether every node's measurement equals its prediction."""
+        return all(node.matches_prediction for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation of the whole report."""
+        return {
+            "query": repr(self.query),
+            "plan": {
+                "atoms": [
+                    {
+                        "label": atom.label.value,
+                        "node_id": atom.node_id,
+                        "leaf_values": list(atom.leaf_values),
+                    }
+                    for atom in self.plan.atoms
+                ],
+                "operation_nodes": sorted(
+                    self.plan.operation_node_ids
+                ),
+                "predicted_mb": self.plan.predicted_cost_mb,
+            },
+            "nodes": [node.to_dict() for node in self.nodes],
+            "totals": {
+                "predicted_mb": self.predicted_mb,
+                "measured_bytes": self.measured_bytes,
+                "measured_mb": self.measured_mb,
+                "reads": self.io.read_count,
+                "retries": self.io.retry_count,
+                "discarded_bytes": self.io.discarded_bytes,
+                "degraded_reads": len(self.degraded_reads),
+                "matches_prediction": self.matches_prediction,
+            },
+            "degraded_reads": [
+                {
+                    "node_id": event.node_id,
+                    "file": event.file_name,
+                    "attempts": event.attempts,
+                    "error": event.error,
+                    "recovered_from": list(event.recovered_from),
+                }
+                for event in self.degraded_reads
+            ],
+            "answer_count": self.answer_count,
+            "pre_cached": list(self.pre_cached),
+            "timings": {
+                "planner_seconds": self.planner_seconds,
+                "execute_seconds": self.execute_seconds,
+            },
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_text(self, catalog: NodeCatalog | None = None) -> str:
+        """Human-readable report: plan, per-node table, totals.
+
+        With a catalog the plan section uses node names (mirroring
+        ``QueryPlan.explain``); the node table always does when names
+        were resolved at build time.
+        """
+        lines = ["EXPLAIN ANALYZE"]
+        lines.append(self.plan.explain(catalog))
+        header = (
+            f"{'node':>14} | {'role':>14} | {'predicted':>12} | "
+            f"{'measured':>12} | {'reads':>5} | {'hits':>4} | "
+            f"{'retry':>5} | {'degraded':>8} | {'ok':>3}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for node in self.nodes:
+            lines.append(
+                f"{node.name:>14} | {node.role:>14} | "
+                f"{node.predicted_mb:>9.4f} MB | "
+                f"{node.measured_mb:>9.4f} MB | {node.reads:>5} | "
+                f"{node.cache_hits:>4} | {node.retries:>5} | "
+                f"{'yes' if node.degraded else 'no':>8} | "
+                f"{'=' if node.matches_prediction else '!':>3}"
+            )
+        lines.append(
+            f"totals: predicted {self.predicted_mb:.4f} MB, measured "
+            f"{self.measured_mb:.4f} MB "
+            f"({'exact match' if self.matches_prediction else 'MISMATCH'})"
+        )
+        lines.append(
+            f"io: {self.io.read_count} reads, {self.io.retry_count} "
+            f"retries, {self.io.discard_count} discards "
+            f"({self.io.discarded_bytes} wasted bytes), "
+            f"{len(self.degraded_reads)} degraded"
+        )
+        if self.pre_cached:
+            lines.append(
+                f"pre-cached: {len(self.pre_cached)} files resident "
+                f"before execution"
+            )
+        timing_bits = []
+        if self.planner_seconds is not None:
+            timing_bits.append(f"plan {self.planner_seconds * 1e3:.2f} ms")
+        if self.execute_seconds is not None:
+            timing_bits.append(
+                f"execute {self.execute_seconds * 1e3:.2f} ms"
+            )
+        if timing_bits:
+            lines.append("timings: " + ", ".join(timing_bits))
+        lines.append(
+            f"events: {len(self.events)} "
+            f"({_summarize_kinds(self.events)})"
+        )
+        lines.append(f"answer: {self.answer_count} matching rows")
+        return "\n".join(lines)
+
+
+def _summarize_kinds(events: tuple[TraceEvent, ...]) -> str:
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return ", ".join(
+        f"{kind}×{count}" for kind, count in sorted(counts.items())
+    ) or "none"
+
+
+def _node_roles(
+    catalog: NodeCatalog, plan: QueryPlan
+) -> dict[int, str]:
+    """Map each operation node to how the plan uses it."""
+    hierarchy = catalog.hierarchy
+    roles: dict[int, str] = {}
+
+    def assign(node_id: int, role: str) -> None:
+        current = roles.get(node_id)
+        if current is None or (
+            _ROLE_ORDER.index(role) < _ROLE_ORDER.index(current)
+        ):
+            roles[node_id] = role
+
+    for atom in plan.atoms:
+        if atom.label is StrategyLabel.COMPLETE:
+            assert atom.node_id is not None
+            assign(atom.node_id, "complete")
+        elif atom.label is StrategyLabel.INCLUSIVE:
+            leaf_role = (
+                "inclusive-leaf"
+                if atom.node_id is not None
+                else "uncovered-leaf"
+            )
+            for value in atom.leaf_values:
+                assign(hierarchy.leaf_node_id(value), leaf_role)
+        else:  # EXCLUSIVE
+            assert atom.node_id is not None
+            assign(atom.node_id, "exclusive")
+            for value in atom.leaf_values:
+                assign(
+                    hierarchy.leaf_node_id(value), "exclusive-leaf"
+                )
+    return roles
+
+
+def build_explain_report(
+    catalog: NodeCatalog,
+    plan: QueryPlan,
+    result: "ExecutionResult",
+    io: IOSnapshot,
+    events: tuple[TraceEvent, ...],
+    pre_cached: tuple[str, ...] = (),
+    planner_seconds: float | None = None,
+    execute_seconds: float | None = None,
+) -> ExplainReport:
+    """Assemble the per-node report from an executed plan's artifacts.
+
+    Args:
+        catalog: resolves node names and predicted costs.
+        plan: the executed plan.
+        result: the execution outcome (answer + degradations).
+        io: the accountant *delta* covering exactly this execution
+            (see :meth:`IOSnapshot.diff`).
+        events: the trace captured during execution.
+        pre_cached: file names resident in the pool before execution.
+        planner_seconds: plan-construction time, if measured.
+        execute_seconds: plan-execution time, if measured.
+    """
+    roles = _node_roles(catalog, plan)
+    hierarchy = catalog.hierarchy
+    charged = plan.charged_nodes
+    degraded_ids = {
+        event.node_id for event in result.degraded_reads
+    }
+    hits_by_name: dict[str, int] = {}
+    retries_by_name: dict[str, int] = {}
+    discards_by_name: dict[str, int] = {}
+    for event in events:
+        if event.kind == "cache.hit":
+            hits_by_name[event.name] = (
+                hits_by_name.get(event.name, 0) + 1
+            )
+        elif event.kind == "storage.retry":
+            retries_by_name[event.name] = (
+                retries_by_name.get(event.name, 0) + 1
+            )
+        elif event.kind == "executor.discard":
+            discards_by_name[event.name] = (
+                discards_by_name.get(event.name, 0) + 1
+            )
+
+    rows: list[NodeIOReport] = []
+    for node_id in sorted(plan.operation_node_ids):
+        node = hierarchy.node(node_id)
+        file_name = node_file_name(node_id)
+        predicted = (
+            catalog.read_cost_mb(node_id)
+            if node_id in charged
+            else 0.0
+        )
+        rows.append(
+            NodeIOReport(
+                node_id=node_id,
+                name=node.name or f"node{node_id}",
+                file_name=file_name,
+                role=roles.get(node_id, "unused"),
+                predicted_mb=predicted,
+                measured_bytes=io.bytes_by_name.get(file_name, 0),
+                reads=io.reads_by_name.get(file_name, 0),
+                cache_hits=hits_by_name.get(file_name, 0),
+                retries=retries_by_name.get(file_name, 0),
+                discards=discards_by_name.get(file_name, 0),
+                degraded=node_id in degraded_ids,
+            )
+        )
+    # Degradation reads files *outside* the operation-node set (the
+    # descendants it recovers from); report those too so every measured
+    # byte has a row.
+    reported = {row.file_name for row in rows}
+    for file_name in sorted(io.bytes_by_name):
+        if file_name in reported:
+            continue
+        rows.append(
+            NodeIOReport(
+                node_id=-1,
+                name=file_name,
+                file_name=file_name,
+                role="recovery",
+                predicted_mb=0.0,
+                measured_bytes=io.bytes_by_name[file_name],
+                reads=io.reads_by_name.get(file_name, 0),
+                cache_hits=hits_by_name.get(file_name, 0),
+                retries=retries_by_name.get(file_name, 0),
+                discards=discards_by_name.get(file_name, 0),
+                degraded=False,
+            )
+        )
+    return ExplainReport(
+        query=plan.query,
+        plan=plan,
+        nodes=tuple(rows),
+        io=io,
+        events=events,
+        degraded_reads=result.degraded_reads,
+        answer_count=result.answer.count(),
+        planner_seconds=planner_seconds,
+        execute_seconds=execute_seconds,
+        pre_cached=pre_cached,
+    )

@@ -14,9 +14,11 @@ recursion, identical in structure to Alg. 1.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from ..hierarchy.cuts import Cut
+from ..obs import get_metrics, span
 from ..storage.catalog import NodeCatalog
 from ..workload.query import Workload
 from .workload_cost import WorkloadNodeStats, case2_cut_cost
@@ -71,6 +73,29 @@ def select_cut_multi(
             answered from their leaves) — the restriction the
             materialization advisor optimizes over.
     """
+    with span("planner.multi", queries=len(workload)) as sp:
+        started = time.perf_counter()
+        result = _select_cut_multi(
+            catalog, workload, stats, allowed_node_ids
+        )
+        get_metrics().observe(
+            "planner_seconds",
+            time.perf_counter() - started,
+            algorithm="multi",
+        )
+        sp.annotate(
+            cost_mb=result.cost, cut_size=len(result.cut.node_ids)
+        )
+    return result
+
+
+def _select_cut_multi(
+    catalog: NodeCatalog,
+    workload: Workload,
+    stats: WorkloadNodeStats | None = None,
+    allowed_node_ids=None,
+) -> MultiQueryCutResult:
+    """The Alg. 3 dynamic program behind :func:`select_cut_multi`."""
     if stats is None:
         stats = WorkloadNodeStats(catalog, workload)
     hierarchy = catalog.hierarchy

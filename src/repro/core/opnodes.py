@@ -51,11 +51,25 @@ class QueryPlan:
     atoms: tuple[PlanAtom, ...]
     operation_node_ids: frozenset[int]
     predicted_cost_mb: float
+    charged_node_ids: frozenset[int] | None = None
 
     @property
     def num_operation_nodes(self) -> int:
         """``|ON_q|`` for this plan."""
         return len(self.operation_node_ids)
+
+    @property
+    def charged_nodes(self) -> frozenset[int]:
+        """Operation nodes whose read cost the prediction charges.
+
+        Cut members assumed resident (``node_is_cached``) are operation
+        nodes but cost nothing; ``explain_analyze`` uses this to compare
+        per-node predicted vs measured bytes.  ``None`` (plans built by
+        hand) means every operation node is charged.
+        """
+        if self.charged_node_ids is None:
+            return self.operation_node_ids
+        return self.charged_node_ids
 
     def explain(self, catalog: "NodeCatalog | None" = None) -> str:
         """Human-readable rendering of the plan's bitmap algebra.
@@ -208,17 +222,21 @@ def build_query_plan(
         for leaf_value in atom.leaf_values:
             operation_ids.add(hierarchy.leaf_node_id(leaf_value))
 
-    predicted = 0.0
     member_set = set(members)
-    for node_id in operation_ids:
-        if node_is_cached and node_id in member_set:
-            continue
-        predicted += catalog.read_cost_mb(node_id)
+    charged = frozenset(
+        node_id
+        for node_id in operation_ids
+        if not (node_is_cached and node_id in member_set)
+    )
+    predicted = float(
+        sum(catalog.read_cost_mb(node_id) for node_id in charged)
+    )
     return QueryPlan(
         query=query,
         atoms=tuple(atoms),
         operation_node_ids=frozenset(operation_ids),
         predicted_cost_mb=predicted,
+        charged_node_ids=charged,
     )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from ..obs.trace import TraceEvent
 from ..storage.catalog import NodeCatalog
 from ..storage.diskmodel import DiskProfile
 from ..workload.query import Workload
@@ -38,6 +39,24 @@ class QueryTrace:
     fetched_nodes: int
     io_mb: float
 
+    def to_event(self, seq: int = 0) -> TraceEvent:
+        """This prediction as a ``sim.query`` event — the same schema
+        measured traces use, so predicted and observed streams can be
+        compared or priced by one code path (e.g. :func:`~repro.storage.
+        diskmodel.estimate_seconds_from_events`)."""
+        from ..storage.costmodel import MB
+
+        return TraceEvent(
+            seq=seq,
+            kind="sim.query",
+            name=self.label,
+            attrs={
+                "operation_nodes": self.operation_nodes,
+                "reads": self.fetched_nodes,
+                "nbytes": int(round(self.io_mb * MB)),
+            },
+        )
+
 
 @dataclass(frozen=True)
 class WorkloadSimulation:
@@ -62,6 +81,35 @@ class WorkloadSimulation:
         return profile.read_seconds(
             int(self.total_io_mb * MB), self.total_reads
         )
+
+    def to_events(self) -> tuple[TraceEvent, ...]:
+        """The whole simulation as one deterministic event stream.
+
+        Emits a ``sim.pin`` event (the one-time cut load) followed by a
+        ``sim.query`` event per query, with dense sequence numbers —
+        the *predicted* counterpart of the ``storage.read`` stream a
+        real execution records.  Both stream flavors are accepted by
+        :func:`~repro.storage.diskmodel.estimate_seconds_from_events`.
+        """
+        from ..storage.costmodel import MB
+
+        pin_reads = self.total_reads - sum(
+            trace.fetched_nodes for trace in self.traces
+        )
+        events = [
+            TraceEvent(
+                seq=0,
+                kind="sim.pin",
+                name="cut",
+                attrs={
+                    "reads": pin_reads,
+                    "nbytes": int(round(self.pin_io_mb * MB)),
+                },
+            )
+        ]
+        for offset, trace in enumerate(self.traces):
+            events.append(trace.to_event(seq=offset + 1))
+        return tuple(events)
 
     def to_text(self) -> str:
         """Aligned per-query table plus totals."""

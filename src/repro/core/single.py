@@ -16,9 +16,11 @@ returned cut is complete.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from ..hierarchy.cuts import Cut
+from ..obs import get_metrics, span
 from ..storage.catalog import NodeCatalog
 from ..workload.query import RangeQuery
 from .costs import (
@@ -106,6 +108,30 @@ def select_cut_single(
         raise ValueError(
             f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
         )
+    with span(
+        "planner.single",
+        query=query.label or repr(query),
+        strategy=strategy,
+    ) as sp:
+        started = time.perf_counter()
+        result = _select_cut_single(catalog, query, strategy)
+        get_metrics().observe(
+            "planner_seconds",
+            time.perf_counter() - started,
+            algorithm=f"single-{strategy}",
+        )
+        sp.annotate(
+            cost_mb=result.cost, cut_size=len(result.cut.node_ids)
+        )
+    return result
+
+
+def _select_cut_single(
+    catalog: NodeCatalog,
+    query: RangeQuery,
+    strategy: str,
+) -> SingleQueryCutResult:
+    """The Alg. 1 dynamic program behind :func:`select_cut_single`."""
     hierarchy = catalog.hierarchy
     stats = QueryNodeStats(catalog, query)
 

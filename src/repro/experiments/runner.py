@@ -13,11 +13,18 @@ Each experiment prints the rows the corresponding paper figure plots.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Callable
 
 from ..bitmap import kernels
+from ..obs import (
+    MetricsRegistry,
+    TraceCollector,
+    set_metrics,
+    set_recorder,
+)
 from ..storage.faults import FaultPolicy, set_default_fault_policy
 from . import (
     ablations,
@@ -160,6 +167,24 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="seed for the injected fault sequence (default 0)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record trace events while experiments run and print a "
+            "per-kind event summary after each one"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "collect process-wide metrics (planner/decode timings, "
+            "bytes by codec, cache and fault counters) and write them "
+            "as JSON to PATH ('-' for stdout)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.wah_kernel is not None:
         kernels.set_kernel_mode(args.wah_kernel)
@@ -182,6 +207,16 @@ def main(argv: list[str] | None = None) -> int:
     if names == ["all"]:
         names = list(EXPERIMENTS)
 
+    collector = TraceCollector() if args.trace else None
+    registry = (
+        MetricsRegistry() if args.metrics_out is not None else None
+    )
+    previous_recorder = (
+        set_recorder(collector) if collector is not None else None
+    )
+    previous_metrics = (
+        set_metrics(registry) if registry is not None else None
+    )
     try:
         for name in names:
             started = time.perf_counter()
@@ -191,9 +226,32 @@ def main(argv: list[str] | None = None) -> int:
             elapsed = time.perf_counter() - started
             print(result.to_text())
             print(f"# completed in {elapsed:.1f}s")
+            if collector is not None:
+                counts = collector.counts_by_kind()
+                summary = ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in counts.items()
+                )
+                print(
+                    f"# trace: {len(collector.events)} events"
+                    + (f" ({summary})" if summary else "")
+                )
+                collector.clear()
             print()
     finally:
         set_default_fault_policy(None)
+        if collector is not None:
+            set_recorder(previous_recorder)
+        if registry is not None:
+            set_metrics(previous_metrics)
+    if registry is not None:
+        payload = json.dumps(registry.to_dict(), indent=2)
+        if args.metrics_out == "-":
+            print(payload)
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"# metrics written to {args.metrics_out}")
     if fault_policy is not None:
         print(f"# fault injection: {fault_policy!r}")
     return 0

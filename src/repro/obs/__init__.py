@@ -1,0 +1,52 @@
+"""Observability: deterministic traces, spans, and process metrics.
+
+The package every other layer reports into — and imports nothing back,
+so storage, planner, executor, and CLI code can all emit events without
+cycles.  See ``docs/observability.md`` for the event schema and metrics
+catalog, and :meth:`repro.core.executor.QueryExecutor.explain_analyze`
+for the report built on top.
+"""
+
+from .metrics import (
+    NULL_METRICS,
+    HistogramSummary,
+    MetricsRegistry,
+    NullMetrics,
+    collecting_metrics,
+    get_metrics,
+    set_metrics,
+)
+from .trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    TraceCollector,
+    TraceEvent,
+    TraceRecorder,
+    get_recorder,
+    record,
+    recording,
+    set_recorder,
+    span,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceCollector",
+    "Span",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "record",
+    "span",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "collecting_metrics",
+]

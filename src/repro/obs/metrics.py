@@ -1,0 +1,220 @@
+"""Process-wide counters and histograms for the query path.
+
+Where :mod:`repro.obs.trace` records *what happened, in order*, this
+module aggregates *how much and how fast*: storage bytes by codec,
+planner and decode latencies, union widths, fault counts.  The split
+keeps traces deterministic (no wall-clock data) while still exposing
+timing through a side channel.
+
+Like the trace recorder, metrics default to a no-op registry so an
+uninstrumented run pays one attribute load per call site.  Enable
+collection with :func:`collecting_metrics` (scoped) or
+:func:`set_metrics` (process-wide, what ``hcs-experiments
+--metrics-out`` uses).
+
+Metric naming follows the Prometheus convention — ``*_total`` for
+counters, ``*_seconds`` for timings — and labels are passed as keyword
+arguments::
+
+    metrics = get_metrics()
+    metrics.inc("storage_read_bytes_total", nbytes, codec="wah")
+    metrics.observe("planner_seconds", elapsed, algorithm="hcs")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "collecting_metrics",
+]
+
+
+def _key(name: str, labels: dict[str, Any]) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+def _render_key(key: tuple) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of an observed distribution (no buckets).
+
+    Tracks ``count`` / ``total`` / ``min`` / ``max``; ``mean`` derives.
+    Enough for the catalog's latency and width metrics without a bucket
+    scheme to mis-tune.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (``nan`` when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready summary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": 0.0 if not self.count else self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Holds named counters and histogram summaries, with labels."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, float] = {}
+        self._histograms: dict[tuple, HistogramSummary] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` to counter ``name`` (created at 0 on first use)."""
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        key = _key(name, labels)
+        summary = self._histograms.get(key)
+        if summary is None:
+            summary = self._histograms[key] = HistogramSummary()
+        summary.observe(value)
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def histogram(self, name: str, **labels: Any) -> HistogramSummary:
+        """Summary of a histogram (empty if never observed)."""
+        return self._histograms.get(
+            _key(name, labels), HistogramSummary()
+        )
+
+    def to_dict(self) -> dict[str, dict[str, Any]]:
+        """All metrics, JSON-ready, with deterministic key order."""
+        counters = {
+            _render_key(key): value
+            for key, value in sorted(self._counters.items())
+        }
+        histograms = {
+            _render_key(key): summary.to_dict()
+            for key, summary in sorted(self._histograms.items())
+        }
+        return {"counters": counters, "histograms": histograms}
+
+    def to_text(self) -> str:
+        """Aligned human-readable dump (``hcs-experiments`` output)."""
+        lines = []
+        data = self.to_dict()
+        if data["counters"]:
+            lines.append("counters:")
+            for key, value in data["counters"].items():
+                rendered = (
+                    f"{int(value)}" if value == int(value) else f"{value:.6g}"
+                )
+                lines.append(f"  {key:<48} {rendered}")
+        if data["histograms"]:
+            lines.append("histograms:")
+            for key, summary in data["histograms"].items():
+                lines.append(
+                    f"  {key:<48} count={summary['count']} "
+                    f"mean={summary['mean']:.6g} min={summary['min']:.6g} "
+                    f"max={summary['max']:.6g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        """Drop every counter and histogram."""
+        self._counters.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._histograms)} histograms)"
+        )
+
+
+class NullMetrics(MetricsRegistry):
+    """The disabled registry: records nothing, reads as empty."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Discard the increment."""
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Discard the observation."""
+
+
+#: Process-wide no-op registry (the default).
+NULL_METRICS = NullMetrics()
+
+_metrics: MetricsRegistry = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry:
+    """The ambient metrics registry instrumented code records to."""
+    return _metrics
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install the ambient registry (``None`` restores the no-op).
+
+    Returns the previously installed registry so callers can restore it.
+    """
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+    return previous
+
+
+@contextmanager
+def collecting_metrics(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Scoped metrics collection; yields the active registry::
+
+        with collecting_metrics() as metrics:
+            selector.select(query)
+        print(metrics.to_text())
+    """
+    active = registry if registry is not None else MetricsRegistry()
+    previous = set_metrics(active)
+    try:
+        yield active
+    finally:
+        set_metrics(previous)

@@ -1,0 +1,310 @@
+"""Deterministic tracing for the query path.
+
+One event schema covers everything that happens between a
+:class:`~repro.workload.query.RangeQuery` and bytes leaving the
+(simulated) disk: planner decisions, cache hits, storage reads, injected
+faults, retries, and degraded recoveries.  The same schema also carries
+*predicted* IO (see :meth:`~repro.core.simulate.WorkloadSimulation.
+to_events`), so measured and simulated traces can be diffed or priced by
+the same code (:func:`~repro.storage.diskmodel.
+estimate_seconds_from_events`).
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  The ambient recorder defaults to
+   :data:`NULL_RECORDER`; :func:`record` and :func:`span` check its
+   ``enabled`` flag and return immediately, so an uninstrumented run
+   costs one attribute load per call site.
+2. **Deterministic streams.**  Events carry a monotone sequence number
+   and *no wall-clock data* — two runs with the same seeds produce
+   byte-identical event streams, which is what lets the chaos suite
+   snapshot traces.  Durations live in the
+   :class:`~repro.obs.metrics.MetricsRegistry` instead.
+3. **No dependencies.**  This module imports nothing from the rest of
+   the package, so any layer (storage, planner, executor, CLI) may emit
+   events without import cycles.
+
+Usage::
+
+    from repro.obs import TraceCollector, recording
+
+    collector = TraceCollector()
+    with recording(collector):
+        executor.execute_query(query)
+    for event in collector.events:
+        print(event.seq, event.kind, event.name, event.attrs)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceCollector",
+    "Span",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "record",
+    "span",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observed step of a query's life.
+
+    Attributes:
+        seq: position in the stream (0-based, dense, assigned by the
+            recorder) — the deterministic substitute for a timestamp.
+        kind: dotted event type, e.g. ``storage.read``, ``cache.hit``,
+            ``fault.injected``, ``executor.degraded``, ``span.start``.
+        name: the subject — usually a bitmap file name or span label.
+        depth: span nesting depth at emission (0 = top level).
+        attrs: event-specific payload (byte counts, node ids, labels…).
+            Values are restricted by convention to JSON-representable
+            scalars/tuples so streams serialize cleanly.
+    """
+
+    seq: int
+    kind: str
+    name: str
+    depth: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by ``--trace`` and tests)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+    def __str__(self) -> str:
+        attrs = " ".join(
+            f"{key}={value!r}" for key, value in self.attrs.items()
+        )
+        indent = "  " * self.depth
+        return f"[{self.seq:04d}] {indent}{self.kind} {self.name} {attrs}".rstrip()
+
+
+class TraceRecorder:
+    """Recorder interface; see :class:`TraceCollector` for the real one.
+
+    ``enabled`` is a class attribute so the disabled check is a plain
+    attribute load, not a method call.
+    """
+
+    enabled: bool = True
+
+    def emit(self, kind: str, name: str, **attrs: Any) -> None:
+        """Append one event to the stream."""
+        raise NotImplementedError
+
+    def span_started(self, name: str, **attrs: Any) -> None:
+        """Record a ``span.start`` event and deepen nesting."""
+        raise NotImplementedError
+
+    def span_finished(self, name: str, **attrs: Any) -> None:
+        """Record a ``span.end`` event and restore nesting."""
+        raise NotImplementedError
+
+
+class NullRecorder(TraceRecorder):
+    """The disabled recorder: every operation is a no-op."""
+
+    enabled = False
+
+    def emit(self, kind: str, name: str, **attrs: Any) -> None:
+        """Discard the event."""
+
+    def span_started(self, name: str, **attrs: Any) -> None:
+        """Discard the span start."""
+
+    def span_finished(self, name: str, **attrs: Any) -> None:
+        """Discard the span end."""
+
+
+#: Process-wide no-op recorder (the default ambient recorder).
+NULL_RECORDER = NullRecorder()
+
+
+class TraceCollector(TraceRecorder):
+    """Collects events in order, assigning dense sequence numbers.
+
+    Args:
+        limit: optional hard cap on retained events; once reached,
+            further events are counted (``dropped``) but not stored.
+            Ordering of the retained prefix stays exact.
+    """
+
+    def __init__(self, limit: int | None = None):
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        self.events: list[TraceEvent] = []
+        self.dropped: int = 0
+        self._seq = 0
+        self._depth = 0
+        self._limit = limit
+
+    def emit(self, kind: str, name: str, **attrs: Any) -> None:
+        """Append one event (or count it as dropped past the limit)."""
+        if self._limit is not None and len(self.events) >= self._limit:
+            self.dropped += 1
+            self._seq += 1
+            return
+        self.events.append(
+            TraceEvent(
+                seq=self._seq,
+                kind=kind,
+                name=name,
+                depth=self._depth,
+                attrs=attrs,
+            )
+        )
+        self._seq += 1
+
+    def span_started(self, name: str, **attrs: Any) -> None:
+        """Emit ``span.start`` and increase the nesting depth."""
+        self.emit("span.start", name, **attrs)
+        self._depth += 1
+
+    def span_finished(self, name: str, **attrs: Any) -> None:
+        """Decrease the nesting depth and emit ``span.end``."""
+        self._depth = max(0, self._depth - 1)
+        self.emit("span.end", name, **attrs)
+
+    # ------------------------------------------------------------------
+    def counts_by_kind(self) -> dict[str, int]:
+        """Event counts per ``kind`` (sorted by kind for stable output)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def filter(self, *kinds: str) -> list[TraceEvent]:
+        """The sub-stream of events whose kind is in ``kinds``."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in stream order."""
+        import json
+
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=True)
+            for event in self.events
+        )
+
+    def clear(self) -> None:
+        """Drop all events and restart sequence numbering."""
+        self.events.clear()
+        self.dropped = 0
+        self._seq = 0
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceCollector({len(self.events)} events, "
+            f"dropped={self.dropped})"
+        )
+
+
+_recorder: TraceRecorder = NULL_RECORDER
+
+
+def get_recorder() -> TraceRecorder:
+    """The ambient recorder instrumented code emits to."""
+    return _recorder
+
+
+def set_recorder(recorder: TraceRecorder | None) -> TraceRecorder:
+    """Install the ambient recorder (``None`` restores the no-op).
+
+    Returns the previously installed recorder so callers can restore it;
+    prefer the :func:`recording` context manager.
+    """
+    global _recorder
+    previous = _recorder
+    _recorder = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(
+    recorder: TraceRecorder | None = None,
+) -> Iterator[TraceRecorder]:
+    """Context manager: install a recorder for the duration of a block.
+
+    With no argument a fresh :class:`TraceCollector` is created and
+    yielded::
+
+        with recording() as collector:
+            executor.execute_query(query)
+        assert collector.filter("storage.read")
+    """
+    active = recorder if recorder is not None else TraceCollector()
+    previous = set_recorder(active)
+    try:
+        yield active
+    finally:
+        set_recorder(previous)
+
+
+def record(kind: str, name: str, **attrs: Any) -> None:
+    """Emit one event to the ambient recorder (no-op when disabled)."""
+    if _recorder.enabled:
+        _recorder.emit(kind, name, **attrs)
+
+
+class Span:
+    """A nested region of the event stream (``span.start`` … ``span.end``).
+
+    Created via :func:`span`; :meth:`annotate` attaches results (costs,
+    sizes, counts) to the closing event, so a span reads as
+    "what was attempted" at the start and "what came of it" at the end.
+    """
+
+    __slots__ = ("_name", "_end_attrs", "_active")
+
+    def __init__(self, name: str, active: bool, **attrs: Any):
+        self._name = name
+        self._active = active
+        self._end_attrs: dict[str, Any] = {}
+        if active:
+            _recorder.span_started(name, **attrs)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the span's closing event."""
+        if self._active:
+            self._end_attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._active:
+            if exc_type is not None:
+                self._end_attrs.setdefault("error", exc_type.__name__)
+            _recorder.span_finished(self._name, **self._end_attrs)
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Open a span on the ambient recorder (no-op when disabled)::
+
+        with span("planner.single", strategy="hybrid") as sp:
+            ...
+            sp.annotate(cost_mb=result.cost)
+    """
+    return Span(name, _recorder.enabled, **attrs)

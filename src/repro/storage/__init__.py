@@ -25,7 +25,11 @@ from .catalog import (
     node_file_name,
 )
 from .costmodel import MB, CostModel
-from .diskmodel import DiskProfile, estimate_seconds
+from .diskmodel import (
+    DiskProfile,
+    estimate_seconds,
+    estimate_seconds_from_events,
+)
 from .filestore import BitmapFileStore
 
 __all__ = [
@@ -33,6 +37,7 @@ __all__ = [
     "MB",
     "DiskProfile",
     "estimate_seconds",
+    "estimate_seconds_from_events",
     "BitmapFileStore",
     "IOAccountant",
     "IOSnapshot",

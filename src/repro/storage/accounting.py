@@ -18,7 +18,13 @@ __all__ = ["IOAccountant", "IOSnapshot"]
 
 @dataclass(frozen=True, slots=True)
 class IOSnapshot:
-    """A point-in-time copy of the accountant's tallies."""
+    """A point-in-time copy of the accountant's tallies.
+
+    Snapshots are cheap and immutable; :meth:`diff` subtracts one from
+    another, which is how a single query's IO is attributed inside a
+    long-running workload without resetting (and therefore racing on)
+    the shared accountant.
+    """
 
     bytes_read: int
     read_count: int
@@ -26,11 +32,50 @@ class IOSnapshot:
     retry_count: int = 0
     discarded_bytes: int = 0
     discard_count: int = 0
+    bytes_by_name: dict[str, int] = field(default_factory=dict)
 
     @property
     def mb_read(self) -> float:
         """Total data read in MB (the paper's plotted unit)."""
         return self.bytes_read / MB
+
+    def diff(self, earlier: "IOSnapshot") -> "IOSnapshot":
+        """The IO that happened between ``earlier`` and this snapshot.
+
+        Both snapshots must come from the same accountant with no
+        ``reset()`` in between (a negative delta raises ``ValueError``).
+        Per-name maps keep only the names whose tallies moved, so the
+        diff of a single query lists exactly the files it touched.
+        """
+        delta_bytes = self.bytes_read - earlier.bytes_read
+        delta_reads = self.read_count - earlier.read_count
+        if delta_bytes < 0 or delta_reads < 0:
+            raise ValueError(
+                "diff() requires an earlier snapshot of the same "
+                "accountant (tallies went backwards; was reset() "
+                "called in between?)"
+            )
+        reads_by_name = {
+            name: count - earlier.reads_by_name.get(name, 0)
+            for name, count in self.reads_by_name.items()
+            if count != earlier.reads_by_name.get(name, 0)
+        }
+        bytes_by_name = {
+            name: nbytes - earlier.bytes_by_name.get(name, 0)
+            for name, nbytes in self.bytes_by_name.items()
+            if nbytes != earlier.bytes_by_name.get(name, 0)
+        }
+        return IOSnapshot(
+            bytes_read=delta_bytes,
+            read_count=delta_reads,
+            reads_by_name=reads_by_name,
+            retry_count=self.retry_count - earlier.retry_count,
+            discarded_bytes=(
+                self.discarded_bytes - earlier.discarded_bytes
+            ),
+            discard_count=self.discard_count - earlier.discard_count,
+            bytes_by_name=bytes_by_name,
+        )
 
 
 @dataclass
@@ -90,7 +135,12 @@ class IOAccountant:
             retry_count=self.retry_count,
             discarded_bytes=self.discarded_bytes,
             discard_count=self.discard_count,
+            bytes_by_name=dict(self.bytes_by_name),
         )
+
+    def diff_since(self, earlier: IOSnapshot) -> IOSnapshot:
+        """Convenience: ``snapshot().diff(earlier)`` in one call."""
+        return self.snapshot().diff(earlier)
 
     def reset(self) -> None:
         """Zero all tallies."""

@@ -23,6 +23,7 @@ from ..errors import (
     StorageError,
     TransientStorageError,
 )
+from ..obs import get_metrics, record
 from .accounting import IOAccountant
 from .faults import DEFAULT_RETRY_POLICY, RetryPolicy
 from .filestore import BitmapFileStore
@@ -111,16 +112,24 @@ class BufferPool:
 
     def _fetch(self, name: str) -> bytes:
         last_error: TransientStorageError | None = None
+        metrics = get_metrics()
         for _attempt in self._retry.attempts():
             try:
                 payload = self._store.read(name)
             except TransientStorageError as err:
                 last_error = err
                 self._accountant.record_retry(name)
+                record("storage.retry", name, error=str(err))
+                metrics.inc("storage_retries_total")
                 continue
             self._accountant.record_read(name, len(payload))
+            record("storage.read", name, nbytes=len(payload))
+            metrics.inc("storage_reads_total")
+            metrics.inc("storage_read_bytes_total", len(payload))
             return payload
         assert last_error is not None
+        record("storage.error", name, error=str(last_error))
+        metrics.inc("storage_errors_total")
         raise last_error
 
     # ------------------------------------------------------------------
@@ -151,6 +160,8 @@ class BufferPool:
                 payload = self._fetch(name)
             self._pinned[name] = payload
             self._pinned_bytes += len(payload)
+            record("cache.pin", name, nbytes=len(payload))
+        get_metrics().inc("cache_pins_total", len(to_pin))
         # Pinning shrinks the spare budget the LRU area may occupy;
         # evict until pinned + LRU fits the budget again, or the
         # resident set would violate the Case-3 S_total constraint.
@@ -161,8 +172,10 @@ class BufferPool:
             return
         spare = self._budget - self._pinned_bytes
         while self._lru and self._lru_bytes > spare:
-            _, evicted = self._lru.popitem(last=False)
+            evicted_name, evicted = self._lru.popitem(last=False)
             self._lru_bytes -= len(evicted)
+            record("cache.evict", evicted_name, nbytes=len(evicted))
+            get_metrics().inc("cache_evictions_total")
 
     def unpin_all(self) -> None:
         """Release every pinned file (contents are dropped)."""
@@ -177,10 +190,16 @@ class BufferPool:
         the accountant.
         """
         if name in self._pinned:
+            record("cache.hit", name, tier="pinned")
+            get_metrics().inc("cache_hits_total", tier="pinned")
             return self._pinned[name]
         if name in self._lru:
             self._lru.move_to_end(name)
+            record("cache.hit", name, tier="lru")
+            get_metrics().inc("cache_hits_total", tier="lru")
             return self._lru[name]
+        record("cache.miss", name)
+        get_metrics().inc("cache_misses_total")
         payload = self._fetch(name)
         self._maybe_admit(name, payload)
         return payload
@@ -197,8 +216,10 @@ class BufferPool:
         if len(payload) > spare:
             return
         while self._lru_bytes + len(payload) > spare and self._lru:
-            _, evicted = self._lru.popitem(last=False)
+            evicted_name, evicted = self._lru.popitem(last=False)
             self._lru_bytes -= len(evicted)
+            record("cache.evict", evicted_name, nbytes=len(evicted))
+            get_metrics().inc("cache_evictions_total")
         if self._lru_bytes + len(payload) <= spare:
             self._lru[name] = payload
             self._lru_bytes += len(payload)
@@ -214,9 +235,11 @@ class BufferPool:
         if was_pinned:
             payload = self._pinned.pop(name)
             self._pinned_bytes -= len(payload)
+            record("cache.invalidate", name, tier="pinned")
         elif name in self._lru:
             payload = self._lru.pop(name)
             self._lru_bytes -= len(payload)
+            record("cache.invalidate", name, tier="lru")
         return was_pinned
 
     def reload(self, name: str) -> bytes:

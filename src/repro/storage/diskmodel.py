@@ -10,12 +10,18 @@ harness cannot reproduce raw device timings faithfully.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
+from ..obs.trace import TraceEvent
 from .accounting import IOSnapshot
 from .costmodel import MB
 
-__all__ = ["DiskProfile", "estimate_seconds"]
+__all__ = [
+    "DiskProfile",
+    "estimate_seconds",
+    "estimate_seconds_from_events",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,3 +90,34 @@ def estimate_seconds(
     return profile.read_seconds(
         snapshot.bytes_read, snapshot.read_count
     )
+
+
+#: Event kinds that represent storage IO and are priced by
+#: :func:`estimate_seconds_from_events`.
+IO_EVENT_KINDS = frozenset(
+    {"storage.read", "sim.pin", "sim.query"}
+)
+
+
+def estimate_seconds_from_events(
+    events: Iterable[TraceEvent], profile: DiskProfile
+) -> float:
+    """Estimated device time of an event stream — measured or simulated.
+
+    Accepts the unified trace schema: ``storage.read`` events recorded
+    by a live :class:`~repro.storage.filestore.BitmapFileStore`
+    (``nbytes`` per read) and ``sim.pin`` / ``sim.query`` events
+    produced by :meth:`~repro.core.simulate.WorkloadSimulation.
+    to_events` (``nbytes`` and ``reads`` per entry).  Both flavors are
+    priced with the same :meth:`DiskProfile.read_seconds` model, so a
+    simulated workload and a recorded execution of it can be compared
+    directly.  Non-IO events are ignored.
+    """
+    total_bytes = 0
+    total_reads = 0
+    for event in events:
+        if event.kind not in IO_EVENT_KINDS:
+            continue
+        total_bytes += int(event.attrs.get("nbytes", 0))
+        total_reads += int(event.attrs.get("reads", 1))
+    return profile.read_seconds(total_bytes, total_reads)

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..errors import TransientStorageError
+from ..obs import get_metrics, record
 
 __all__ = [
     "FaultKind",
@@ -169,7 +170,7 @@ class FaultPolicy:
         seeded draw.  Must be called once per physical read attempt.
         """
         if name in self.sticky_corrupt_names and payload:
-            self.injected[FaultKind.STICKY] += 1
+            self._record_injection(name, FaultKind.STICKY)
             position = self._sticky_flip_position(name, len(payload) * 8)
             return self._flip_bit(payload, position)
         if self._consecutive[name] >= self._max_consecutive:
@@ -182,7 +183,7 @@ class FaultPolicy:
         if kind is FaultKind.SLOW:
             # A slow read still succeeds; it does not count toward the
             # consecutive-failure cap.
-            self.injected[kind] += 1
+            self._record_injection(name, kind)
             if self._slow_delay_s > 0:
                 self._sleep(self._slow_delay_s)
             self._consecutive[name] = 0
@@ -192,7 +193,7 @@ class FaultPolicy:
             self._consecutive[name] = 0
             return payload
         self._consecutive[name] += 1
-        self.injected[kind] += 1
+        self._record_injection(name, kind)
         if kind is FaultKind.TRANSIENT:
             raise TransientStorageError(
                 name, 0, "injected transient IO error"
@@ -202,6 +203,12 @@ class FaultPolicy:
             return payload[:cut]
         position = self._rng.randrange(len(payload) * 8)
         return self._flip_bit(payload, position)
+
+    def _record_injection(self, name: str, kind: FaultKind) -> None:
+        """Tally an injected fault and surface it on the event stream."""
+        self.injected[kind] += 1
+        record("fault.injected", name, fault=kind.value)
+        get_metrics().inc("faults_injected_total", kind=kind.value)
 
     @staticmethod
     def _flip_bit(payload: bytes, position: int) -> bytes:

@@ -1,0 +1,160 @@
+"""Chaos-mode trace snapshots: the event stream itself is the oracle.
+
+The trace layer promises *deterministic* event streams — same seeds,
+same byte-identical sequence of events, faults included.  These tests
+run workloads under seeded fault injection twice and require the two
+traces to agree event-for-event, which is what makes a recorded trace a
+usable regression snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import QueryExecutor
+from repro.core.multi import select_cut_multi
+from repro.hierarchy.tree import Hierarchy
+from repro.obs import TraceCollector, recording
+from repro.storage.cache import BufferPool
+from repro.storage.catalog import (
+    MaterializedNodeCatalog,
+    node_file_name,
+)
+from repro.storage.faults import FaultPolicy, RetryPolicy
+from repro.workload import (
+    sample_column,
+    tpch_acctbal_leaf_probabilities,
+)
+from repro.workload.query import RangeQuery, Workload
+
+pytestmark = pytest.mark.chaos
+
+MAX_CONSECUTIVE = 2
+POOL_RETRY = RetryPolicy(max_attempts=4)
+
+
+@pytest.fixture(scope="module")
+def trace_setup():
+    """A module-private materialized catalog (fault policies attach to
+    its store; never share with the tier-1 suite)."""
+    hierarchy = Hierarchy.from_nested([[3, 3], [2, 4], [4]])
+    probabilities = tpch_acctbal_leaf_probabilities(
+        hierarchy.num_leaves, seed=3
+    )
+    column = sample_column(probabilities, num_rows=20_000, seed=11)
+    catalog = MaterializedNodeCatalog(hierarchy, column)
+    return hierarchy, column, catalog
+
+
+@pytest.fixture(scope="module")
+def workload(trace_setup):
+    hierarchy, _column, _catalog = trace_setup
+    last = hierarchy.num_leaves - 1
+    return Workload(
+        [
+            RangeQuery([(0, 5)]),
+            RangeQuery([(3, 12)]),
+            RangeQuery([(0, last)]),
+            RangeQuery([(2, 4), (9, last)]),
+        ]
+    )
+
+
+def _run_traced(catalog, workload, policy, members):
+    """One full workload execution under ``policy``, traced."""
+    executor = QueryExecutor(
+        catalog,
+        BufferPool(
+            catalog.store, budget_bytes=0, retry_policy=POOL_RETRY
+        ),
+    )
+    collector = TraceCollector()
+    catalog.store.set_fault_policy(policy)
+    try:
+        with recording(collector):
+            for query in workload:
+                executor.execute_query(query, members)
+    finally:
+        catalog.store.set_fault_policy(None)
+    return collector
+
+
+def _policy(seed, sticky=()):
+    # Transient-heavy so retries reliably appear in short runs; torn
+    # and bit-flip faults keep the discard path exercised too.
+    return FaultPolicy(
+        seed=seed,
+        transient_rate=0.25,
+        torn_rate=0.05,
+        bitflip_rate=0.05,
+        max_consecutive_per_name=MAX_CONSECUTIVE,
+        sticky_corrupt_names=set(sticky),
+    )
+
+
+class TestTraceSnapshots:
+    def test_same_seed_same_stream(
+        self, trace_setup, workload, chaos_seed
+    ):
+        hierarchy, _column, catalog = trace_setup
+        cut = select_cut_multi(catalog, workload)
+        victim = min(
+            node_id
+            for node_id in cut.cut.node_ids
+            if not hierarchy.node(node_id).is_leaf
+        )
+        sticky = {node_file_name(victim)}
+        runs = [
+            _run_traced(
+                catalog,
+                workload,
+                _policy(chaos_seed, sticky),
+                cut.cut.node_ids,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].events, "chaos run produced no events"
+        # Byte-identical streams: same events, same order, same attrs.
+        assert runs[0].events == runs[1].events
+        assert runs[0].to_jsonl() == runs[1].to_jsonl()
+
+        kinds = runs[0].counts_by_kind()
+        # Faults actually fired and were retried...
+        assert kinds.get("fault.injected", 0) > 0
+        assert kinds.get("storage.retry", 0) > 0
+        # ...and the sticky victim forced discard + degraded recovery.
+        assert kinds.get("executor.discard", 0) > 0
+        assert kinds.get("executor.degraded", 0) > 0
+        degraded = runs[0].filter("executor.degraded")
+        assert {e.attrs["node_id"] for e in degraded} == {victim}
+
+    def test_different_seed_different_stream(
+        self, trace_setup, workload, chaos_seed
+    ):
+        _hierarchy, _column, catalog = trace_setup
+        members = ()
+        first = _run_traced(
+            catalog, workload, _policy(chaos_seed), members
+        )
+        second = _run_traced(
+            catalog, workload, _policy(chaos_seed + 1), members
+        )
+        # Different fault sequences; the streams must not be forced
+        # equal by accident (the clean-path prefix may coincide).
+        assert first.counts_by_kind().get("fault.injected", 0) > 0
+        assert first.events != second.events
+
+    def test_ordering_is_stable_and_dense(
+        self, trace_setup, workload, chaos_seed
+    ):
+        _hierarchy, _column, catalog = trace_setup
+        collector = _run_traced(
+            catalog, workload, _policy(chaos_seed), ()
+        )
+        seqs = [event.seq for event in collector.events]
+        assert seqs == list(range(len(seqs)))
+        # Spans balance: every start has its end, depth returns to 0.
+        starts = len(collector.filter("span.start"))
+        ends = len(collector.filter("span.end"))
+        assert starts == ends
+        assert collector.events[-1].depth == 0

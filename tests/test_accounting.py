@@ -47,3 +47,57 @@ class TestAccountant:
 
     def test_repr(self):
         assert "bytes_read=0" in repr(IOAccountant())
+
+
+class TestSnapshotDiff:
+    """Per-query attribution via snapshot()/diff() — no reset needed."""
+
+    def test_diff_isolates_the_window(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", 100)
+        before = accountant.snapshot()
+        accountant.record_read("a", 100)
+        accountant.record_read("b", 50)
+        accountant.record_retry("b")
+        accountant.record_discard("b", 50)
+        delta = accountant.snapshot().diff(before)
+        assert delta.bytes_read == 150
+        assert delta.read_count == 2
+        assert delta.reads_by_name == {"a": 1, "b": 1}
+        assert delta.bytes_by_name == {"a": 100, "b": 50}
+        assert delta.retry_count == 1
+        assert delta.discard_count == 1
+        assert delta.discarded_bytes == 50
+
+    def test_diff_omits_untouched_names(self):
+        accountant = IOAccountant()
+        accountant.record_read("quiet", 10)
+        before = accountant.snapshot()
+        accountant.record_read("busy", 20)
+        delta = accountant.snapshot().diff(before)
+        assert "quiet" not in delta.reads_by_name
+        assert "quiet" not in delta.bytes_by_name
+
+    def test_diff_since_convenience(self):
+        accountant = IOAccountant()
+        before = accountant.snapshot()
+        accountant.record_read("a", 7)
+        assert accountant.diff_since(before).bytes_read == 7
+
+    def test_diff_rejects_reset_in_between(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", 100)
+        before = accountant.snapshot()
+        accountant.reset()
+        with pytest.raises(ValueError):
+            accountant.diff_since(before)
+
+    def test_empty_diff_is_all_zero(self):
+        accountant = IOAccountant()
+        accountant.record_read("a", 5)
+        before = accountant.snapshot()
+        delta = accountant.diff_since(before)
+        assert delta.bytes_read == 0
+        assert delta.read_count == 0
+        assert delta.reads_by_name == {}
+        assert delta.bytes_by_name == {}

@@ -1,0 +1,219 @@
+"""EXPLAIN ANALYZE acceptance tests.
+
+The contract under test (from the cost model's central claim): on a
+cold pool over healthy storage, the bytes measured for *every*
+operation node equal the catalog's prediction exactly — and when
+storage misbehaves, the report says where the extra bytes went.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.executor import QueryExecutor, scan_answer
+from repro.core.opnodes import build_query_plan
+from repro.core.single import hybrid_cut
+from repro.storage.cache import BufferPool
+from repro.storage.catalog import node_file_name
+from repro.storage.faults import FaultPolicy, RetryPolicy
+from repro.workload.query import RangeQuery
+
+QUERIES = [
+    RangeQuery([(0, 2)]),
+    RangeQuery([(3, 11)]),
+    RangeQuery([(0, 15)]),
+    RangeQuery([(2, 9), (12, 14)]),
+]
+
+
+def _cold_executor(catalog, budget_bytes=0):
+    """A fresh pool so nothing is resident before the report runs."""
+    return QueryExecutor(
+        catalog, BufferPool(catalog.store, budget_bytes=budget_bytes)
+    )
+
+
+class TestColdPredictions:
+    """The acceptance criterion: measured == predicted, node by node."""
+
+    @pytest.mark.parametrize("query", QUERIES, ids=repr)
+    def test_every_node_matches_prediction(
+        self, materialized_setup, query
+    ):
+        _hierarchy, column, catalog = materialized_setup
+        selection = hybrid_cut(catalog, query)
+        executor = _cold_executor(catalog)
+        report = executor.explain_analyze(
+            query, selection.cut.node_ids
+        )
+        assert report.nodes, "a non-empty plan must produce node rows"
+        for node in report.nodes:
+            assert node.matches_prediction, (
+                f"{node.name}: predicted {node.predicted_bytes} B, "
+                f"measured {node.measured_bytes} B"
+            )
+        assert report.matches_prediction
+        assert report.measured_bytes == sum(
+            node.measured_bytes for node in report.nodes
+        )
+        assert report.answer_count == scan_answer(
+            column, query
+        ).count()
+
+    def test_totals_reconcile_with_plan_prediction(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        query = RangeQuery([(1, 12)])
+        report = _cold_executor(catalog).explain_analyze(query)
+        assert report.measured_mb == pytest.approx(
+            report.predicted_mb
+        )
+        assert report.io.retry_count == 0
+        assert report.io.discard_count == 0
+        assert not report.degraded_reads
+
+    def test_accepts_prebuilt_plan(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        query = RangeQuery([(0, 7)])
+        plan = build_query_plan(catalog, query, [])
+        report = _cold_executor(catalog).explain_analyze(plan)
+        assert report.plan is plan
+        assert report.planner_seconds is None
+        assert report.matches_prediction
+
+
+class TestCachedExecution:
+    def test_pinned_members_report_hits_and_zero_bytes(
+        self, materialized_setup
+    ):
+        hierarchy, _column, catalog = materialized_setup
+        last = hierarchy.num_leaves - 1
+        query = RangeQuery([(0, last)])
+        members = [hierarchy.root_id]
+        executor = QueryExecutor(catalog)
+        executor.pin_cut(members)
+        report = executor.explain_analyze(
+            query, members, node_is_cached=True
+        )
+        root_row = next(
+            node
+            for node in report.nodes
+            if node.node_id == hierarchy.root_id
+        )
+        assert root_row.predicted_mb == 0.0
+        assert root_row.measured_bytes == 0
+        assert root_row.cache_hits >= 1
+        assert root_row.matches_prediction
+        assert node_file_name(hierarchy.root_id) in report.pre_cached
+
+    def test_warm_rerun_measures_zero(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        query = RangeQuery([(0, 5)])
+        executor = QueryExecutor(catalog)  # default LRU budget
+        executor.execute_query(query)
+        report = executor.explain_analyze(query)
+        assert report.measured_bytes == 0
+        assert all(node.cache_hits >= 1 for node in report.nodes)
+
+
+class TestFaultyExecution:
+    def test_sticky_corruption_shows_up_per_node(
+        self, materialized_setup
+    ):
+        hierarchy, column, catalog = materialized_setup
+        last = hierarchy.num_leaves - 1
+        query = RangeQuery([(0, last)])
+        victim = hierarchy.root_id
+        policy = FaultPolicy(
+            sticky_corrupt_names={node_file_name(victim)}
+        )
+        executor = QueryExecutor(
+            catalog,
+            BufferPool(
+                catalog.store,
+                budget_bytes=0,
+                retry_policy=RetryPolicy(max_attempts=4),
+            ),
+        )
+        catalog.store.set_fault_policy(policy)
+        try:
+            report = executor.explain_analyze(query, [victim])
+        finally:
+            catalog.store.set_fault_policy(None)
+        assert report.answer_count == scan_answer(
+            column, query
+        ).count()
+        victim_row = next(
+            node for node in report.nodes if node.node_id == victim
+        )
+        assert victim_row.degraded
+        assert victim_row.discards >= 1
+        assert not victim_row.matches_prediction
+        assert not report.matches_prediction
+        # Recovery reads (the descendants' bitmaps) get their own rows,
+        # so every measured byte is itemized.
+        recovery_rows = [
+            node for node in report.nodes if node.role == "recovery"
+        ]
+        assert recovery_rows
+        assert report.measured_bytes == sum(
+            node.measured_bytes for node in report.nodes
+        )
+        assert len(report.degraded_reads) == 1
+        assert report.degraded_reads[0].node_id == victim
+        kinds = {event.kind for event in report.events}
+        assert "executor.discard" in kinds
+        assert "executor.degraded" in kinds
+        assert "fault.injected" in kinds
+
+
+class TestDeterminismAndSerialization:
+    def test_identical_runs_yield_identical_event_streams(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        query = RangeQuery([(2, 9)])
+        reports = [
+            _cold_executor(catalog).explain_analyze(query)
+            for _ in range(2)
+        ]
+        assert reports[0].events == reports[1].events
+        assert reports[0].nodes == reports[1].nodes
+
+    def test_events_carry_no_wallclock_data(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        report = _cold_executor(catalog).explain_analyze(
+            RangeQuery([(0, 3)])
+        )
+        for event in report.events:
+            for key in event.attrs:
+                assert "time" not in key and "seconds" not in key, (
+                    f"event {event.kind} leaks timing attr {key!r}"
+                )
+
+    def test_to_json_round_trips(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        report = _cold_executor(catalog).explain_analyze(
+            RangeQuery([(0, 7)])
+        )
+        parsed = json.loads(report.to_json())
+        assert parsed["totals"]["matches_prediction"] is True
+        assert parsed["totals"]["measured_bytes"] == (
+            report.measured_bytes
+        )
+        assert len(parsed["nodes"]) == len(report.nodes)
+        assert len(parsed["events"]) == len(report.events)
+
+    def test_to_text_renders_the_full_story(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        report = _cold_executor(catalog).explain_analyze(
+            RangeQuery([(0, 7)])
+        )
+        text = report.to_text(catalog)
+        assert "EXPLAIN ANALYZE" in text
+        assert "exact match" in text
+        assert "answer:" in text
+        assert "execute" in text  # timing line

@@ -52,3 +52,41 @@ class TestRunExperiment:
         assert "runs" not in _FAST_OVERRIDES["fig4"] or (
             _FAST_OVERRIDES["fig4"]["runs"] == 1
         )
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_event_summary(self, capsys):
+        assert main(["fig2", "--fast", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "# trace:" in out
+        assert "span.start" in out
+
+    def test_trace_recorder_is_restored(self):
+        from repro.obs import NULL_RECORDER, get_recorder
+
+        main(["fig4", "--fast", "--trace"])
+        assert get_recorder() is NULL_RECORDER
+
+    def test_metrics_out_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["fig2", "--fast", "--metrics-out", str(path)]) == 0
+        assert "# metrics written to" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert set(data) == {"counters", "histograms"}
+        assert any(
+            key.startswith("planner_seconds")
+            for key in data["histograms"]
+        )
+
+    def test_metrics_out_dash_prints_to_stdout(self, capsys):
+        assert main(["fig4", "--fast", "--metrics-out", "-"]) == 0
+        out = capsys.readouterr().out
+        assert '"histograms"' in out
+
+    def test_metrics_registry_is_restored(self, tmp_path):
+        from repro.obs import NULL_METRICS, get_metrics
+
+        main(["fig4", "--fast", "--metrics-out", str(tmp_path / "m.json")])
+        assert get_metrics() is NULL_METRICS

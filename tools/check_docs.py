@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Offline documentation checks.
+
+Validates, without any external dependency:
+
+* every relative link/image in ``docs/*.md``, ``README.md``, and the
+  other top-level markdown files resolves to a real file;
+* every page named in the ``mkdocs.yml`` nav exists in ``docs/``;
+* every markdown file under ``docs/`` is reachable from the nav.
+
+When ``mkdocs`` is importable (CI installs it; the offline dev image
+does not) it additionally runs the real ``mkdocs build --strict``.
+
+Usage::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Markdown inline links/images: [text](target) — targets that are
+#: not URLs or pure in-page anchors must resolve on disk.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+TOP_LEVEL = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+]
+
+
+def _iter_links(path: Path):
+    text = path.read_text(encoding="utf-8")
+    in_code = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        yield from _LINK_RE.findall(line)
+
+
+def check_relative_links(files: list[Path]) -> list[str]:
+    errors = []
+    for path in files:
+        for target in _iter_links(path):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO)}: broken link {target!r}")
+    return errors
+
+
+def check_nav() -> list[str]:
+    """Parse the flat nav out of mkdocs.yml (no yaml dependency)."""
+    errors = []
+    config = REPO / "mkdocs.yml"
+    if not config.exists():
+        return ["mkdocs.yml is missing"]
+    nav_pages = re.findall(
+        r"^\s+-\s+[^:]+:\s+(\S+\.md)\s*$",
+        config.read_text(encoding="utf-8"),
+        flags=re.MULTILINE,
+    )
+    if not nav_pages:
+        errors.append("mkdocs.yml: nav lists no pages")
+    for page in nav_pages:
+        if not (DOCS / page).exists():
+            errors.append(f"mkdocs.yml: nav page docs/{page} is missing")
+    for path in sorted(DOCS.glob("*.md")):
+        if path.name not in nav_pages:
+            errors.append(
+                f"docs/{path.name} exists but is not in the mkdocs nav"
+            )
+    return errors
+
+
+def run_mkdocs_if_available() -> list[str]:
+    try:
+        import mkdocs  # noqa: F401
+    except ImportError:
+        print("mkdocs not installed; skipping strict build (offline mode)")
+        return []
+    import subprocess
+
+    result = subprocess.run(
+        [sys.executable, "-m", "mkdocs", "build", "--strict",
+         "--site-dir", str(REPO / ".mkdocs-site")],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        return [f"mkdocs build --strict failed:\n{result.stderr.strip()}"]
+    print("mkdocs build --strict: OK")
+    return []
+
+
+def main() -> int:
+    files = [DOCS / p.name for p in sorted(DOCS.glob("*.md"))]
+    files += [REPO / name for name in TOP_LEVEL if (REPO / name).exists()]
+    errors = check_relative_links(files)
+    errors += check_nav()
+    errors += run_mkdocs_if_available()
+    if errors:
+        print(f"{len(errors)} documentation error(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"docs OK: {len(files)} files, all links resolve, nav complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

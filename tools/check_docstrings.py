@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API.
+
+Walks every export in ``repro.__all__`` plus, for classes, their
+public methods and properties, and reports the fraction that carry a
+docstring.  Written in-repo (no interrogate/pydocstyle dependency) so
+it runs in offline environments; CI enforces ``--fail-under 90``.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docstrings.py --fail-under 90
+    PYTHONPATH=src python tools/check_docstrings.py --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+
+def _is_public_member(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _class_members(cls: type):
+    """(name, object) for the class's own public methods/properties.
+
+    Inherited members are the parent's responsibility; ``__init__`` is
+    covered by the class docstring convention used in this codebase.
+    """
+    for name, member in vars(cls).items():
+        if not _is_public_member(name):
+            continue
+        if isinstance(member, property):
+            yield f"{cls.__name__}.{name}", member.fget
+        elif isinstance(member, (staticmethod, classmethod)):
+            yield f"{cls.__name__}.{name}", member.__func__
+        elif inspect.isfunction(member):
+            yield f"{cls.__name__}.{name}", member
+
+
+def collect(package) -> list[tuple[str, bool]]:
+    """(qualified name, has-docstring) for every public API item."""
+    items: list[tuple[str, bool]] = []
+    for name in package.__all__:
+        obj = getattr(package, name)
+        if isinstance(obj, str) or not callable(obj):
+            continue  # __version__, singletons
+        doc = inspect.getdoc(obj)
+        items.append((name, bool(doc and doc.strip())))
+        if inspect.isclass(obj):
+            for member_name, func in _class_members(obj):
+                if func is None:
+                    continue
+                member_doc = inspect.getdoc(func)
+                items.append(
+                    (member_name, bool(member_doc and member_doc.strip()))
+                )
+    return items
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        help="minimum coverage percentage (default 90)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list every undocumented item",
+    )
+    args = parser.parse_args(argv)
+
+    import repro
+
+    items = collect(repro)
+    documented = sum(1 for _name, has_doc in items if has_doc)
+    missing = [name for name, has_doc in items if not has_doc]
+    coverage = 100.0 * documented / len(items) if items else 100.0
+
+    print(
+        f"docstring coverage: {documented}/{len(items)} "
+        f"({coverage:.1f}%), threshold {args.fail_under:.0f}%"
+    )
+    if missing and (args.verbose or coverage < args.fail_under):
+        print("undocumented:")
+        for name in missing:
+            print(f"  {name}")
+    if coverage < args.fail_under:
+        print("FAIL")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
