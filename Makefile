@@ -2,7 +2,8 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-chaos bench-wah-smoke bench-wah bench docs
+.PHONY: test test-chaos test-stress bench-wah-smoke bench-wah \
+	bench-serve-smoke bench-serve bench docs
 
 # Tier-1 verification (what CI must keep green).
 test:
@@ -11,6 +12,12 @@ test:
 # Deterministic fault-injection suite (seeded per test node id).
 test-chaos:
 	$(PY) -m pytest -m chaos -q
+
+# Concurrency hammer tests: run with an aggressive thread switch
+# interval (an autouse fixture applies sys.setswitchinterval(1e-6) to
+# every stress-marked test) to surface interleaving bugs.
+test-stress:
+	$(PY) -m pytest -m stress -q
 
 # Tier-1-adjacent smoke: execute the WAH kernel micro-benchmark with
 # small operands and no timing assertions, emitting BENCH_wah.json so
@@ -22,6 +29,17 @@ bench-wah-smoke:
 # speedup over the scalar reference and records it in BENCH_wah.json).
 bench-wah:
 	WAH_BENCH_MODE=full $(PY) -m pytest benchmarks/test_micro_wah_kernels.py -q
+
+# Tier-1-adjacent smoke: execute the serving benchmark with a small
+# batch and no timing assertions, emitting BENCH_serve.json.
+bench-serve-smoke:
+	SERVE_BENCH_MODE=check $(PY) -m pytest benchmarks/test_serve_bench.py -q
+
+# Full-scale serving benchmark (asserts the 8-worker batch is >= 2x
+# faster than the serial loop and records the sweep in
+# BENCH_serve.json).
+bench-serve:
+	SERVE_BENCH_MODE=full $(PY) -m pytest benchmarks/test_serve_bench.py -q
 
 # Regenerate every paper figure/table benchmark.
 bench:

@@ -1,0 +1,80 @@
+"""Serving benchmark: concurrent batch execution vs the serial loop.
+
+Runs the ``serve`` experiment (Case-2 workload, Alg.-3 cut pinned,
+non-cut reads streamed against storage with injected per-read latency)
+across a worker sweep and records the wall-clock table in
+``BENCH_serve.json`` at the repository root so later PRs have a
+serving-performance trajectory.
+
+Every concurrent run inside the experiment is verified bit-identical to
+the 1-worker oracle and IO-reconciled before its timing is reported;
+this harness only adds the speedup assertion and the JSON record.
+
+Run modes (``SERVE_BENCH_MODE`` environment variable):
+
+* ``full`` (default) — 48 queries, 2ms injected read latency, worker
+  sweep 1/2/4/8; asserts the 8-worker batch is at least 2x faster than
+  serial.
+* ``check`` — a small batch with sub-millisecond latency and **no
+  timing assertions**; the tier-1-adjacent smoke target
+  (``make bench-serve-smoke``) that proves the benchmark executes and
+  emits the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments import serve_bench
+
+MODE = (
+    os.environ.get("SERVE_BENCH_MODE", "full").strip().lower()
+    or "full"
+)
+CHECK_MODE = MODE == "check"
+
+WORKER_COUNTS = (1, 2, 8) if CHECK_MODE else (1, 2, 4, 8)
+NUM_QUERIES = 8 if CHECK_MODE else 48
+NUM_ROWS = 20_000 if CHECK_MODE else 100_000
+SLOW_DELAY_S = 0.0005 if CHECK_MODE else 0.002
+MIN_SPEEDUP_AT_8 = 2.0
+
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+)
+
+
+def test_concurrent_serving_speedup():
+    """The acceptance case: 8 workers at least 2x faster than serial."""
+    result = serve_bench.run(
+        num_queries=NUM_QUERIES,
+        num_rows=NUM_ROWS,
+        worker_counts=WORKER_COUNTS,
+        slow_delay_s=SLOW_DELAY_S,
+    )
+    by_workers = {row["workers"]: row for row in result.rows}
+    assert set(by_workers) == set(WORKER_COUNTS)
+    assert by_workers[1]["speedup"] == 1.0
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "serve_batch",
+                "mode": MODE,
+                "num_queries": NUM_QUERIES,
+                "num_rows": NUM_ROWS,
+                "slow_delay_s": SLOW_DELAY_S,
+                "rows": result.rows,
+                "notes": result.notes,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if not CHECK_MODE:
+        speedup = by_workers[8]["speedup"]
+        assert speedup >= MIN_SPEEDUP_AT_8, (
+            f"8-worker batch only {speedup:.2f}x faster than serial "
+            f"(need >= {MIN_SPEEDUP_AT_8}x)"
+        )

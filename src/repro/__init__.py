@@ -11,6 +11,8 @@ The package is organized bottom-up:
 * :mod:`repro.workload` — range queries and dataset generators;
 * :mod:`repro.core` — the cut-selection algorithms (I-CS, E-CS, H-CS,
   Alg. 3, 1-Cut, k-Cut, τ auto-stop), baselines, and execution;
+* :mod:`repro.serve` — concurrent batch execution over a shared,
+  thread-safe buffer pool with per-query IO attribution;
 * :mod:`repro.experiments` — one module per paper figure/table.
 
 Quickstart::
@@ -91,7 +93,9 @@ from .obs import (
     set_metrics,
     set_recorder,
     span,
+    thread_recording,
 )
+from .serve import BatchExecutor, BatchReport, QueryOutcome
 from .hierarchy import (
     Cut,
     Hierarchy,
@@ -182,12 +186,17 @@ __all__ = [
     "ExecutionResult",
     "DegradedRead",
     "scan_answer",
+    # serving
+    "BatchExecutor",
+    "BatchReport",
+    "QueryOutcome",
     # observability
     "ExplainReport",
     "NodeIOReport",
     "TraceEvent",
     "TraceCollector",
     "recording",
+    "thread_recording",
     "record",
     "span",
     "get_recorder",

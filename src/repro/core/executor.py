@@ -36,8 +36,14 @@ from ..errors import (
     StorageError,
     UnrecoverableReadError,
 )
-from ..obs import TraceCollector, get_metrics, record, recording, span
-from ..storage.accounting import IOSnapshot
+from ..obs import (
+    TraceCollector,
+    get_metrics,
+    record,
+    span,
+    thread_recording,
+)
+from ..storage.accounting import IOAccountant, IOSnapshot
 from ..storage.cache import BufferPool
 from ..storage.catalog import MaterializedNodeCatalog, node_file_name
 from ..storage.costmodel import MB
@@ -171,7 +177,6 @@ class QueryExecutor:
         still reads cleanly.
         """
         name = node_file_name(node_id)
-        accountant = self._pool.accountant
         metrics = get_metrics()
         last_error: Exception | None = None
         attempts = 0
@@ -205,7 +210,7 @@ class QueryExecutor:
                 return deserialize_wah(payload)
             except BitmapDecodeError as err:
                 last_error = err
-                accountant.record_discard(name, len(payload))
+                self._pool.record_discard(name, len(payload))
                 record(
                     "executor.discard",
                     name,
@@ -268,13 +273,19 @@ class QueryExecutor:
 
     # ------------------------------------------------------------------
     def execute_plan(self, plan: QueryPlan) -> ExecutionResult:
-        """Evaluate a plan's bitmap algebra; returns answer + IO."""
+        """Evaluate a plan's bitmap algebra; returns answer + IO.
+
+        ``io_bytes`` comes from a private per-call accountant attributed
+        to the calling thread, not from a snapshot diff of the shared
+        accountant — so the figure is exact even while other threads
+        execute against the same pool (see
+        :meth:`~repro.storage.cache.BufferPool.attributing`).
+        """
         if self._verify:
             from .verify import verify_plan
 
             verify_plan(plan, self._catalog.hierarchy)
-        accountant = self._pool.accountant
-        before = accountant.snapshot()
+        local = IOAccountant()
         num_bits = self._catalog.num_rows
         events: list[DegradedRead] = []
         terms: list[WahBitmap] = []
@@ -282,7 +293,7 @@ class QueryExecutor:
             "executor.plan",
             query=plan.query.label or repr(plan.query),
             atoms=len(plan.atoms),
-        ) as sp:
+        ) as sp, self._pool.attributing(local):
             for atom in plan.atoms:
                 record(
                     "executor.atom",
@@ -316,16 +327,15 @@ class QueryExecutor:
             # One k-way union over all atoms (vectorized kernel path)
             # instead of a left-to-right OR fold over a growing answer.
             answer = WahBitmap.union_all(terms, num_bits=num_bits)
-            delta = accountant.diff_since(before)
             get_metrics().observe("union_width", len(terms))
             sp.annotate(
-                io_bytes=delta.bytes_read,
+                io_bytes=local.bytes_read,
                 degraded=len(events),
             )
         return ExecutionResult(
             query=plan.query,
             answer=answer,
-            io_bytes=delta.bytes_read,
+            io_bytes=local.bytes_read,
             degraded_reads=tuple(events),
         )
 
@@ -425,13 +435,17 @@ class QueryExecutor:
             )
             planner_seconds = time.perf_counter() - started
         pre_cached = tuple(sorted(self._pool.cached_names))
-        before = self._pool.accountant.snapshot()
+        local = IOAccountant()
         collector = TraceCollector()
         started = time.perf_counter()
-        with recording(collector):
+        # Thread-scoped recording plus a per-call attributed accountant:
+        # the report's events and byte tallies cover exactly this
+        # execution even when other workers run concurrently against
+        # the same pool.
+        with thread_recording(collector), self._pool.attributing(local):
             result = self.execute_plan(plan)
         execute_seconds = time.perf_counter() - started
-        delta = self._pool.accountant.diff_since(before)
+        delta = local.snapshot()
         return build_explain_report(
             self._catalog,
             plan,
@@ -463,13 +477,23 @@ class QueryExecutor:
         workload: Workload,
         cut_node_ids=(),
         pin: bool = True,
+        parallelism: int = 1,
     ) -> tuple[list[ExecutionResult], IOSnapshot]:
         """Execute every query of a workload against one cut.
 
         When ``pin`` is true the cut's bitmaps are pinned first (the
         Case-2/3 "read the cut once" semantics); per-query plans then
         treat the members as cached.
+
+        ``parallelism > 1`` runs the queries concurrently through
+        :class:`repro.serve.BatchExecutor` over this executor's shared
+        pool; results still come back in workload order with exact
+        per-query IO attribution.
         """
+        if parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1, got {parallelism}"
+            )
         if pin and cut_node_ids:
             self.pin_cut(cut_node_ids)
         # Plans may only assume cut members are resident when the pool
@@ -477,10 +501,25 @@ class QueryExecutor:
         # like any other bitmap, so predicting with node_is_cached=True
         # would undercount the measured IO (Alg. 2 cost vs. Eq. 4).
         node_is_cached = pin and bool(cut_node_ids)
-        results = [
-            self.execute_query(
-                query, cut_node_ids, node_is_cached=node_is_cached
+        if parallelism == 1:
+            results = [
+                self.execute_query(
+                    query, cut_node_ids, node_is_cached=node_is_cached
+                )
+                for query in workload
+            ]
+        else:
+            # Imported lazily: repro.serve wraps this executor, so a
+            # module-level import would be circular.
+            from ..serve import BatchExecutor
+
+            report = BatchExecutor(
+                self, max_workers=parallelism
+            ).run(
+                workload,
+                cut_node_ids,
+                pin=False,
+                node_is_cached=node_is_cached,
             )
-            for query in workload
-        ]
+            results = list(report.results)
         return results, self._pool.accountant.snapshot()

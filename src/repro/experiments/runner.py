@@ -41,6 +41,7 @@ from . import (
     fig10_case3_sizes,
     fig11_opt_time_hierarchy,
     fig12_opt_time_queries,
+    serve_bench,
     table_incomplete_cuts,
 )
 from .common import ExperimentResult
@@ -65,6 +66,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-costmodel": ablations.run_costmodel_ablation,
     "ablation-kcut": ablations.run_kcut_replacement_ablation,
     "compression": compression.run,
+    "serve": serve_bench.run,
 }
 
 #: Cheaper parameters for smoke runs (--fast).
@@ -82,16 +84,27 @@ _FAST_OVERRIDES: dict[str, dict] = {
     "fig11": {"hierarchy_sizes": (250, 500, 1000), "num_queries": 50},
     "fig12": {"query_counts": (50, 100, 200), "num_leaves": 500},
     "compression": {"num_bits": 400_000},
+    "serve": {
+        "num_queries": 8,
+        "num_rows": 20_000,
+        "worker_counts": (1, 4),
+        "slow_delay_s": 0.0005,
+    },
 }
 
 
 def run_experiment(
-    name: str, fast: bool = False, runs: int | None = None
+    name: str,
+    fast: bool = False,
+    runs: int | None = None,
+    parallel: int | None = None,
 ) -> ExperimentResult:
     """Run one experiment by name, optionally with fast parameters.
 
     ``runs`` overrides the number of seeded repetitions for the
-    experiments that average (the paper uses 10).
+    experiments that average (the paper uses 10).  ``parallel``
+    overrides the worker count for the experiments that serve
+    concurrently (currently ``serve``); other experiments ignore it.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -101,11 +114,14 @@ def run_experiment(
             f"{', '.join(EXPERIMENTS)}"
         ) from None
     kwargs = dict(_FAST_OVERRIDES.get(name, {})) if fast else {}
-    if runs is not None:
-        import inspect
+    import inspect
 
-        if "runs" in inspect.signature(runner).parameters:
-            kwargs["runs"] = runs
+    parameters = inspect.signature(runner).parameters
+    if runs is not None and "runs" in parameters:
+        kwargs["runs"] = runs
+    if parallel is not None and "parallel" in parameters:
+        kwargs["parallel"] = parallel
+        kwargs.pop("worker_counts", None)
     return runner(**kwargs)
 
 
@@ -140,6 +156,17 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "override the number of seeded repetitions for averaged "
             "experiments (the paper uses 10)"
+        ),
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve concurrent experiments with N worker threads "
+            "(currently 'serve': sweeps 1 and N workers and verifies "
+            "the concurrent answers against the serial oracle)"
         ),
     )
     parser.add_argument(
@@ -221,7 +248,10 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             started = time.perf_counter()
             result = run_experiment(
-                name, fast=args.fast, runs=args.runs
+                name,
+                fast=args.fast,
+                runs=args.runs,
+                parallel=args.parallel,
             )
             elapsed = time.perf_counter() - started
             print(result.to_text())

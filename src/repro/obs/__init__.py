@@ -28,6 +28,7 @@ from .trace import (
     recording,
     set_recorder,
     span,
+    thread_recording,
 )
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "recording",
+    "thread_recording",
     "record",
     "span",
     "HistogramSummary",

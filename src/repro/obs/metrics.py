@@ -23,6 +23,7 @@ arguments::
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator
@@ -90,49 +91,60 @@ class HistogramSummary:
 
 
 class MetricsRegistry:
-    """Holds named counters and histogram summaries, with labels."""
+    """Holds named counters and histogram summaries, with labels.
+
+    All operations are thread-safe: concurrent query workers share one
+    registry, and a lock makes every read-modify-write (counter adds,
+    histogram folds) atomic so tallies stay exact under interleaving.
+    """
 
     enabled: bool = True
 
     def __init__(self) -> None:
         self._counters: dict[tuple, float] = {}
         self._histograms: dict[tuple, HistogramSummary] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
         """Add ``value`` to counter ``name`` (created at 0 on first use)."""
         key = _key(name, labels)
-        self._counters[key] = self._counters.get(key, 0.0) + value
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Fold ``value`` into histogram ``name``."""
         key = _key(name, labels)
-        summary = self._histograms.get(key)
-        if summary is None:
-            summary = self._histograms[key] = HistogramSummary()
-        summary.observe(value)
+        with self._lock:
+            summary = self._histograms.get(key)
+            if summary is None:
+                summary = self._histograms[key] = HistogramSummary()
+            summary.observe(value)
 
     # ------------------------------------------------------------------
     def counter(self, name: str, **labels: Any) -> float:
         """Current value of a counter (0 if never incremented)."""
-        return self._counters.get(_key(name, labels), 0.0)
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0.0)
 
     def histogram(self, name: str, **labels: Any) -> HistogramSummary:
         """Summary of a histogram (empty if never observed)."""
-        return self._histograms.get(
-            _key(name, labels), HistogramSummary()
-        )
+        with self._lock:
+            return self._histograms.get(
+                _key(name, labels), HistogramSummary()
+            )
 
     def to_dict(self) -> dict[str, dict[str, Any]]:
         """All metrics, JSON-ready, with deterministic key order."""
-        counters = {
-            _render_key(key): value
-            for key, value in sorted(self._counters.items())
-        }
-        histograms = {
-            _render_key(key): summary.to_dict()
-            for key, summary in sorted(self._histograms.items())
-        }
+        with self._lock:
+            counters = {
+                _render_key(key): value
+                for key, value in sorted(self._counters.items())
+            }
+            histograms = {
+                _render_key(key): summary.to_dict()
+                for key, summary in sorted(self._histograms.items())
+            }
         return {"counters": counters, "histograms": histograms}
 
     def to_text(self) -> str:
@@ -158,8 +170,9 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every counter and histogram."""
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def __repr__(self) -> str:
         return (

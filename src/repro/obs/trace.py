@@ -14,7 +14,7 @@ Design constraints, in order:
 1. **Zero overhead when disabled.**  The ambient recorder defaults to
    :data:`NULL_RECORDER`; :func:`record` and :func:`span` check its
    ``enabled`` flag and return immediately, so an uninstrumented run
-   costs one attribute load per call site.
+   costs a couple of attribute loads per call site.
 2. **Deterministic streams.**  Events carry a monotone sequence number
    and *no wall-clock data* — two runs with the same seeds produce
    byte-identical event streams, which is what lets the chaos suite
@@ -23,6 +23,12 @@ Design constraints, in order:
 3. **No dependencies.**  This module imports nothing from the rest of
    the package, so any layer (storage, planner, executor, CLI) may emit
    events without import cycles.
+4. **Thread-scoped capture.**  The process-wide recorder installed via
+   :func:`set_recorder`/:func:`recording` is shared by every thread;
+   :func:`thread_recording` overrides it for the *calling thread only*,
+   which is how the concurrent batch executor gives each worker its own
+   per-query event stream without the streams interleaving (see
+   ``docs/serving.md``).
 
 Usage::
 
@@ -37,6 +43,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -51,6 +58,7 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "recording",
+    "thread_recording",
     "record",
     "span",
 ]
@@ -223,10 +231,22 @@ class TraceCollector(TraceRecorder):
 
 _recorder: TraceRecorder = NULL_RECORDER
 
+#: Per-thread recorder overrides (see :func:`thread_recording`).
+_thread_recorder = threading.local()
+
+
+def _active_recorder() -> TraceRecorder:
+    override = getattr(_thread_recorder, "recorder", None)
+    return override if override is not None else _recorder
+
 
 def get_recorder() -> TraceRecorder:
-    """The ambient recorder instrumented code emits to."""
-    return _recorder
+    """The ambient recorder instrumented code emits to.
+
+    The calling thread's :func:`thread_recording` override wins over
+    the process-wide recorder installed via :func:`set_recorder`.
+    """
+    return _active_recorder()
 
 
 def set_recorder(recorder: TraceRecorder | None) -> TraceRecorder:
@@ -262,10 +282,41 @@ def recording(
         set_recorder(previous)
 
 
+@contextmanager
+def thread_recording(
+    recorder: TraceRecorder | None = None,
+) -> Iterator[TraceRecorder]:
+    """Install a recorder for the *calling thread* for a block's
+    duration.
+
+    Unlike :func:`recording`, which swaps the process-wide recorder
+    every thread shares, this only affects the current thread — other
+    threads keep emitting to their own override or the process-wide
+    recorder.  It is how each worker of a concurrent batch captures a
+    private, deterministic per-query event stream::
+
+        with thread_recording() as collector:
+            executor.execute_query(query)
+        events = collector.events  # only this thread's events
+
+    With no argument a fresh :class:`TraceCollector` is created and
+    yielded.  Overrides nest: the previous thread override (or the
+    process-wide recorder) is restored on exit.
+    """
+    active = recorder if recorder is not None else TraceCollector()
+    previous = getattr(_thread_recorder, "recorder", None)
+    _thread_recorder.recorder = active
+    try:
+        yield active
+    finally:
+        _thread_recorder.recorder = previous
+
+
 def record(kind: str, name: str, **attrs: Any) -> None:
     """Emit one event to the ambient recorder (no-op when disabled)."""
-    if _recorder.enabled:
-        _recorder.emit(kind, name, **attrs)
+    recorder = _active_recorder()
+    if recorder.enabled:
+        recorder.emit(kind, name, **attrs)
 
 
 class Span:
@@ -276,28 +327,31 @@ class Span:
     "what was attempted" at the start and "what came of it" at the end.
     """
 
-    __slots__ = ("_name", "_end_attrs", "_active")
+    __slots__ = ("_name", "_end_attrs", "_recorder")
 
-    def __init__(self, name: str, active: bool, **attrs: Any):
+    def __init__(self, name: str, recorder: TraceRecorder, **attrs: Any):
         self._name = name
-        self._active = active
+        # The recorder is resolved once at creation so start and end
+        # land on the same stream even if the thread override changes
+        # while the span is open.
+        self._recorder = recorder
         self._end_attrs: dict[str, Any] = {}
-        if active:
-            _recorder.span_started(name, **attrs)
+        if recorder.enabled:
+            recorder.span_started(name, **attrs)
 
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes to the span's closing event."""
-        if self._active:
+        if self._recorder.enabled:
             self._end_attrs.update(attrs)
 
     def __enter__(self) -> "Span":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if self._active:
+        if self._recorder.enabled:
             if exc_type is not None:
                 self._end_attrs.setdefault("error", exc_type.__name__)
-            _recorder.span_finished(self._name, **self._end_attrs)
+            self._recorder.span_finished(self._name, **self._end_attrs)
 
 
 def span(name: str, **attrs: Any) -> Span:
@@ -307,4 +361,4 @@ def span(name: str, **attrs: Any) -> Span:
             ...
             sp.annotate(cost_mb=result.cost)
     """
-    return Span(name, _recorder.enabled, **attrs)
+    return Span(name, _active_recorder(), **attrs)

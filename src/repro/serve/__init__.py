@@ -1,0 +1,15 @@
+"""Concurrent query serving over a shared buffer pool.
+
+The paper's Case-2/3 workloads are "many queries share one pinned cut"
+— exactly the shape that parallelizes across queries.  This package
+runs them that way: :class:`BatchExecutor` fans a list of queries out
+over a ``ThreadPoolExecutor`` against a single
+:class:`~repro.storage.cache.BufferPool`, preserving the accounting
+contracts the serial path guarantees (per-query IO attribution, exact
+reconciliation with the shared accountant, deterministic per-query
+trace streams).  See ``docs/serving.md`` for the threading model.
+"""
+
+from .batch import BatchExecutor, BatchReport, QueryOutcome
+
+__all__ = ["BatchExecutor", "BatchReport", "QueryOutcome"]

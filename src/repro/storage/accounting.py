@@ -8,6 +8,7 @@ benches and tests can compare predicted against actually-incurred IO.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -80,7 +81,13 @@ class IOSnapshot:
 
 @dataclass
 class IOAccountant:
-    """Tallies every read served from (simulated) secondary storage."""
+    """Tallies every read served from (simulated) secondary storage.
+
+    Thread-safe: one accountant may be shared by every worker of a
+    concurrent batch — a lock makes each record and :meth:`snapshot`
+    atomic, so snapshots never observe a half-applied read and the
+    tallies stay exact under interleaving.
+    """
 
     bytes_read: int = 0
     read_count: int = 0
@@ -89,15 +96,19 @@ class IOAccountant:
     retry_count: int = 0
     discarded_bytes: int = 0
     discard_count: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_read(self, name: str, nbytes: int) -> None:
         """Record that ``nbytes`` of file ``name`` were fetched."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        self.bytes_read += nbytes
-        self.read_count += 1
-        self.reads_by_name[name] += 1
-        self.bytes_by_name[name] += nbytes
+        with self._lock:
+            self.bytes_read += nbytes
+            self.read_count += 1
+            self.reads_by_name[name] += 1
+            self.bytes_by_name[name] += nbytes
 
     def record_retry(self, name: str) -> None:
         """Record a failed read attempt that will be retried.
@@ -106,7 +117,8 @@ class IOAccountant:
         untouched — this keeps the paper's "amount of data read" metric
         honest while still exposing how flaky the storage was.
         """
-        self.retry_count += 1
+        with self._lock:
+            self.retry_count += 1
 
     def record_discard(self, name: str, nbytes: int) -> None:
         """Record that a fetched payload failed validation and was
@@ -118,8 +130,9 @@ class IOAccountant:
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        self.discarded_bytes += nbytes
-        self.discard_count += 1
+        with self._lock:
+            self.discarded_bytes += nbytes
+            self.discard_count += 1
 
     @property
     def mb_read(self) -> float:
@@ -127,16 +140,17 @@ class IOAccountant:
         return self.bytes_read / MB
 
     def snapshot(self) -> IOSnapshot:
-        """An immutable copy of the current tallies."""
-        return IOSnapshot(
-            bytes_read=self.bytes_read,
-            read_count=self.read_count,
-            reads_by_name=dict(self.reads_by_name),
-            retry_count=self.retry_count,
-            discarded_bytes=self.discarded_bytes,
-            discard_count=self.discard_count,
-            bytes_by_name=dict(self.bytes_by_name),
-        )
+        """An immutable, atomically-consistent copy of the tallies."""
+        with self._lock:
+            return IOSnapshot(
+                bytes_read=self.bytes_read,
+                read_count=self.read_count,
+                reads_by_name=dict(self.reads_by_name),
+                retry_count=self.retry_count,
+                discarded_bytes=self.discarded_bytes,
+                discard_count=self.discard_count,
+                bytes_by_name=dict(self.bytes_by_name),
+            )
 
     def diff_since(self, earlier: IOSnapshot) -> IOSnapshot:
         """Convenience: ``snapshot().diff(earlier)`` in one call."""
@@ -144,13 +158,14 @@ class IOAccountant:
 
     def reset(self) -> None:
         """Zero all tallies."""
-        self.bytes_read = 0
-        self.read_count = 0
-        self.reads_by_name.clear()
-        self.bytes_by_name.clear()
-        self.retry_count = 0
-        self.discarded_bytes = 0
-        self.discard_count = 0
+        with self._lock:
+            self.bytes_read = 0
+            self.read_count = 0
+            self.reads_by_name.clear()
+            self.bytes_by_name.clear()
+            self.retry_count = 0
+            self.discarded_bytes = 0
+            self.discard_count = 0
 
     def __repr__(self) -> str:
         return (

@@ -11,12 +11,31 @@ Implements the caching semantics the paper's three cases assume:
 
 A small LRU overflow area can optionally use whatever budget the pinned
 set leaves free — disabled by default to match the paper's accounting.
+
+The pool is **thread-safe** and built for the concurrent serving layer
+(:mod:`repro.serve`):
+
+* one lock protects the resident set, so the budget/eviction invariants
+  (``resident_bytes <= budget_bytes``, atomic all-or-nothing pinning)
+  hold under any interleaving of ``pin``/``get``/``invalidate``/
+  ``reload``;
+* concurrent misses on the same file are **single-flight deduplicated**:
+  one thread performs (and is charged for) the storage read, every
+  other requester waits and shares the payload — concurrent IO never
+  exceeds what a serial run would have read;
+* :meth:`attributing` charges the calling thread's fetches to an extra
+  per-query accountant, which is how per-query IO stays exactly
+  attributable when many queries share one pool (the sum of per-query
+  accountants plus the pin phase reconciles with the shared accountant
+  to the byte).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
 
 from ..errors import (
     BudgetExceededError,
@@ -31,8 +50,27 @@ from .filestore import BitmapFileStore
 __all__ = ["BufferPool"]
 
 
+class _Flight:
+    """One in-flight storage fetch, shared by concurrent requesters.
+
+    The leader (the thread that created the flight) performs the fetch
+    and publishes either ``payload`` or ``error`` before setting the
+    event; waiters block on the event and take whichever was published.
+    """
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: bytes | None = None
+        self.error: Exception | None = None
+
+
 class BufferPool:
     """Caches bitmap files read from a :class:`BitmapFileStore`.
+
+    Safe for concurrent use by many query workers; see the module
+    docstring for the locking, single-flight, and attribution design.
 
     Args:
         store: the backing file store.
@@ -69,6 +107,11 @@ class BufferPool:
         self._pinned_bytes = 0
         self._lru: OrderedDict[str, bytes] = OrderedDict()
         self._lru_bytes = 0
+        # Reentrant: clear() drops both tiers under one critical
+        # section by calling unpin_all() with the lock already held.
+        self._lock = threading.RLock()
+        self._inflight: dict[str, _Flight] = {}
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     @property
@@ -98,31 +141,83 @@ class BufferPool:
         Never exceeds ``budget_bytes`` when a budget is set (the
         Case-3 ``S_total`` constraint, §2.3.4).
         """
-        return self._pinned_bytes + self._lru_bytes
+        with self._lock:
+            return self._pinned_bytes + self._lru_bytes
 
     @property
     def cached_names(self) -> set[str]:
         """Names currently resident in memory (pinned or LRU)."""
-        return set(self._pinned) | set(self._lru)
+        with self._lock:
+            return set(self._pinned) | set(self._lru)
 
     @property
     def retry_policy(self) -> RetryPolicy:
         """How transient storage failures are retried."""
         return self._retry
 
+    # ------------------------------------------------------------------
+    # Per-thread IO attribution.
+    def _attributed(self) -> tuple[IOAccountant, ...]:
+        return tuple(getattr(self._local, "accountants", ()))
+
+    @contextmanager
+    def attributing(
+        self, accountant: IOAccountant
+    ) -> Iterator[IOAccountant]:
+        """Also charge this thread's fetches to ``accountant``.
+
+        Every storage read, retry, and discard performed by the calling
+        thread inside the block is recorded to the shared pool
+        accountant *and* to ``accountant`` — other threads' IO is not.
+        This is how the batch executor attributes IO to individual
+        queries running concurrently over one pool: a fetch performed
+        on behalf of a single-flight *leader* is charged to that
+        leader's query; waiters sharing the payload are charged
+        nothing, exactly like a cache hit.
+
+        Nests: an inner ``attributing`` block charges both accountants.
+        """
+        stack = getattr(self._local, "accountants", None)
+        if stack is None:
+            stack = []
+            self._local.accountants = stack
+        stack.append(accountant)
+        try:
+            yield accountant
+        finally:
+            stack.pop()
+
+    def record_discard(self, name: str, nbytes: int) -> None:
+        """Charge a discarded (checksum-failed) payload to the shared
+        accountant and to the calling thread's attributed accountants.
+
+        The executor reports discards through the pool rather than the
+        shared accountant directly so wasted IO lands in the same
+        per-query ledger as the read that produced it.
+        """
+        self._accountant.record_discard(name, nbytes)
+        for local in self._attributed():
+            local.record_discard(name, nbytes)
+
+    # ------------------------------------------------------------------
     def _fetch(self, name: str) -> bytes:
         last_error: TransientStorageError | None = None
         metrics = get_metrics()
+        locals_ = self._attributed()
         for _attempt in self._retry.attempts():
             try:
                 payload = self._store.read(name)
             except TransientStorageError as err:
                 last_error = err
                 self._accountant.record_retry(name)
+                for local in locals_:
+                    local.record_retry(name)
                 record("storage.retry", name, error=str(err))
                 metrics.inc("storage_retries_total")
                 continue
             self._accountant.record_read(name, len(payload))
+            for local in locals_:
+                local.record_read(name, len(payload))
             record("storage.read", name, nbytes=len(payload))
             metrics.inc("storage_reads_total")
             metrics.inc("storage_read_bytes_total", len(payload))
@@ -132,6 +227,48 @@ class BufferPool:
         metrics.inc("storage_errors_total")
         raise last_error
 
+    def _join_or_fetch(self, name: str) -> bytes:
+        """Fetch ``name`` with single-flight deduplication.
+
+        The first thread to request a non-resident name becomes the
+        *leader*: it performs the storage read (charged to its
+        attributed accountants) and publishes the payload.  Concurrent
+        requesters wait on the leader's flight and share the result
+        without touching storage — so a burst of misses on one bitmap
+        costs exactly one read.  A leader error propagates to every
+        waiter (the pool already retried transients; re-asking storage
+        immediately would fail the same way).
+        """
+        with self._lock:
+            flight = self._inflight.get(name)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[name] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            record("cache.wait", name)
+            get_metrics().inc("cache_singleflight_waits_total")
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.payload is not None
+            return flight.payload
+        try:
+            payload = self._fetch(name)
+        except Exception as err:
+            flight.error = err
+            with self._lock:
+                self._inflight.pop(name, None)
+            flight.event.set()
+            raise
+        flight.payload = payload
+        with self._lock:
+            self._inflight.pop(name, None)
+        flight.event.set()
+        return payload
+
     # ------------------------------------------------------------------
     def pin(self, names: Iterable[str]) -> None:
         """Read the given files once and keep them resident.
@@ -140,34 +277,77 @@ class BufferPool:
         workload.  Raises :class:`BudgetExceededError` if the pinned
         working set would not fit the budget; no partial pinning happens
         in that case.
+
+        Duplicate names in ``names`` are deduplicated (first occurrence
+        wins) so a repeated member costs one read, one budget charge,
+        and one pin.  The budget is checked twice: against the store's
+        reported sizes before any IO (fail fast without reading), and
+        against the *actual* payload sizes before committing — so
+        ``resident_bytes <= budget_bytes`` is an invariant even when a
+        stored size disagrees with what the read returns (e.g. a torn
+        read, or a backend whose ``size_bytes`` is an estimate).
         """
-        to_pin = [name for name in names if name not in self._pinned]
-        additional = sum(
-            self._store.size_bytes(name) for name in to_pin
-        )
-        if (
-            self._budget is not None
-            and self._pinned_bytes + additional > self._budget
-        ):
-            raise BudgetExceededError(
-                self._pinned_bytes + additional, self._budget
-            )
+        with self._lock:
+            to_pin = [
+                name
+                for name in dict.fromkeys(names)
+                if name not in self._pinned
+            ]
+            if not to_pin:
+                return
+            if self._budget is not None:
+                projected = sum(
+                    len(self._lru[name])
+                    if name in self._lru
+                    else self._store.size_bytes(name)
+                    for name in to_pin
+                )
+                if self._pinned_bytes + projected > self._budget:
+                    raise BudgetExceededError(
+                        self._pinned_bytes + projected, self._budget
+                    )
+        # Stage every payload before touching the resident set, so an
+        # error (storage or budget) commits nothing.  Fetches go
+        # through the single-flight path: a concurrent pin or get of
+        # the same name shares one storage read.
+        staged: dict[str, bytes] = {}
         for name in to_pin:
-            if name in self._lru:
-                payload = self._lru.pop(name)
-                self._lru_bytes -= len(payload)
-            else:
-                payload = self._fetch(name)
-            self._pinned[name] = payload
-            self._pinned_bytes += len(payload)
-            record("cache.pin", name, nbytes=len(payload))
-        get_metrics().inc("cache_pins_total", len(to_pin))
-        # Pinning shrinks the spare budget the LRU area may occupy;
-        # evict until pinned + LRU fits the budget again, or the
-        # resident set would violate the Case-3 S_total constraint.
-        self._shrink_lru_to_spare()
+            with self._lock:
+                if name in self._pinned:
+                    continue  # a concurrent pin() won the race
+                if name in self._lru:
+                    staged[name] = self._lru[name]
+                    continue
+            staged[name] = self._join_or_fetch(name)
+        with self._lock:
+            fresh = {
+                name: payload
+                for name, payload in staged.items()
+                if name not in self._pinned
+            }
+            if self._budget is not None:
+                additional = sum(
+                    len(payload) for payload in fresh.values()
+                )
+                if self._pinned_bytes + additional > self._budget:
+                    raise BudgetExceededError(
+                        self._pinned_bytes + additional, self._budget
+                    )
+            for name, payload in fresh.items():
+                if name in self._lru:
+                    dropped = self._lru.pop(name)
+                    self._lru_bytes -= len(dropped)
+                self._pinned[name] = payload
+                self._pinned_bytes += len(payload)
+                record("cache.pin", name, nbytes=len(payload))
+            get_metrics().inc("cache_pins_total", len(fresh))
+            # Pinning shrinks the spare budget the LRU area may occupy;
+            # evict until pinned + LRU fits the budget again, or the
+            # resident set would violate the Case-3 S_total constraint.
+            self._shrink_lru_to_spare()
 
     def _shrink_lru_to_spare(self) -> None:
+        # Caller holds the lock.
         if self._budget is None:
             return
         spare = self._budget - self._pinned_bytes
@@ -179,38 +359,63 @@ class BufferPool:
 
     def unpin_all(self) -> None:
         """Release every pinned file (contents are dropped)."""
-        self._pinned.clear()
-        self._pinned_bytes = 0
+        with self._lock:
+            if self._pinned:
+                record(
+                    "cache.clear",
+                    "pinned",
+                    files=len(self._pinned),
+                    nbytes=self._pinned_bytes,
+                )
+                get_metrics().inc(
+                    "cache_invalidations_total",
+                    len(self._pinned),
+                    tier="pinned",
+                )
+            self._pinned.clear()
+            self._pinned_bytes = 0
 
     def get(self, name: str) -> bytes:
         """Fetch a file through the pool.
 
         Pinned files and (if enabled) LRU-resident files are served from
         memory; everything else is fetched from storage and charged to
-        the accountant.
+        the accountant.  Concurrent misses on the same name share one
+        storage read (single-flight); only the thread that performs the
+        read is charged.
         """
-        if name in self._pinned:
-            record("cache.hit", name, tier="pinned")
-            get_metrics().inc("cache_hits_total", tier="pinned")
-            return self._pinned[name]
-        if name in self._lru:
-            self._lru.move_to_end(name)
-            record("cache.hit", name, tier="lru")
-            get_metrics().inc("cache_hits_total", tier="lru")
-            return self._lru[name]
+        metrics = get_metrics()
+        with self._lock:
+            if name in self._pinned:
+                record("cache.hit", name, tier="pinned")
+                metrics.inc("cache_hits_total", tier="pinned")
+                return self._pinned[name]
+            if name in self._lru:
+                self._lru.move_to_end(name)
+                record("cache.hit", name, tier="lru")
+                metrics.inc("cache_hits_total", tier="lru")
+                return self._lru[name]
         record("cache.miss", name)
-        get_metrics().inc("cache_misses_total")
-        payload = self._fetch(name)
-        self._maybe_admit(name, payload)
+        metrics.inc("cache_misses_total")
+        payload = self._join_or_fetch(name)
+        with self._lock:
+            self._maybe_admit(name, payload)
         return payload
 
     def _maybe_admit(self, name: str, payload: bytes) -> None:
+        # Caller holds the lock.
+        if name in self._pinned:
+            return
         if self._budget is None:
             # Unconstrained: cache everything (Case 1/2 semantics).
+            if name in self._lru:
+                return
             self._lru[name] = payload
             self._lru_bytes += len(payload)
             return
         if not self._use_spare_lru:
+            return
+        if name in self._lru:
             return
         spare = self._budget - self._pinned_bytes
         if len(payload) > spare:
@@ -229,18 +434,28 @@ class BufferPool:
         pinned.
 
         Used when a resident payload turns out to be corrupt — the next
-        :meth:`get` re-fetches from storage.
+        :meth:`get` re-fetches from storage.  Each actual drop counts
+        toward ``cache_invalidations_total`` (labelled by tier) so
+        EXPLAIN ANALYZE's warm/cold classification stays truthful after
+        corruption recovery.
         """
-        was_pinned = name in self._pinned
-        if was_pinned:
-            payload = self._pinned.pop(name)
-            self._pinned_bytes -= len(payload)
-            record("cache.invalidate", name, tier="pinned")
-        elif name in self._lru:
-            payload = self._lru.pop(name)
-            self._lru_bytes -= len(payload)
-            record("cache.invalidate", name, tier="lru")
-        return was_pinned
+        with self._lock:
+            was_pinned = name in self._pinned
+            if was_pinned:
+                payload = self._pinned.pop(name)
+                self._pinned_bytes -= len(payload)
+                record("cache.invalidate", name, tier="pinned")
+                get_metrics().inc(
+                    "cache_invalidations_total", tier="pinned"
+                )
+            elif name in self._lru:
+                payload = self._lru.pop(name)
+                self._lru_bytes -= len(payload)
+                record("cache.invalidate", name, tier="lru")
+                get_metrics().inc(
+                    "cache_invalidations_total", tier="lru"
+                )
+            return was_pinned
 
     def reload(self, name: str) -> bytes:
         """Force a fresh fetch from storage, replacing any cached copy.
@@ -248,26 +463,45 @@ class BufferPool:
         A previously pinned file stays pinned (with the new payload);
         an LRU-resident file is re-admitted under the normal policy.
         The fetch is charged to the accountant like any storage read.
+        Deliberately *not* single-flight deduplicated: a reload exists
+        to replace a payload that just failed validation, so it must
+        not be satisfied by an in-flight read that may be the same
+        stale bytes.
         """
         was_pinned = self.invalidate(name)
         payload = self._fetch(name)
-        if was_pinned:
-            self._pinned[name] = payload
-            self._pinned_bytes += len(payload)
-            self._shrink_lru_to_spare()
-        else:
-            self._maybe_admit(name, payload)
+        with self._lock:
+            if was_pinned:
+                self._pinned[name] = payload
+                self._pinned_bytes += len(payload)
+                self._shrink_lru_to_spare()
+            else:
+                self._maybe_admit(name, payload)
         return payload
 
     def contains(self, name: str) -> bool:
         """Whether a file is currently resident in memory."""
-        return name in self._pinned or name in self._lru
+        with self._lock:
+            return name in self._pinned or name in self._lru
 
     def clear(self) -> None:
         """Drop all cached content, pinned and unpinned."""
-        self.unpin_all()
-        self._lru.clear()
-        self._lru_bytes = 0
+        with self._lock:
+            self.unpin_all()
+            if self._lru:
+                record(
+                    "cache.clear",
+                    "lru",
+                    files=len(self._lru),
+                    nbytes=self._lru_bytes,
+                )
+                get_metrics().inc(
+                    "cache_invalidations_total",
+                    len(self._lru),
+                    tier="lru",
+                )
+            self._lru.clear()
+            self._lru_bytes = 0
 
     def verify_store_has(self, names: Iterable[str]) -> None:
         """Raise :class:`StorageError` unless every name exists."""

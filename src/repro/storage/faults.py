@@ -28,6 +28,7 @@ at full speed.
 from __future__ import annotations
 
 import random
+import threading
 import time
 import zlib
 from collections import Counter
@@ -121,6 +122,11 @@ class FaultPolicy:
         self.sticky_corrupt_names = set(sticky_corrupt_names)
         self._sleep = sleep
         self._consecutive: Counter[str] = Counter()
+        # Serializes the RNG draws and fault tallies so concurrent
+        # readers keep the counters exact; the slow-read sleep happens
+        # *outside* this lock so injected latency still overlaps across
+        # threads (the whole point of the concurrent serving layer).
+        self._lock = threading.Lock()
         #: Faults injected so far, by kind (observability + tests).
         self.injected: Counter[FaultKind] = Counter()
 
@@ -162,46 +168,72 @@ class FaultPolicy:
                 return kind
         return None
 
+    def _draw_fault(
+        self, name: str, payload: bytes
+    ) -> tuple[FaultKind | None, int]:
+        """Draw the fault (if any) for one read, under the lock.
+
+        Returns ``(kind, position)``: every RNG draw and counter update
+        happens here atomically, while the *enactment* (sleeping,
+        raising, corrupting bytes) happens lock-free in
+        :meth:`filter_read`.  ``position`` is the torn-read cut offset
+        or the bit index to flip (0 when unused).
+        """
+        if name in self.sticky_corrupt_names and payload:
+            self._record_injection(name, FaultKind.STICKY)
+            return FaultKind.STICKY, self._sticky_flip_position(
+                name, len(payload) * 8
+            )
+        if self._consecutive[name] >= self._max_consecutive:
+            self._consecutive[name] = 0
+            return None, 0
+        kind = self._draw_kind()
+        if kind is None:
+            self._consecutive[name] = 0
+            return None, 0
+        if kind is FaultKind.SLOW:
+            # A slow read still succeeds; it does not count toward the
+            # consecutive-failure cap.
+            self._record_injection(name, kind)
+            self._consecutive[name] = 0
+            return kind, 0
+        if kind is not FaultKind.TRANSIENT and not payload:
+            # Nothing to corrupt in an empty payload.
+            self._consecutive[name] = 0
+            return None, 0
+        self._consecutive[name] += 1
+        self._record_injection(name, kind)
+        if kind is FaultKind.TORN:
+            return kind, self._rng.randrange(len(payload))
+        if kind is FaultKind.BITFLIP:
+            return kind, self._rng.randrange(len(payload) * 8)
+        return kind, 0
+
     def filter_read(self, name: str, payload: bytes) -> bytes:
         """Pass one read through the policy.
 
         Returns the (possibly corrupted) payload, raises
         :class:`TransientStorageError`, or sleeps — according to the
         seeded draw.  Must be called once per physical read attempt.
+        Thread-safe: draws are serialized (so the tallies stay exact)
+        but injected slow-read latency overlaps across threads.
         """
-        if name in self.sticky_corrupt_names and payload:
-            self._record_injection(name, FaultKind.STICKY)
-            position = self._sticky_flip_position(name, len(payload) * 8)
-            return self._flip_bit(payload, position)
-        if self._consecutive[name] >= self._max_consecutive:
-            self._consecutive[name] = 0
-            return payload
-        kind = self._draw_kind()
+        with self._lock:
+            kind, position = self._draw_fault(name, payload)
         if kind is None:
-            self._consecutive[name] = 0
             return payload
+        if kind is FaultKind.STICKY:
+            return self._flip_bit(payload, position)
         if kind is FaultKind.SLOW:
-            # A slow read still succeeds; it does not count toward the
-            # consecutive-failure cap.
-            self._record_injection(name, kind)
             if self._slow_delay_s > 0:
                 self._sleep(self._slow_delay_s)
-            self._consecutive[name] = 0
             return payload
-        if kind is not FaultKind.TRANSIENT and not payload:
-            # Nothing to corrupt in an empty payload.
-            self._consecutive[name] = 0
-            return payload
-        self._consecutive[name] += 1
-        self._record_injection(name, kind)
         if kind is FaultKind.TRANSIENT:
             raise TransientStorageError(
                 name, 0, "injected transient IO error"
             )
         if kind is FaultKind.TORN:
-            cut = self._rng.randrange(len(payload))
-            return payload[:cut]
-        position = self._rng.randrange(len(payload) * 8)
+            return payload[:position]
         return self._flip_bit(payload, position)
 
     def _record_injection(self, name: str, kind: FaultKind) -> None:

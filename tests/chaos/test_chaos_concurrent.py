@@ -1,0 +1,215 @@
+"""Concurrent chaos: batch serving under injected storage faults.
+
+The serial chaos suite proves the paper-level contract one query at a
+time; this module proves it survives thread fan-out at 2 and 8 workers:
+
+* every answer stays bit-identical to the fault-free column-scan
+  oracle, no matter how retries, discards, and single-flight waits
+  interleave;
+* per-query IO attribution reconciles with the shared accountant to
+  the byte at every fault rate (wasted reads are charged to the query
+  that performed them);
+* on healthy storage, concurrent IO never exceeds serial IO —
+  single-flight deduplication can only remove reads, not add them.
+
+All randomness flows from the ``chaos_seed`` fixture, so any failure
+reproduces from the test name alone (fault *draw order* under threads
+is scheduling-dependent, but every assertion here is
+interleaving-invariant).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.constrained import k_cut_selection
+from repro.core.executor import QueryExecutor, scan_answer
+from repro.core.multi import select_cut_multi
+from repro.hierarchy.tree import Hierarchy
+from repro.serve import BatchExecutor
+from repro.storage.cache import BufferPool
+from repro.storage.catalog import MaterializedNodeCatalog
+from repro.storage.costmodel import MB
+from repro.storage.faults import FaultPolicy, RetryPolicy
+from repro.workload import (
+    sample_column,
+    tpch_acctbal_leaf_probabilities,
+)
+from repro.workload.query import RangeQuery, Workload
+
+pytestmark = pytest.mark.chaos
+
+WORKER_COUNTS = [2, 8]
+FAULT_RATES = [0.0, 0.1]
+
+#: Same per-name consecutive-fault cap as the serial suite.
+MAX_CONSECUTIVE = 2
+#: More store attempts than the serial suite's 4: concurrent reloads
+#: of one name share the per-name fault counter, so a thread can
+#: absorb another thread's draws before its own clean read.
+POOL_RETRY = RetryPolicy(max_attempts=6)
+
+
+@pytest.fixture(scope="module")
+def chaos_setup():
+    """Module-private materialized catalog (same shape as the serial
+    suite; private so leaked fault policies can't cross modules)."""
+    hierarchy = Hierarchy.from_nested([[3, 3], [2, 4], [4]])
+    probabilities = tpch_acctbal_leaf_probabilities(
+        hierarchy.num_leaves, seed=3
+    )
+    column = sample_column(probabilities, num_rows=20_000, seed=11)
+    catalog = MaterializedNodeCatalog(hierarchy, column)
+    return hierarchy, column, catalog
+
+
+@pytest.fixture(scope="module")
+def batch_queries(chaos_setup):
+    """A 12-query batch (three rounds of four shapes) so 8 workers
+    actually overlap."""
+    hierarchy, _column, _catalog = chaos_setup
+    last = hierarchy.num_leaves - 1
+    shapes = [
+        RangeQuery([(0, 5)]),
+        RangeQuery([(3, 12)]),
+        RangeQuery([(0, last)]),
+        RangeQuery([(2, 4), (9, last)]),
+    ]
+    return shapes * 3
+
+
+@pytest.fixture(scope="module")
+def oracle(chaos_setup, batch_queries):
+    _hierarchy, column, _catalog = chaos_setup
+    return {
+        query: scan_answer(column, query) for query in batch_queries
+    }
+
+
+@contextmanager
+def injected(store, policy):
+    store.set_fault_policy(policy)
+    try:
+        yield policy
+    finally:
+        store.set_fault_policy(None)
+
+
+def _fresh_executor(catalog, budget_bytes=None):
+    pool = BufferPool(
+        catalog.store,
+        budget_bytes=budget_bytes,
+        retry_policy=POOL_RETRY,
+    )
+    return QueryExecutor(catalog, pool)
+
+
+class TestConcurrentBatchChaos:
+    """Pinned Alg.-3 cut, many workers, faults injected."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_answers_bit_identical_and_io_reconciles(
+        self,
+        chaos_setup,
+        batch_queries,
+        oracle,
+        chaos_seed,
+        workers,
+        rate,
+    ):
+        _hierarchy, _column, catalog = chaos_setup
+        cut = select_cut_multi(
+            catalog, Workload(batch_queries)
+        ).cut.node_ids
+        policy = FaultPolicy.uniform(
+            rate,
+            seed=chaos_seed,
+            max_consecutive_per_name=MAX_CONSECUTIVE,
+        )
+        executor = _fresh_executor(catalog)
+        with injected(catalog.store, policy):
+            report = BatchExecutor(
+                executor, max_workers=workers
+            ).run(batch_queries, cut)
+        for query, result in zip(batch_queries, report.results):
+            assert result.answer == oracle[query]
+        # Exact attribution under interleaving: pin-phase IO plus the
+        # per-query accountants explain the shared delta to the byte,
+        # retries and discarded (wasted) reads included.
+        assert report.reconciles()
+        if rate == 0.0:
+            assert policy.total_injected == 0
+            assert report.io.retry_count == 0
+            assert report.io.discard_count == 0
+            assert not any(
+                result.degraded for result in report.results
+            )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_concurrent_io_never_exceeds_serial(
+        self, chaos_setup, batch_queries, oracle, workers
+    ):
+        """On healthy storage, single-flight means concurrency can
+        only dedupe reads relative to the serial loop, never add."""
+        _hierarchy, _column, catalog = chaos_setup
+        cut = select_cut_multi(
+            catalog, Workload(batch_queries)
+        ).cut.node_ids
+        serial = BatchExecutor(
+            _fresh_executor(catalog), max_workers=1
+        ).run(batch_queries, cut)
+        concurrent = BatchExecutor(
+            _fresh_executor(catalog), max_workers=workers
+        ).run(batch_queries, cut)
+        assert concurrent.io.bytes_read <= serial.io.bytes_read
+        assert concurrent.io.read_count <= serial.io.read_count
+        for query, result in zip(
+            batch_queries, concurrent.results
+        ):
+            assert result.answer == oracle[query]
+
+
+class TestConcurrentBudgetedChaos:
+    """Case-3 budgeted pool: S_total holds under threads and faults."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_budget_and_answers_hold(
+        self,
+        chaos_setup,
+        batch_queries,
+        oracle,
+        chaos_seed,
+        workers,
+        rate,
+    ):
+        hierarchy, _column, catalog = chaos_setup
+        workload = Workload(batch_queries)
+        budget_mb = 0.5 * sum(
+            catalog.size_mb(node_id)
+            for node_id in hierarchy.internal_children(
+                hierarchy.root_id
+            )
+        )
+        cut = k_cut_selection(catalog, workload, budget_mb, k=4)
+        assert cut.used_mb <= budget_mb
+        policy = FaultPolicy.uniform(
+            rate,
+            seed=chaos_seed,
+            max_consecutive_per_name=MAX_CONSECUTIVE,
+        )
+        budget_bytes = int(budget_mb * MB)
+        executor = _fresh_executor(
+            catalog, budget_bytes=budget_bytes
+        )
+        with injected(catalog.store, policy):
+            report = BatchExecutor(
+                executor, max_workers=workers
+            ).run(batch_queries, cut.cut.node_ids)
+        for query, result in zip(batch_queries, report.results):
+            assert result.answer == oracle[query]
+        assert report.reconciles()
+        assert executor.pool.resident_bytes <= budget_bytes

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 import zlib
 
 import numpy as np
@@ -118,3 +119,22 @@ def chaos_seed(request) -> int:
 def chaos_rng(chaos_seed) -> np.random.Generator:
     """Seeded RNG for chaos tests; see :func:`chaos_seed`."""
     return np.random.default_rng(chaos_seed)
+
+
+@pytest.fixture(autouse=True)
+def _stress_switch_interval(request):
+    """Shrink the thread switch interval for ``stress``-marked tests.
+
+    A 1µs interval forces the interpreter to switch threads between
+    nearly every bytecode, surfacing interleaving bugs that the default
+    5ms interval hides behind accidental atomicity.
+    """
+    if request.node.get_closest_marker("stress") is None:
+        yield
+        return
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bitmap.plain import PlainBitmap
+from repro.bitmap.plwah import PlwahBitmap
+from repro.bitmap.roaring import RoaringBitmap
+from repro.bitmap.serialization import serialize_bitmap
+from repro.bitmap.wah import WahBitmap
 from repro.errors import BudgetExceededError, StorageError
+from repro.obs import collecting_metrics, recording
 from repro.storage.accounting import IOAccountant
 from repro.storage.cache import BufferPool
 from repro.storage.filestore import BitmapFileStore
@@ -141,6 +147,173 @@ class TestBudgetedStreaming:
         pool.pin(["node_1.wah"])  # promoted out of the LRU, no re-read
         assert pool.accountant.reads_by_name["node_1.wah"] == 1
         assert pool.resident_bytes <= pool.budget_bytes
+
+
+class TestPinDuplicates:
+    """Regression tests for the pin() double-counting bug.
+
+    ``pin(["a", "a"])`` used to fetch the file twice, charge the
+    accountant twice, and record ``pinned_bytes`` at twice the real
+    residency — which then tripped ``BudgetExceededError`` on budgets
+    the cut actually fits.
+    """
+
+    def test_duplicate_names_read_once(self, store):
+        with collecting_metrics() as metrics:
+            pool = BufferPool(store, budget_bytes=1000)
+            pool.pin(["node_0.wah", "node_0.wah", "node_0.wah"])
+        assert pool.accountant.read_count == 1
+        assert pool.accountant.bytes_read == 100
+        assert pool.pinned_bytes == 100
+        assert metrics.counter("cache_pins_total") == 1
+
+    def test_duplicates_fit_a_budget_the_file_fits(self, store):
+        # 100-byte file, 150-byte budget: duplicates used to demand 300.
+        pool = BufferPool(store, budget_bytes=150)
+        pool.pin(["node_0.wah"] * 3)
+        assert pool.pinned_bytes == 100
+        assert pool.resident_bytes <= pool.budget_bytes
+
+    def test_duplicates_mixed_with_new_names(self, store):
+        pool = BufferPool(store, budget_bytes=1000)
+        pool.pin(
+            ["node_0.wah", "node_1.wah", "node_0.wah", "node_1.wah"]
+        )
+        assert pool.accountant.read_count == 2
+        assert pool.pinned_bytes == 300
+        assert pool.accountant.reads_by_name["node_0.wah"] == 1
+        assert pool.accountant.reads_by_name["node_1.wah"] == 1
+
+
+class _LyingStore(BitmapFileStore):
+    """A store whose ``size_bytes`` underreports the payload length."""
+
+    def size_bytes(self, name: str) -> int:
+        return super().size_bytes(name) // 10
+
+
+class TestAdmissionReconciliation:
+    """pin() budgets with ``size_bytes`` estimates but must commit
+    against actual payload lengths, keeping ``resident_bytes <=
+    budget_bytes`` a real invariant even when the estimate lies."""
+
+    def test_size_bytes_agrees_with_payload_for_every_codec(self):
+        store = BitmapFileStore()
+        bitmaps = {
+            "wah": WahBitmap.from_positions([1, 5, 900], 2048),
+            "plwah": PlwahBitmap.from_positions([1, 5, 900], 2048),
+            "roaring": RoaringBitmap.from_positions([1, 5, 900], 2048),
+            "plain": PlainBitmap.from_positions([1, 5, 900], 2048),
+        }
+        for name, bitmap in bitmaps.items():
+            payload = serialize_bitmap(bitmap)
+            store.write(f"{name}.bin", payload)
+            assert store.size_bytes(f"{name}.bin") == len(payload)
+            assert len(store.read(f"{name}.bin")) == len(payload)
+
+    def test_lying_size_estimate_cannot_break_the_budget(self):
+        store = _LyingStore()
+        store.write("a.wah", bytes(100))
+        store.write("b.wah", bytes(200))
+        pool = BufferPool(store, budget_bytes=150)
+        # Estimates (10 + 20 bytes) pass the pre-check; the actual
+        # payloads (300 bytes) must still be rejected at commit.
+        with pytest.raises(BudgetExceededError):
+            pool.pin(["a.wah", "b.wah"])
+        assert pool.pinned_bytes == 0
+        assert pool.resident_bytes <= pool.budget_bytes
+        assert not pool.contains("a.wah")
+        assert not pool.contains("b.wah")
+
+    def test_lying_estimate_within_budget_pins_at_true_size(self):
+        store = _LyingStore()
+        store.write("a.wah", bytes(100))
+        pool = BufferPool(store, budget_bytes=150)
+        pool.pin(["a.wah"])
+        assert pool.pinned_bytes == 100  # true bytes, not the estimate
+        assert pool.resident_bytes <= pool.budget_bytes
+
+
+class TestInvalidationObservability:
+    def test_invalidate_counts_by_tier(self, store):
+        with collecting_metrics() as metrics:
+            pool = BufferPool(store, budget_bytes=1000)
+            pool.pin(["node_0.wah"])
+            pool.invalidate("node_0.wah")
+        assert (
+            metrics.counter("cache_invalidations_total", tier="pinned")
+            == 1
+        )
+
+    def test_invalidate_lru_entry_counts_lru_tier(self, store):
+        with collecting_metrics() as metrics:
+            pool = BufferPool(store)  # unbounded -> LRU caches
+            pool.get("node_0.wah")
+            pool.invalidate("node_0.wah")
+        assert (
+            metrics.counter("cache_invalidations_total", tier="lru")
+            == 1
+        )
+
+    def test_invalidate_absent_name_counts_nothing(self, store):
+        with collecting_metrics() as metrics:
+            pool = BufferPool(store)
+            pool.invalidate("node_0.wah")
+        assert (
+            metrics.counter("cache_invalidations_total", tier="lru")
+            == 0
+        )
+        assert (
+            metrics.counter("cache_invalidations_total", tier="pinned")
+            == 0
+        )
+
+    def test_unpin_all_emits_clear_event_and_metric(self, store):
+        pool = BufferPool(store, budget_bytes=1000)
+        pool.pin(["node_0.wah", "node_1.wah"])
+        with collecting_metrics() as metrics, recording() as collector:
+            pool.unpin_all()
+        clears = [
+            event
+            for event in collector.events
+            if event.kind == "cache.clear"
+        ]
+        assert len(clears) == 1
+        assert clears[0].name == "pinned"
+        assert clears[0].attrs["files"] == 2
+        assert clears[0].attrs["nbytes"] == 300
+        assert (
+            metrics.counter("cache_invalidations_total", tier="pinned")
+            == 2
+        )
+
+    def test_clear_emits_events_for_both_tiers(self, store):
+        pool = BufferPool(store, budget_bytes=1000)
+        pool.pin(["node_0.wah"])
+        unbounded = BufferPool(store)
+        unbounded.get("node_1.wah")
+        with recording() as collector:
+            pool.clear()
+            unbounded.clear()
+        kinds = [
+            (event.kind, event.name)
+            for event in collector.events
+            if event.kind == "cache.clear"
+        ]
+        assert ("cache.clear", "pinned") in kinds
+        assert ("cache.clear", "lru") in kinds
+
+    def test_empty_clear_is_silent(self, store):
+        pool = BufferPool(store)
+        with collecting_metrics() as metrics, recording() as collector:
+            pool.clear()
+            pool.unpin_all()
+        assert not [
+            event
+            for event in collector.events
+            if event.kind == "cache.clear"
+        ]
+        assert metrics.counter("cache_invalidations_total") == 0
 
 
 class TestMisc:

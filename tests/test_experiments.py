@@ -218,6 +218,7 @@ class TestRunner:
             "ablation-strategies",
             "ablation-costmodel",
             "ablation-kcut",
+            "serve",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,288 @@
+"""Tests for the concurrent batch executor (``repro.serve``).
+
+Everything the serial loop guarantees must survive the thread fan-out:
+answers, ordering, per-query IO attribution, trace determinism, and
+exact reconciliation with the shared accountant.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.executor import QueryExecutor, scan_answer
+from repro.core.multi import select_cut_multi
+from repro.serve import BatchExecutor
+from repro.storage.cache import BufferPool
+from repro.workload.query import RangeQuery, Workload
+
+QUERIES = [
+    RangeQuery([(0, 2)]),
+    RangeQuery([(3, 11)]),
+    RangeQuery([(0, 15)]),
+    RangeQuery([(2, 9), (12, 14)]),
+    RangeQuery([(7, 7)]),
+    RangeQuery([(1, 13)]),
+]
+
+
+def _cut_for(catalog, queries):
+    return select_cut_multi(
+        catalog, Workload(queries)
+    ).cut.node_ids
+
+
+def _fresh_executor(catalog) -> QueryExecutor:
+    return QueryExecutor(catalog, BufferPool(catalog.store))
+
+
+class TestBatchCorrectness:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_answers_match_the_column_scan(
+        self, materialized_setup, workers
+    ):
+        _hierarchy, column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        report = BatchExecutor(
+            _fresh_executor(catalog), max_workers=workers
+        ).run(QUERIES, cut)
+        for query, result in zip(QUERIES, report.results):
+            assert result.answer == scan_answer(column, query)
+
+    def test_outcomes_come_back_in_query_order(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        report = BatchExecutor(
+            _fresh_executor(catalog), max_workers=4
+        ).run(QUERIES, cut)
+        assert [o.index for o in report.outcomes] == list(
+            range(len(QUERIES))
+        )
+
+    def test_concurrent_results_match_the_serial_oracle(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        serial = BatchExecutor(
+            _fresh_executor(catalog), max_workers=1
+        ).run(QUERIES, cut)
+        concurrent = BatchExecutor(
+            _fresh_executor(catalog), max_workers=8
+        ).run(QUERIES, cut)
+        for ours, theirs in zip(
+            concurrent.outcomes, serial.outcomes
+        ):
+            assert (
+                ours.result.answer.words
+                == theirs.result.answer.words
+            )
+
+    def test_empty_batch(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        report = BatchExecutor(
+            _fresh_executor(catalog), max_workers=4
+        ).run([])
+        assert report.outcomes == ()
+        assert report.reconciles()
+
+    def test_max_workers_validated(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        with pytest.raises(ValueError):
+            BatchExecutor(_fresh_executor(catalog), max_workers=0)
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_io_reconciles_exactly(
+        self, materialized_setup, workers
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        report = BatchExecutor(
+            _fresh_executor(catalog), max_workers=workers
+        ).run(QUERIES, cut)
+        assert report.reconciles()
+        assert (
+            report.pin_io.bytes_read + report.attributed_bytes
+            == report.io.bytes_read
+        )
+
+    def test_singleflight_never_reads_more_than_serial(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        serial = BatchExecutor(
+            _fresh_executor(catalog), max_workers=1
+        ).run(QUERIES, cut)
+        concurrent = BatchExecutor(
+            _fresh_executor(catalog), max_workers=8
+        ).run(QUERIES, cut)
+        assert (
+            concurrent.io.bytes_read <= serial.io.bytes_read
+        )
+        assert (
+            concurrent.io.read_count <= serial.io.read_count
+        )
+
+    def test_per_query_io_matches_a_solo_run(
+        self, materialized_setup
+    ):
+        """Each outcome's attributed IO equals what the same query
+        costs alone on an identically-warmed pool."""
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        batch = BatchExecutor(
+            _fresh_executor(catalog), max_workers=1
+        ).run(QUERIES, cut)
+        for query, outcome in zip(QUERIES, batch.outcomes):
+            executor = _fresh_executor(catalog)
+            executor.pin_cut(cut)
+            solo = BatchExecutor(executor, max_workers=1).run(
+                [query], cut, pin=False, node_is_cached=True
+            )
+            # The serial batch warms the pool's unbounded LRU as it
+            # goes, so later queries may read strictly less than a
+            # solo cold run — never more.
+            assert (
+                outcome.io.bytes_read
+                <= solo.outcomes[0].io.bytes_read
+            )
+
+
+class TestTraceDeterminism:
+    def test_serial_merged_events_identical_across_runs(
+        self, materialized_setup
+    ):
+        """The 1-worker merge is a byte-identical replay oracle."""
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+
+        def run_once():
+            report = BatchExecutor(
+                _fresh_executor(catalog), max_workers=1
+            ).run(QUERIES, cut)
+            return [
+                (event.seq, event.kind, event.name, event.attrs)
+                for event in report.merged_events()
+            ]
+
+        assert run_once() == run_once()
+
+    def test_concurrent_merge_is_query_ordered_and_dense(
+        self, materialized_setup
+    ):
+        """Which query wins a single-flight race varies run to run, so
+        the concurrent streams are not byte-stable — but the merge
+        contract is: all of query i's events precede query i+1's, and
+        sequence numbers re-number densely from 0."""
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        report = BatchExecutor(
+            _fresh_executor(catalog), max_workers=8
+        ).run(QUERIES, cut)
+        merged = report.merged_events()
+        assert [event.seq for event in merged] == list(
+            range(len(merged))
+        )
+        per_query_lengths = [
+            len(outcome.events) for outcome in report.outcomes
+        ]
+        offset = 0
+        for outcome, length in zip(
+            report.outcomes, per_query_lengths
+        ):
+            window = merged[offset : offset + length]
+            assert [
+                (event.kind, event.name) for event in window
+            ] == [
+                (event.kind, event.name)
+                for event in outcome.events
+            ]
+            offset += length
+        assert offset == len(merged)
+
+
+class TestExplainAnalyzeConcurrency:
+    def test_parallel_explain_analyze_streams_stay_private(
+        self, materialized_setup
+    ):
+        """explain_analyze calls racing on ONE executor must not leak
+        events or bytes into each other's reports: per-report IO sums
+        to the shared pool's delta, and answers stay correct."""
+        _hierarchy, column, catalog = materialized_setup
+        executor = _fresh_executor(catalog)
+        queries = [QUERIES[0], QUERIES[2], QUERIES[3], QUERIES[5]]
+        before = executor.pool.accountant.snapshot()
+        with ThreadPoolExecutor(max_workers=4) as tpe:
+            racing = list(
+                tpe.map(executor.explain_analyze, queries)
+            )
+        delta = executor.pool.accountant.diff_since(before)
+        assert (
+            sum(report.io.bytes_read for report in racing)
+            == delta.bytes_read
+        )
+        assert (
+            sum(report.io.read_count for report in racing)
+            == delta.read_count
+        )
+        for query, report in zip(queries, racing):
+            assert report.answer_count == scan_answer(
+                column, query
+            ).count()
+
+    def test_private_reports_match_solo_runs_on_cold_pools(
+        self, materialized_setup
+    ):
+        """A report produced under racing on a *private* pool is
+        byte-identical to the same query explained alone."""
+        _hierarchy, _column, catalog = materialized_setup
+        queries = [QUERIES[0], QUERIES[2]]
+        solo_reports = [
+            _fresh_executor(catalog).explain_analyze(query)
+            for query in queries
+        ]
+        with ThreadPoolExecutor(max_workers=2) as tpe:
+            racing = list(
+                tpe.map(
+                    lambda query: _fresh_executor(
+                        catalog
+                    ).explain_analyze(query),
+                    queries,
+                )
+            )
+        for solo, raced in zip(solo_reports, racing):
+            assert raced.measured_bytes == solo.measured_bytes
+            assert len(raced.events) == len(solo.events)
+
+
+class TestExecuteWorkloadParallel:
+    @pytest.mark.parametrize("parallelism", [2, 8])
+    def test_parallel_workload_matches_serial(
+        self, materialized_setup, parallelism
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        workload = Workload(QUERIES)
+        cut = _cut_for(catalog, QUERIES)
+        serial_results, serial_io = _fresh_executor(
+            catalog
+        ).execute_workload(workload, cut)
+        parallel_results, parallel_io = _fresh_executor(
+            catalog
+        ).execute_workload(workload, cut, parallelism=parallelism)
+        assert len(parallel_results) == len(serial_results)
+        for ours, theirs in zip(parallel_results, serial_results):
+            assert ours.answer.words == theirs.answer.words
+        assert parallel_io.bytes_read <= serial_io.bytes_read
+
+    def test_parallelism_validated(self, materialized_setup):
+        _hierarchy, _column, catalog = materialized_setup
+        with pytest.raises(ValueError):
+            _fresh_executor(catalog).execute_workload(
+                Workload(QUERIES), parallelism=0
+            )
