@@ -2,8 +2,8 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-chaos test-stress bench-wah-smoke bench-wah \
-	bench-serve-smoke bench-serve bench docs
+.PHONY: test test-chaos test-crash test-stress bench-wah-smoke \
+	bench-wah bench-serve-smoke bench-serve bench docs
 
 # Tier-1 verification (what CI must keep green).
 test:
@@ -12,6 +12,12 @@ test:
 # Deterministic fault-injection suite (seeded per test node id).
 test-chaos:
 	$(PY) -m pytest -m chaos -q
+
+# Write-path crash matrix: a simulated crash at every commit-protocol
+# step of the durable store, recovery asserted bit-identical to a
+# fault-free oracle (subset of the chaos suite; seeded per node id).
+test-crash:
+	$(PY) -m pytest -m crash -q
 
 # Concurrency hammer tests: run with an aggressive thread switch
 # interval (an autouse fixture applies sys.setswitchinterval(1e-6) to

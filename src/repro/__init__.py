@@ -74,9 +74,12 @@ from .errors import (
     FileMissingError,
     HierarchyError,
     InvalidCutError,
+    ManifestError,
     ReproError,
+    SimulatedCrashError,
     StorageError,
     StorageReadError,
+    StorageWriteError,
     TransientStorageError,
     UnrecoverableReadError,
     WorkloadError,
@@ -109,13 +112,21 @@ from .storage import (
     BitmapFileStore,
     BufferPool,
     CostModel,
+    DurableBitmapStore,
     FaultPolicy,
+    IndexBuild,
+    Manifest,
+    ManifestEntry,
     RetryPolicy,
     IOAccountant,
     MaterializedNodeCatalog,
     ModeledNodeCatalog,
     NodeCatalog,
+    Scrubber,
+    ScrubFinding,
+    ScrubReport,
     calibrate_cost_model,
+    hierarchy_fingerprint,
 )
 from .workload import (
     RangeQuery,
@@ -150,6 +161,14 @@ __all__ = [
     "CostModel",
     "MB",
     "BitmapFileStore",
+    "DurableBitmapStore",
+    "IndexBuild",
+    "Manifest",
+    "ManifestEntry",
+    "Scrubber",
+    "ScrubReport",
+    "ScrubFinding",
+    "hierarchy_fingerprint",
     "BufferPool",
     "IOAccountant",
     "NodeCatalog",
@@ -213,6 +232,9 @@ __all__ = [
     "WorkloadError",
     "StorageError",
     "StorageReadError",
+    "StorageWriteError",
+    "ManifestError",
+    "SimulatedCrashError",
     "FileMissingError",
     "TransientStorageError",
     "UnrecoverableReadError",

@@ -29,6 +29,7 @@ from ..bitmap.serialization import (
     codec_name,
     deserialize_wah,
     payload_codec,
+    serialize_wah,
 )
 from ..bitmap.wah import WahBitmap
 from ..errors import (
@@ -131,6 +132,12 @@ class QueryExecutor:
             but keeps degradation.
         allow_degraded: when false, unreadable nodes raise instead of
             being recovered from descendants.
+        online_repair: when true, a successful degraded recovery also
+            writes the re-derived canonical payload back to the store
+            (healing the file in place, not just the query) and drops
+            any cached copy of the damaged bytes.  Write failures are
+            swallowed — repair is opportunistic; the query already has
+            its answer.
     """
 
     def __init__(
@@ -140,6 +147,7 @@ class QueryExecutor:
         verify: bool = False,
         retry_policy: RetryPolicy | None = None,
         allow_degraded: bool = True,
+        online_repair: bool = False,
     ):
         self._catalog = catalog
         self._pool = (
@@ -150,6 +158,7 @@ class QueryExecutor:
         self._verify = verify
         self._retry = retry_policy or DEFAULT_DECODE_RETRY
         self._allow_degraded = allow_degraded
+        self._online_repair = online_repair
 
     # ------------------------------------------------------------------
     @property
@@ -255,7 +264,40 @@ class QueryExecutor:
             recovered_from=tuple(node.children),
         )
         metrics.inc("degraded_reads_total")
+        if self._online_repair:
+            self._repair_online(node_id, name, recovered)
         return recovered
+
+    def _repair_online(
+        self, node_id: int, name: str, recovered: WahBitmap
+    ) -> None:
+        """Write a recovered bitmap back over its damaged file.
+
+        Serialization is canonical, so the healed payload is exactly
+        what a fresh build would have written.  The cached (damaged)
+        copy is invalidated first so no reader resurrects it; a store
+        that cannot be written (read-only, failing) just leaves the
+        degradation in place — the next scrub will handle it.
+        """
+        payload = serialize_wah(recovered)
+        self._pool.invalidate(name)
+        try:
+            self._catalog.store.write(name, payload)
+        except StorageError as err:
+            record(
+                "executor.repair-failed",
+                name,
+                node_id=node_id,
+                error=f"{type(err).__name__}: {err}",
+            )
+            return
+        record(
+            "executor.repair",
+            name,
+            node_id=node_id,
+            nbytes=len(payload),
+        )
+        get_metrics().inc("online_repairs_total")
 
     def _leaf_bitmap(
         self,

@@ -106,6 +106,51 @@ class UnrecoverableReadError(StorageReadError):
     """
 
 
+class StorageWriteError(StorageError):
+    """A write (or delete) against the file store failed.
+
+    The write-path counterpart of :class:`StorageReadError`: carries
+    the file name and a reason so callers never have to parse raw
+    ``OSError`` messages — the store's "typed errors only" contract
+    covers both directions of IO.
+    """
+
+    def __init__(self, file_name: str, reason: str = ""):
+        self.file_name = file_name
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"write of bitmap file {file_name!r} failed{detail}"
+        )
+
+
+class ManifestError(StorageError):
+    """The store's MANIFEST is missing, malformed, or inconsistent.
+
+    Raised when opening a directory-backed index whose manifest fails
+    its self-checksum, references files that are absent or mis-sized,
+    carries an unsupported format version, or fingerprints a different
+    hierarchy than the caller expects.  A store refusing to serve
+    unmanifested state raises this instead of silently reading
+    whatever files happen to be on disk.
+    """
+
+
+class SimulatedCrashError(ReproError):
+    """An injected process crash from the write-path fault policy.
+
+    Deliberately *not* a :class:`StorageError`: retry loops and typed
+    wrappers must never absorb it, and cleanup handlers must let it
+    propagate — the whole point is to leave the on-disk state exactly
+    as a real crash would, so recovery can be tested by reopening.
+    """
+
+    def __init__(self, crash_point: str):
+        self.crash_point = crash_point
+        super().__init__(
+            f"simulated process crash at {crash_point!r}"
+        )
+
+
 class BudgetExceededError(StorageError):
     """Raised when a pinned working set cannot fit in the memory budget."""
 

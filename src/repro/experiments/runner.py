@@ -8,12 +8,24 @@ Usage::
     hcs-experiments --list
 
 Each experiment prints the rows the corresponding paper figure plots.
+
+Index maintenance commands operate on a durable store directory::
+
+    hcs-experiments verify-index --store-dir idx/   # detect-only scrub
+    hcs-experiments scrub --store-dir idx/ \\
+        --hierarchy-json h.json                     # detect + repair
+
+``verify-index`` exits 0 when every file matches the manifest, 1 when
+damage was found, 2 when the store cannot be opened.  ``scrub`` exits 0
+when the store is clean (possibly after repairs), 1 when anything had
+to be quarantined, 2 on open failure.  Both print a JSON report.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from collections.abc import Callable
@@ -46,7 +58,11 @@ from . import (
 )
 from .common import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "MAINTENANCE_COMMANDS", "run_experiment", "run_maintenance", "main"]
+
+#: Index-maintenance subcommands (not experiments): detect-only
+#: verification and full scrub-and-repair of a durable store.
+MAINTENANCE_COMMANDS = ("verify-index", "scrub")
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig1": fig01_costmodel.run,
@@ -125,6 +141,60 @@ def run_experiment(
     return runner(**kwargs)
 
 
+def run_maintenance(
+    command: str,
+    store_dir: str,
+    hierarchy_json: str | None = None,
+) -> int:
+    """Run a maintenance command against a durable store directory.
+
+    ``verify-index`` is a detect-only scrub; ``scrub`` also repairs
+    internal-node damage from child unions and quarantines the rest.
+    Prints a JSON :class:`~repro.storage.scrub.ScrubReport` and
+    returns the process exit code (0 clean / repaired, 1 damage left
+    behind, 2 store unopenable).  Repair needs ``hierarchy_json`` (a
+    file written by :func:`repro.hierarchy.serialization.
+    save_hierarchy`); without it, damaged files can only be reported
+    or quarantined.
+    """
+    from ..errors import ManifestError, StorageError
+    from ..hierarchy.serialization import load_hierarchy
+    from ..storage.manifest import DurableBitmapStore
+    from ..storage.scrub import Scrubber
+
+    hierarchy = None
+    if hierarchy_json is not None:
+        hierarchy = load_hierarchy(hierarchy_json)
+    try:
+        # Opening a missing directory would *create* an empty store;
+        # a maintenance command must never do that on a typo'd path.
+        if not os.path.isdir(store_dir):
+            raise ManifestError(
+                f"store directory {store_dir!r} does not exist"
+            )
+        store = DurableBitmapStore(store_dir, verify_files=False)
+        scrubber = Scrubber(store, hierarchy=hierarchy)
+    except (ManifestError, StorageError, OSError) as err:
+        print(
+            json.dumps(
+                {"error": f"{type(err).__name__}: {err}"}, indent=2
+            )
+        )
+        return 2
+    report = (
+        scrubber.verify() if command == "verify-index"
+        else scrubber.run()
+    )
+    print(json.dumps(report.to_dict(), indent=2))
+    if report.is_clean:
+        return 0
+    if command == "scrub" and not report.quarantined and all(
+        finding.action == "repaired" for finding in report.findings
+    ):
+        return 0
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -137,7 +207,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "names",
         nargs="*",
-        help="experiments to run (or 'all')",
+        help=(
+            "experiments to run (or 'all'), or a maintenance command: "
+            "'verify-index' / 'scrub' with --store-dir"
+        ),
+    )
+    parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "durable index directory for 'verify-index' / 'scrub' "
+            "(must contain a MANIFEST)"
+        ),
+    )
+    parser.add_argument(
+        "--hierarchy-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "hierarchy JSON (from save_hierarchy) enabling child-union "
+            "repair during 'scrub'"
+        ),
     )
     parser.add_argument(
         "--fast",
@@ -213,6 +304,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if any(name in MAINTENANCE_COMMANDS for name in args.names):
+        if len(args.names) != 1:
+            parser.error(
+                "maintenance commands run alone (one of: "
+                + ", ".join(MAINTENANCE_COMMANDS) + ")"
+            )
+        if args.store_dir is None:
+            parser.error(
+                f"{args.names[0]!r} requires --store-dir"
+            )
+        return run_maintenance(
+            args.names[0], args.store_dir, args.hierarchy_json
+        )
     if args.wah_kernel is not None:
         kernels.set_kernel_mode(args.wah_kernel)
     if not 0.0 <= args.fault_rate <= 1.0:

@@ -1,6 +1,7 @@
 """Simulated secondary storage: cost model, calibration, file store,
-IO accounting, budgeted buffer pool, node catalogs, and deterministic
-fault injection."""
+IO accounting, budgeted buffer pool, node catalogs, deterministic
+fault injection, and the durable index lifecycle (manifest-committed
+builds, crash recovery, scrub-and-repair)."""
 
 from .accounting import IOAccountant, IOSnapshot
 from .cache import BufferPool
@@ -23,6 +24,7 @@ from .catalog import (
     ModeledNodeCatalog,
     NodeCatalog,
     node_file_name,
+    node_id_from_file_name,
 )
 from .costmodel import MB, CostModel
 from .diskmodel import (
@@ -31,6 +33,18 @@ from .diskmodel import (
     estimate_seconds_from_events,
 )
 from .filestore import BitmapFileStore
+from .manifest import (
+    MANIFEST_FORMAT_VERSION,
+    MANIFEST_NAME,
+    QUARANTINE_DIR_NAME,
+    DurableBitmapStore,
+    IndexBuild,
+    Manifest,
+    ManifestEntry,
+    hierarchy_fingerprint,
+    physical_file_name,
+)
+from .scrub import ScrubFinding, ScrubReport, Scrubber
 
 __all__ = [
     "CostModel",
@@ -39,6 +53,18 @@ __all__ = [
     "estimate_seconds",
     "estimate_seconds_from_events",
     "BitmapFileStore",
+    "DurableBitmapStore",
+    "IndexBuild",
+    "Manifest",
+    "ManifestEntry",
+    "MANIFEST_NAME",
+    "MANIFEST_FORMAT_VERSION",
+    "QUARANTINE_DIR_NAME",
+    "hierarchy_fingerprint",
+    "physical_file_name",
+    "Scrubber",
+    "ScrubReport",
+    "ScrubFinding",
     "IOAccountant",
     "IOSnapshot",
     "BufferPool",
@@ -52,6 +78,7 @@ __all__ = [
     "ModeledNodeCatalog",
     "MaterializedNodeCatalog",
     "node_file_name",
+    "node_id_from_file_name",
     "calibrate_cost_model",
     "measure_wah_sizes",
     "random_bitmap",

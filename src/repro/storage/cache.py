@@ -259,15 +259,26 @@ class BufferPool:
             payload = self._fetch(name)
         except Exception as err:
             flight.error = err
-            with self._lock:
-                self._inflight.pop(name, None)
+            self._retire_flight(name, flight)
             flight.event.set()
             raise
         flight.payload = payload
-        with self._lock:
-            self._inflight.pop(name, None)
+        self._retire_flight(name, flight)
         flight.event.set()
         return payload
+
+    def _retire_flight(self, name: str, flight: _Flight) -> None:
+        """Remove a completed flight — only if it is still the one
+        registered.
+
+        :meth:`invalidate` may have already dropped it (quarantine of
+        the file mid-fetch) and a successor flight may have taken the
+        slot; popping unconditionally would cancel that unrelated
+        fetch's deduplication.
+        """
+        with self._lock:
+            if self._inflight.get(name) is flight:
+                del self._inflight[name]
 
     # ------------------------------------------------------------------
     def pin(self, names: Iterable[str]) -> None:
@@ -438,8 +449,16 @@ class BufferPool:
         toward ``cache_invalidations_total`` (labelled by tier) so
         EXPLAIN ANALYZE's warm/cold classification stays truthful after
         corruption recovery.
+
+        Any in-flight single-flight fetch of the name is also
+        forgotten: when a scrubber quarantines a file, a concurrent
+        leader may be mid-read of the condemned bytes, and later
+        requesters must not join that flight and inherit them.  The
+        abandoned leader still completes (its waiters get its result),
+        but it no longer publishes into the pool's dedup table.
         """
         with self._lock:
+            self._inflight.pop(name, None)
             was_pinned = name in self._pinned
             if was_pinned:
                 payload = self._pinned.pop(name)

@@ -22,6 +22,8 @@ Two implementations:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from ..bitmap.builder import build_span_bitmap
@@ -37,12 +39,29 @@ __all__ = [
     "ModeledNodeCatalog",
     "MaterializedNodeCatalog",
     "node_file_name",
+    "node_id_from_file_name",
 ]
 
 
 def node_file_name(node_id: int) -> str:
     """Canonical bitmap file name for a hierarchy node."""
     return f"node_{node_id}.wah"
+
+
+def node_id_from_file_name(name: str) -> int | None:
+    """Inverse of :func:`node_file_name`.
+
+    Returns the node id encoded in a canonical bitmap file name, or
+    ``None`` when the name does not follow the ``node_<id>.wah``
+    convention — used by the scrubber to decide whether a damaged file
+    maps to a hierarchy node at all.
+    """
+    if not (name.startswith("node_") and name.endswith(".wah")):
+        return None
+    digits = name[len("node_"):-len(".wah")]
+    if not digits.isdigit():
+        return None
+    return int(digits)
 
 
 class NodeCatalog:
@@ -286,15 +305,15 @@ class MaterializedNodeCatalog(NodeCatalog):
         densities = np.empty(hierarchy.num_nodes, dtype=float)
         sizes = np.empty(hierarchy.num_nodes, dtype=float)
         num_rows = int(column.size)
-        for node in hierarchy:
-            bitmap = build_span_bitmap(
-                column, node.leaf_lo, node.leaf_hi
-            )
-            payload = serialize_wah(bitmap)
-            name = node_file_name(node.node_id)
-            self._store.write(name, payload)
-            densities[node.node_id] = bitmap.density()
-            sizes[node.node_id] = len(payload) / MB
+        with self._begin_write(hierarchy, num_rows) as write_file:
+            for node in hierarchy:
+                bitmap = build_span_bitmap(
+                    column, node.leaf_lo, node.leaf_hi
+                )
+                payload = serialize_wah(bitmap)
+                write_file(node_file_name(node.node_id), payload)
+                densities[node.node_id] = bitmap.density()
+                sizes[node.node_id] = len(payload) / MB
         super().__init__(
             hierarchy,
             densities=densities,
@@ -302,6 +321,75 @@ class MaterializedNodeCatalog(NodeCatalog):
             sizes_mb=sizes.copy(),
             num_rows=num_rows,
         )
+
+    @contextmanager
+    def _begin_write(self, hierarchy: Hierarchy, num_rows: int):
+        """Yield a ``write(name, payload)`` callable for the build.
+
+        On a :class:`~repro.storage.manifest.DurableBitmapStore` the
+        whole build is staged and committed as one atomic generation
+        (with the hierarchy fingerprint and row count recorded in the
+        manifest) — a crash mid-build leaves the previous generation
+        fully live.  On a plain store, files are written directly.
+        """
+        from .manifest import DurableBitmapStore, hierarchy_fingerprint
+
+        if isinstance(self._store, DurableBitmapStore):
+            with self._store.begin_build(
+                hierarchy_fingerprint=hierarchy_fingerprint(hierarchy),
+                num_rows=num_rows,
+            ) as build:
+                yield build.add
+        else:
+            yield self._store.write
+
+    @classmethod
+    def from_store(
+        cls,
+        hierarchy: Hierarchy,
+        store: BitmapFileStore,
+    ) -> "MaterializedNodeCatalog":
+        """Reopen a catalog over already-materialized bitmaps.
+
+        Rehydrates densities and measured sizes by reading every node's
+        stored bitmap instead of rebuilding from a column — this is the
+        crash-recovery path: build once, reopen after restart.  On a
+        :class:`~repro.storage.manifest.DurableBitmapStore` the
+        manifest's hierarchy fingerprint is verified first, so an index
+        built for a different hierarchy is rejected up front.  Raises
+        :class:`~repro.errors.StorageError` when a node's bitmap is
+        absent.
+        """
+        from .manifest import DurableBitmapStore
+
+        if isinstance(store, DurableBitmapStore):
+            store.verify_hierarchy(hierarchy)
+        catalog = cls.__new__(cls)
+        catalog._store = store
+        densities = np.empty(hierarchy.num_nodes, dtype=float)
+        sizes = np.empty(hierarchy.num_nodes, dtype=float)
+        num_rows = 0
+        for node in hierarchy:
+            name = node_file_name(node.node_id)
+            if not store.exists(name):
+                raise StorageError(
+                    f"store has no bitmap for node {node.node_id} "
+                    f"({name!r}); cannot reopen catalog"
+                )
+            payload = store.read(name)
+            bitmap = deserialize_wah(payload)
+            densities[node.node_id] = bitmap.density()
+            sizes[node.node_id] = len(payload) / MB
+            num_rows = max(num_rows, bitmap.num_bits)
+        NodeCatalog.__init__(
+            catalog,
+            hierarchy,
+            densities=densities,
+            read_costs_mb=sizes,
+            sizes_mb=sizes.copy(),
+            num_rows=num_rows,
+        )
+        return catalog
 
     @property
     def store(self) -> BitmapFileStore:

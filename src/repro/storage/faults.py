@@ -13,6 +13,21 @@ simulated storage misbehave on purpose, reproducibly:
   deterministic bit flipped, modelling at-rest corruption that no retry
   can clear (the executor recovers by unioning the node's descendants).
 
+The policy also covers the **write path**, which is how the durable
+index lifecycle (:mod:`repro.storage.manifest`) proves its commit
+protocol crash-safe:
+
+* **crash points** — the store and the manifest commit protocol call
+  :meth:`FaultPolicy.crash_point` at every named protocol step (before
+  any bytes land, between write and rename, before the manifest
+  replace, during GC, ...); a ``crash_plan`` maps a label to the
+  occurrence at which :class:`~repro.errors.SimulatedCrashError` is
+  raised, leaving the filesystem exactly as a real crash would;
+* **torn writes / crash-after-N-bytes** —
+  :meth:`FaultPolicy.torn_write_prefix` tells the store to persist only
+  a prefix of the payload before crashing, modelling a write cut short
+  by power loss mid-flush.
+
 Every random choice comes from one seeded ``random.Random``, so a fixed
 seed plus a fixed read sequence reproduces the exact same fault
 sequence.  ``max_consecutive_per_name`` bounds how many times in a row
@@ -36,7 +51,7 @@ from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from enum import Enum
 
-from ..errors import TransientStorageError
+from ..errors import SimulatedCrashError, TransientStorageError
 from ..obs import get_metrics, record
 
 __all__ = [
@@ -57,6 +72,8 @@ class FaultKind(Enum):
     BITFLIP = "bitflip"
     SLOW = "slow"
     STICKY = "sticky"
+    CRASH = "crash"
+    TORN_WRITE = "torn-write"
 
 
 class FaultPolicy:
@@ -80,6 +97,14 @@ class FaultPolicy:
             with one deterministic bit flipped (position derived from
             the name and seed, so every read is identically corrupt).
         sleep: the sleep function slow reads use.
+        crash_plan: write-path crash schedule — maps a crash-point
+            label (e.g. ``"write.rename"``, ``"commit.manifest.rename"``)
+            to the 1-based occurrence at which
+            :class:`~repro.errors.SimulatedCrashError` is raised.  The
+            label ``"write.torn"`` instead tears the write: only a
+            prefix of the payload is persisted before the crash.
+        torn_write_fraction: fraction of the payload persisted when a
+            planned torn write fires (default half, rounded down).
     """
 
     def __init__(
@@ -93,6 +118,8 @@ class FaultPolicy:
         max_consecutive_per_name: int = 3,
         sticky_corrupt_names: Iterable[str] = (),
         sleep: Callable[[float], None] = time.sleep,
+        crash_plan: dict[str, int] | None = None,
+        torn_write_fraction: float = 0.5,
     ):
         rates = {
             FaultKind.TRANSIENT: transient_rate,
@@ -114,9 +141,24 @@ class FaultPolicy:
                 "max_consecutive_per_name must be >= 1, got "
                 f"{max_consecutive_per_name}"
             )
+        if crash_plan is not None:
+            for label, occurrence in crash_plan.items():
+                if occurrence < 1:
+                    raise ValueError(
+                        f"crash_plan occurrences are 1-based, got "
+                        f"{label!r}: {occurrence}"
+                    )
+        if not 0.0 <= torn_write_fraction <= 1.0:
+            raise ValueError(
+                f"torn_write_fraction must be in [0, 1], got "
+                f"{torn_write_fraction}"
+            )
         self._seed = seed
         self._rng = random.Random(seed)
         self._rates = rates
+        self._crash_plan = dict(crash_plan or {})
+        self._crash_counts: Counter[str] = Counter()
+        self._torn_write_fraction = torn_write_fraction
         self._slow_delay_s = slow_delay_s
         self._max_consecutive = max_consecutive_per_name
         self.sticky_corrupt_names = set(sticky_corrupt_names)
@@ -235,6 +277,62 @@ class FaultPolicy:
         if kind is FaultKind.TORN:
             return payload[:position]
         return self._flip_bit(payload, position)
+
+    # ------------------------------------------------------------------
+    # Write path: planned crashes and torn writes.
+    # ------------------------------------------------------------------
+    @property
+    def crash_plan(self) -> dict[str, int]:
+        """The planned crash schedule (label -> 1-based occurrence)."""
+        return dict(self._crash_plan)
+
+    def crash_point(self, label: str) -> None:
+        """Maybe crash at a named write-path protocol step.
+
+        The store and manifest commit protocol call this at every step
+        whose interruption must be survivable.  When the ``crash_plan``
+        maps ``label`` to an occurrence count, the matching call raises
+        :class:`~repro.errors.SimulatedCrashError`; all other calls are
+        free no-ops.  Occurrences are counted per label across the
+        policy's lifetime, so a crash matrix can target "the third
+        file rename" deterministically.
+        """
+        if not self._crash_plan:
+            return
+        with self._lock:
+            target = self._crash_plan.get(label)
+            if target is None:
+                return
+            self._crash_counts[label] += 1
+            if self._crash_counts[label] != target:
+                return
+            self._record_injection(label, FaultKind.CRASH)
+        raise SimulatedCrashError(label)
+
+    def torn_write_prefix(self, label: str, nbytes: int) -> int | None:
+        """How many bytes of a write should persist before crashing.
+
+        Returns ``None`` for a clean write.  When the ``crash_plan``
+        maps ``label`` (conventionally ``"write.torn"`` for bitmap
+        files, ``"commit.manifest.torn"`` for the manifest) to the
+        matching occurrence — counted per label, like
+        :meth:`crash_point` — returns
+        ``floor(nbytes * torn_write_fraction)``: the store persists
+        exactly that prefix and then raises
+        :class:`~repro.errors.SimulatedCrashError`, modelling a write
+        cut short after N bytes by power loss.
+        """
+        if not self._crash_plan:
+            return None
+        with self._lock:
+            target = self._crash_plan.get(label)
+            if target is None:
+                return None
+            self._crash_counts[label] += 1
+            if self._crash_counts[label] != target:
+                return None
+            self._record_injection(label, FaultKind.TORN_WRITE)
+            return int(nbytes * self._torn_write_fraction)
 
     def _record_injection(self, name: str, kind: FaultKind) -> None:
         """Tally an injected fault and surface it on the event stream."""

@@ -7,23 +7,37 @@ what the OS reports) or kept in memory for fast tests.
 
 All failure modes surface as typed :class:`~repro.errors.StorageError`
 subclasses carrying the file name and offset — raw ``OSError`` /
-``KeyError`` never leak.  An optional :class:`~repro.storage.faults.
-FaultPolicy` lets tests and experiments deterministically inject
-transient errors, torn reads, bit flips, and slow reads on the read
-path.
+``KeyError`` never leak (reads raise :class:`~repro.errors.
+StorageReadError` subclasses, writes and deletes raise
+:class:`~repro.errors.StorageWriteError`).  An optional
+:class:`~repro.storage.faults.FaultPolicy` lets tests and experiments
+deterministically inject transient errors, torn reads, bit flips, and
+slow reads on the read path, plus planned crashes and torn writes on
+the write path.
+
+Directory-backed writes are **atomic**: the payload lands in a hidden
+``.<name>.tmp`` sibling, is fsynced, and is then ``os.replace``d over
+the target — a crash at any byte leaves either the old file intact or
+the new file complete, never a torn target.  Mutations (write, delete)
+and the memory backend's map are serialized under one lock so a
+concurrent scrubber observes ``exists``/``delete`` transitions
+atomically.
 """
 
 from __future__ import annotations
 
 import errno
 import os
+import threading
 from collections.abc import Iterator
 from pathlib import Path
 
 from ..errors import (
     FileMissingError,
+    SimulatedCrashError,
     StorageError,
     StorageReadError,
+    StorageWriteError,
     TransientStorageError,
 )
 from .faults import FaultPolicy, get_default_fault_policy
@@ -54,6 +68,11 @@ class BitmapFileStore:
     ):
         self._directory: Path | None = None
         self._blobs: dict[str, bytes] = {}
+        # Serializes mutations (write/delete) and the memory backend's
+        # blob map, so a concurrent scrubber sees exists/delete flips
+        # atomically — the same discipline BufferPool applies to its
+        # resident set.
+        self._lock = threading.RLock()
         self._fault_policy = (
             fault_policy
             if fault_policy is not None
@@ -90,15 +109,76 @@ class BitmapFileStore:
             return TransientStorageError(name, 0, err.strerror or str(err))
         return StorageReadError(name, 0, err.strerror or str(err))
 
+    @staticmethod
+    def _wrap_write_error(name: str, err: OSError) -> StorageWriteError:
+        return StorageWriteError(name, err.strerror or str(err))
+
     def write(self, name: str, payload: bytes) -> None:
-        """Store a bitmap file (overwrites any previous content)."""
+        """Store a bitmap file atomically (overwriting any previous
+        content).
+
+        On the directory backend the payload is written to a hidden
+        ``.<name>.tmp`` sibling, fsynced, and ``os.replace``d over the
+        target, so a crash mid-write never leaves a torn target: the
+        old content survives until the rename commits the new one.
+        Write-path ``OSError``s surface as typed
+        :class:`~repro.errors.StorageWriteError`; an installed
+        :class:`~repro.storage.faults.FaultPolicy` may inject planned
+        crashes (``"write.begin"`` / ``"write.rename"`` crash points)
+        and torn writes.
+        """
+        payload = bytes(payload)
+        policy = self._fault_policy
         if self._directory is None:
-            self._blobs[name] = bytes(payload)
+            with self._lock:
+                if policy is not None:
+                    policy.crash_point("write.begin")
+                self._blobs[name] = payload
             return
+        path = self._path_for(name)
         try:
-            self._path_for(name).write_bytes(payload)
+            with self._lock:
+                self._atomic_replace(path, payload)
         except OSError as err:
-            raise self._wrap_os_error(name, err) from err
+            raise self._wrap_write_error(name, err) from err
+
+    def _atomic_replace(
+        self,
+        path: Path,
+        payload: bytes,
+        label_prefix: str = "write",
+    ) -> None:
+        """Write ``payload`` to ``path`` via tmp + fsync + rename.
+
+        The shared atomic-write primitive: used for bitmap files (label
+        prefix ``write``) and by the manifest commit protocol (label
+        prefix ``commit.manifest``), with crash points
+        ``<prefix>.begin`` / ``<prefix>.torn`` / ``<prefix>.rename``
+        consulted between steps.  The caller wraps ``OSError``.
+        """
+        policy = self._fault_policy
+        tmp = path.with_name(f".{path.name}.tmp")
+        prefix: int | None = None
+        if policy is not None:
+            policy.crash_point(f"{label_prefix}.begin")
+            prefix = policy.torn_write_prefix(
+                f"{label_prefix}.torn", len(payload)
+            )
+        with open(tmp, "wb") as handle:
+            if prefix is not None:
+                handle.write(payload[:prefix])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise SimulatedCrashError(
+                    f"torn write of {path.name!r} after "
+                    f"{prefix} bytes"
+                )
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if policy is not None:
+            policy.crash_point(f"{label_prefix}.rename")
+        os.replace(tmp, path)
 
     def read(self, name: str) -> bytes:
         """Fetch a bitmap file's full content.
@@ -109,7 +189,8 @@ class BitmapFileStore:
         """
         if self._directory is None:
             try:
-                payload = self._blobs[name]
+                with self._lock:
+                    payload = self._blobs[name]
             except KeyError:
                 raise FileMissingError(name) from None
         else:
@@ -131,7 +212,8 @@ class BitmapFileStore:
         """
         if self._directory is None:
             try:
-                return len(self._blobs[name])
+                with self._lock:
+                    return len(self._blobs[name])
             except KeyError:
                 raise FileMissingError(name) from None
         path = self._path_for(name)
@@ -144,34 +226,54 @@ class BitmapFileStore:
 
     def delete(self, name: str) -> None:
         """Remove a bitmap file (missing names raise
-        :class:`FileMissingError`)."""
-        if self._directory is None:
+        :class:`FileMissingError`).
+
+        Environmental write-path failures surface as typed
+        :class:`~repro.errors.StorageWriteError`.  The deletion holds
+        the store lock, so a concurrent ``exists`` never observes a
+        half-applied removal.
+        """
+        with self._lock:
+            if self._directory is None:
+                try:
+                    del self._blobs[name]
+                except KeyError:
+                    raise FileMissingError(name) from None
+                return
+            path = self._path_for(name)
             try:
-                del self._blobs[name]
-            except KeyError:
+                path.unlink()
+            except FileNotFoundError:
                 raise FileMissingError(name) from None
-            return
-        path = self._path_for(name)
-        try:
-            path.unlink()
-        except FileNotFoundError:
-            raise FileMissingError(name) from None
-        except OSError as err:
-            raise self._wrap_os_error(name, err) from err
+            except OSError as err:
+                raise self._wrap_write_error(name, err) from err
 
     def exists(self, name: str) -> bool:
-        """Whether a bitmap file with this name exists."""
-        if self._directory is None:
-            return name in self._blobs
-        return self._path_for(name).exists()
+        """Whether a bitmap file with this name exists.
+
+        Taken under the store lock, so the answer is consistent with
+        any concurrent ``write``/``delete`` (no torn observations).
+        """
+        with self._lock:
+            if self._directory is None:
+                return name in self._blobs
+            return self._path_for(name).exists()
 
     def names(self) -> Iterator[str]:
-        """Iterate the names of all stored bitmap files."""
+        """Iterate the names of all stored bitmap files.
+
+        Hidden files (leading ``.``) are skipped: the atomic write
+        protocol stages payloads in ``.<name>.tmp`` siblings, and a
+        crashed write's leftover staging file must not masquerade as a
+        stored bitmap.
+        """
         if self._directory is None:
-            yield from sorted(self._blobs)
+            with self._lock:
+                names = sorted(self._blobs)
+            yield from names
         else:
             for path in sorted(self._directory.iterdir()):
-                if path.is_file():
+                if path.is_file() and not path.name.startswith("."):
                     yield path.name
 
     def total_bytes(self) -> int:

@@ -1,0 +1,878 @@
+"""Durable index lifecycle: manifested, atomically committed stores.
+
+A directory of bitmap files is only an *index* if something vouches for
+which files belong to it and what their bytes should be.  This module
+adds that something: a checksummed ``MANIFEST`` at the root of the
+store directory listing every logical bitmap file with its physical
+(generation-prefixed) file name, size, CRC32, and codec, plus a
+fingerprint of the hierarchy the index was built for.
+
+The lifecycle guarantees:
+
+* **Atomic builds** — :meth:`DurableBitmapStore.begin_build` stages
+  every bitmap of the next generation under ``g<generation>-`` physical
+  names that nothing references yet, then commits by atomically
+  replacing the ``MANIFEST`` (tmp + fsync + rename + directory fsync).
+  A crash at *any* byte of the build or commit leaves the directory
+  describing exactly the old generation or exactly the new one — never
+  a mixture — because readers resolve logical names only through the
+  manifest.
+* **Startup recovery** — opening a directory validates the manifest
+  (self-checksum, format version, referenced files present with the
+  recorded sizes), garbage-collects orphaned staging files left by
+  crashed builds, and refuses to serve unmanifested state with a typed
+  :class:`~repro.errors.ManifestError`.
+* **Scrub and repair** — :mod:`repro.storage.scrub` walks the manifest,
+  verifies every file's CRC against it, and heals internal-node rot
+  from the hierarchy's natural redundancy (PAPER §2.1: an internal
+  bitmap is exactly the OR of its children's).
+
+Crash-safety is not assumed; it is *tested*: every protocol step calls
+:meth:`~repro.storage.faults.FaultPolicy.crash_point`, and the crash
+matrix in ``tests/chaos/test_crash_matrix.py`` injects a simulated
+crash at each one, reopens, and asserts bit-identical old-or-new state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from types import TracebackType
+
+from ..errors import (
+    BitmapDecodeError,
+    FileMissingError,
+    ManifestError,
+    SimulatedCrashError,
+    StorageError,
+)
+from ..obs import get_metrics, record
+from .faults import FaultPolicy
+from .filestore import BitmapFileStore
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_FORMAT_VERSION",
+    "QUARANTINE_DIR_NAME",
+    "ManifestEntry",
+    "Manifest",
+    "IndexBuild",
+    "DurableBitmapStore",
+    "hierarchy_fingerprint",
+    "physical_file_name",
+]
+
+#: File name of the manifest at the root of a store directory.
+MANIFEST_NAME = "MANIFEST"
+
+#: On-disk manifest format version; bumped on incompatible changes.
+MANIFEST_FORMAT_VERSION = 1
+
+#: Directory (inside the store) holding quarantined corrupt files.
+QUARANTINE_DIR_NAME = ".quarantine"
+
+_CRC_PREFIX = b"crc32:"
+
+
+def physical_file_name(generation: int, name: str) -> str:
+    """Physical on-disk file name for a logical name in a generation.
+
+    Generations never share physical names, so a staged build can
+    coexist with the live generation and commit by manifest swap alone.
+    """
+    return f"g{generation:08d}-{name}"
+
+
+def hierarchy_fingerprint(hierarchy) -> str:
+    """Stable SHA-256 fingerprint of a hierarchy's structure.
+
+    Computed over the canonical JSON of
+    :func:`repro.hierarchy.serialization.hierarchy_to_dict`, so two
+    structurally identical hierarchies fingerprint identically across
+    processes and platforms.  Stored in the manifest and checked on
+    open, catching the "index built for a different hierarchy" class
+    of operator error before any query runs.
+    """
+    from ..hierarchy.serialization import hierarchy_to_dict
+
+    canonical = json.dumps(
+        hierarchy_to_dict(hierarchy),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _payload_codec_name(payload: bytes) -> str:
+    """Codec label for a manifest entry (``"raw"`` when unframed)."""
+    from ..bitmap.serialization import codec_name, payload_codec
+
+    try:
+        return codec_name(payload_codec(payload))
+    except BitmapDecodeError:
+        return "raw"
+
+
+@dataclass(frozen=True, slots=True)
+class ManifestEntry:
+    """One logical bitmap file as recorded by the manifest.
+
+    Attributes:
+        name: logical file name queries use (``node_<id>.wah``).
+        physical: generation-prefixed on-disk file name.
+        size: exact payload size in bytes.
+        crc32: CRC32 of the full payload (detects at-rest rot).
+        codec: serialization codec label (``wah``/``plwah``/
+            ``roaring``/``plain``/``raw``).
+    """
+
+    name: str
+    physical: str
+    size: int
+    crc32: int
+    codec: str
+
+    @classmethod
+    def for_payload(
+        cls, name: str, physical: str, payload: bytes
+    ) -> "ManifestEntry":
+        """Build an entry describing ``payload`` exactly."""
+        return cls(
+            name=name,
+            physical=physical,
+            size=len(payload),
+            crc32=zlib.crc32(payload),
+            codec=_payload_codec_name(payload),
+        )
+
+    def matches(self, payload: bytes) -> bool:
+        """Whether a payload is byte-exactly what was committed."""
+        return (
+            len(payload) == self.size
+            and zlib.crc32(payload) == self.crc32
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "physical": self.physical,
+            "size": self.size,
+            "crc32": self.crc32,
+            "codec": self.codec,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "ManifestEntry":
+        """Parse an entry; raises :class:`ManifestError` if malformed."""
+        try:
+            physical = payload["physical"]
+            size = payload["size"]
+            crc32 = payload["crc32"]
+            codec = payload["codec"]
+        except (KeyError, TypeError) as err:
+            raise ManifestError(
+                f"manifest entry for {name!r} is malformed: {err}"
+            ) from None
+        if (
+            not isinstance(physical, str)
+            or not isinstance(size, int)
+            or not isinstance(crc32, int)
+            or not isinstance(codec, str)
+            or size < 0
+        ):
+            raise ManifestError(
+                f"manifest entry for {name!r} has invalid field types"
+            )
+        return cls(
+            name=name,
+            physical=physical,
+            size=size,
+            crc32=crc32,
+            codec=codec,
+        )
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A committed index generation: the file list plus provenance.
+
+    Immutable; commits replace the whole manifest.  The serialized form
+    is canonical JSON followed by its own CRC32 line, so a torn or
+    bit-flipped manifest is detected before a single entry is trusted.
+    """
+
+    generation: int
+    entries: dict[str, ManifestEntry] = field(default_factory=dict)
+    hierarchy_fingerprint: str = ""
+    num_rows: int = 0
+    format_version: int = MANIFEST_FORMAT_VERSION
+
+    def entry(self, name: str) -> ManifestEntry:
+        """The entry for a logical name (raises
+        :class:`~repro.errors.FileMissingError` when absent)."""
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise FileMissingError(name) from None
+
+    def physical_names(self) -> set[str]:
+        """The physical file names this generation references."""
+        return {entry.physical for entry in self.entries.values()}
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the self-checksummed on-disk representation."""
+        doc = {
+            "format_version": self.format_version,
+            "generation": self.generation,
+            "hierarchy_fingerprint": self.hierarchy_fingerprint,
+            "num_rows": self.num_rows,
+            "entries": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.entries.items())
+            },
+        }
+        body = json.dumps(
+            doc, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        crc = zlib.crc32(body)
+        return body + b"\n" + _CRC_PREFIX + f"{crc:08x}".encode() + b"\n"
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Manifest":
+        """Parse and validate a serialized manifest.
+
+        Raises :class:`~repro.errors.ManifestError` on a bad
+        self-checksum, unsupported format version, or malformed
+        structure — a manifest is trusted in full or not at all.
+        """
+        try:
+            body, crc_line, trailer = data.rsplit(b"\n", 2)
+        except ValueError:
+            raise ManifestError(
+                "manifest is truncated (missing checksum line)"
+            ) from None
+        if trailer != b"" or not crc_line.startswith(_CRC_PREFIX):
+            raise ManifestError("manifest checksum line is malformed")
+        try:
+            stored_crc = int(crc_line[len(_CRC_PREFIX):], 16)
+        except ValueError:
+            raise ManifestError(
+                "manifest checksum line is malformed"
+            ) from None
+        actual_crc = zlib.crc32(body)
+        if stored_crc != actual_crc:
+            raise ManifestError(
+                f"manifest failed its self-checksum: stored "
+                f"0x{stored_crc:08x}, computed 0x{actual_crc:08x}"
+            )
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as err:
+            raise ManifestError(
+                f"manifest body is not valid JSON: {err}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise ManifestError("manifest body must be a JSON object")
+        version = doc.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise ManifestError(
+                f"unsupported manifest format version {version!r}, "
+                f"expected {MANIFEST_FORMAT_VERSION}"
+            )
+        generation = doc.get("generation")
+        if not isinstance(generation, int) or generation < 0:
+            raise ManifestError(
+                f"manifest generation must be a non-negative int, "
+                f"got {generation!r}"
+            )
+        raw_entries = doc.get("entries")
+        if not isinstance(raw_entries, dict):
+            raise ManifestError("manifest entries must be an object")
+        entries = {
+            name: ManifestEntry.from_dict(name, value)
+            for name, value in raw_entries.items()
+        }
+        return cls(
+            generation=generation,
+            entries=entries,
+            hierarchy_fingerprint=str(
+                doc.get("hierarchy_fingerprint", "")
+            ),
+            num_rows=int(doc.get("num_rows", 0)),
+            format_version=version,
+        )
+
+
+class IndexBuild:
+    """One staged build targeting a store's next generation.
+
+    Created via :meth:`DurableBitmapStore.begin_build`; usable as a
+    context manager (commit on clean exit, abort on error).  Staged
+    files live under the next generation's physical names, which
+    nothing references until :meth:`commit` atomically replaces the
+    manifest — so an aborted or crashed build is invisible to readers
+    and its leftovers are garbage-collected at the next open.
+
+    A :class:`~repro.errors.SimulatedCrashError` escaping the ``with``
+    block deliberately skips the abort cleanup: the injected crash must
+    leave the directory exactly as a real process death would.
+    """
+
+    def __init__(
+        self,
+        store: "DurableBitmapStore",
+        hierarchy_fingerprint: str,
+        num_rows: int,
+        replace_all: bool,
+    ):
+        self._store = store
+        self._generation = store.generation + 1
+        self._fingerprint = hierarchy_fingerprint
+        self._num_rows = num_rows
+        self._replace_all = replace_all
+        self._staged: dict[str, ManifestEntry] = {}
+        self._closed = False
+
+    @property
+    def generation(self) -> int:
+        """The generation this build will commit as."""
+        return self._generation
+
+    @property
+    def staged_names(self) -> tuple[str, ...]:
+        """Logical names staged so far, in insertion order."""
+        return tuple(self._staged)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                "index build already committed or aborted"
+            )
+
+    def add(self, name: str, payload: bytes) -> None:
+        """Stage one bitmap file for this generation.
+
+        The payload is written (atomically, fsynced) under the next
+        generation's physical name; the live generation is untouched.
+        Re-adding a name replaces its staged payload.
+        """
+        self._check_open()
+        payload = bytes(payload)
+        physical = physical_file_name(self._generation, name)
+        self._store._write_physical(physical, payload)
+        self._staged[name] = ManifestEntry.for_payload(
+            name, physical, payload
+        )
+
+    def commit(self) -> Manifest:
+        """Atomically publish the staged generation.
+
+        Replaces the manifest via tmp + fsync + rename + directory
+        fsync — the rename is the commit point — then garbage-collects
+        the physical files of the previous generation.  A crash before
+        the rename leaves the old generation fully live; a crash after
+        it leaves the new generation fully live (the GC re-runs at the
+        next open).
+        """
+        self._check_open()
+        store = self._store
+        if self._replace_all:
+            entries = dict(self._staged)
+        else:
+            entries = {**store.manifest.entries, **self._staged}
+        manifest = Manifest(
+            generation=self._generation,
+            entries=entries,
+            hierarchy_fingerprint=(
+                self._fingerprint
+                or store.manifest.hierarchy_fingerprint
+            ),
+            num_rows=self._num_rows or store.manifest.num_rows,
+        )
+        store._commit_manifest(manifest)
+        self._closed = True
+        record(
+            "manifest.commit",
+            MANIFEST_NAME,
+            generation=self._generation,
+            files=len(entries),
+        )
+        get_metrics().inc("manifest_commits_total")
+        return manifest
+
+    def abort(self) -> None:
+        """Discard the staged files (best effort) without committing."""
+        self._check_open()
+        self._closed = True
+        for entry in self._staged.values():
+            try:
+                self._store._delete_physical(entry.physical)
+            except StorageError:
+                pass  # orphans are GC'd at the next open
+
+    def __enter__(self) -> "IndexBuild":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if exc_type is None:
+            if not self._closed:
+                self.commit()
+            return
+        if isinstance(exc, SimulatedCrashError):
+            # A real crash runs no cleanup; neither does an injected
+            # one — recovery at the next open is what's under test.
+            self._closed = True
+            return
+        if not self._closed:
+            self.abort()
+
+
+class DurableBitmapStore(BitmapFileStore):
+    """A directory-backed bitmap store with a manifest-committed
+    lifecycle.
+
+    Logical names (what catalogs, pools, and executors use) resolve
+    through the current :class:`Manifest` to generation-prefixed
+    physical files, so builds stage invisibly and commit atomically.
+    Opening the directory runs startup recovery: the manifest is
+    validated (self-checksum, format version, referenced files present
+    at their recorded sizes), orphaned staging files from crashed
+    builds are garbage-collected, and unmanifested state is refused
+    with a typed :class:`~repro.errors.ManifestError`.
+
+    Args:
+        directory: the store directory (required — the durable
+            lifecycle is meaningless without real files).
+        fault_policy: read/write fault injector, as for
+            :class:`~repro.storage.filestore.BitmapFileStore`.
+        verify_files: validate at open that every manifest entry's
+            physical file exists with the recorded size.  Pass
+            ``False`` when opening for scrub/repair of a store known
+            to be damaged.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        fault_policy: FaultPolicy | None = None,
+        verify_files: bool = True,
+    ):
+        if directory is None:
+            raise ValueError(
+                "DurableBitmapStore requires a directory; use "
+                "BitmapFileStore for in-memory stores"
+            )
+        super().__init__(directory, fault_policy)
+        assert self._directory is not None
+        self._manifest_path = self._directory / MANIFEST_NAME
+        self._manifest = self._recover(verify_files)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self, verify_files: bool) -> Manifest:
+        assert self._directory is not None
+        if not self._manifest_path.exists():
+            unmanifested = [
+                path.name
+                for path in self._directory.iterdir()
+                if path.is_file() and not path.name.startswith(".")
+            ]
+            if unmanifested:
+                raise ManifestError(
+                    f"directory {str(self._directory)!r} holds "
+                    f"{len(unmanifested)} bitmap files but no "
+                    f"{MANIFEST_NAME}; refusing to serve unmanifested "
+                    f"state (first: {sorted(unmanifested)[:3]})"
+                )
+            manifest = Manifest(generation=0)
+            self._write_manifest_bytes(manifest.to_bytes())
+            record(
+                "manifest.init", MANIFEST_NAME, generation=0
+            )
+            return manifest
+        try:
+            data = self._manifest_path.read_bytes()
+        except OSError as err:
+            raise ManifestError(
+                f"cannot read {MANIFEST_NAME}: {err}"
+            ) from err
+        manifest = Manifest.from_bytes(data)
+        manifest = self._heal_quarantined(manifest)
+        if verify_files:
+            self._verify_manifest_files(manifest)
+        self._gc_orphans(manifest)
+        record(
+            "manifest.open",
+            MANIFEST_NAME,
+            generation=manifest.generation,
+            files=len(manifest.entries),
+        )
+        return manifest
+
+    def _heal_quarantined(self, manifest: Manifest) -> Manifest:
+        """Drop entries whose physical file sits in quarantine.
+
+        Covers the crash window between moving a corrupt file into
+        ``.quarantine/`` and committing the manifest without its entry:
+        on reopen the move is completed logically by rewriting the
+        manifest, instead of refusing to serve a file that was already
+        condemned.
+        """
+        assert self._directory is not None
+        quarantine = self._directory / QUARANTINE_DIR_NAME
+        if not quarantine.is_dir():
+            return manifest
+        stranded = [
+            name
+            for name, entry in manifest.entries.items()
+            if not (self._directory / entry.physical).exists()
+            and (quarantine / entry.physical).exists()
+        ]
+        if not stranded:
+            return manifest
+        entries = {
+            name: entry
+            for name, entry in manifest.entries.items()
+            if name not in stranded
+        }
+        healed = Manifest(
+            generation=manifest.generation + 1,
+            entries=entries,
+            hierarchy_fingerprint=manifest.hierarchy_fingerprint,
+            num_rows=manifest.num_rows,
+        )
+        self._write_manifest_bytes(healed.to_bytes())
+        for name in stranded:
+            record("manifest.heal-quarantined", name)
+        return healed
+
+    def _verify_manifest_files(self, manifest: Manifest) -> None:
+        assert self._directory is not None
+        for name, entry in sorted(manifest.entries.items()):
+            path = self._directory / entry.physical
+            try:
+                size = path.stat().st_size
+            except FileNotFoundError:
+                raise ManifestError(
+                    f"manifest references {entry.physical!r} (for "
+                    f"{name!r}) but the file is missing; run scrub "
+                    f"to repair or quarantine"
+                ) from None
+            except OSError as err:
+                raise ManifestError(
+                    f"cannot stat {entry.physical!r}: {err}"
+                ) from err
+            if size != entry.size:
+                raise ManifestError(
+                    f"{entry.physical!r} (for {name!r}) is "
+                    f"{size} bytes on disk but the manifest records "
+                    f"{entry.size}; run scrub to repair or quarantine"
+                )
+
+    def _gc_orphans(self, manifest: Manifest) -> int:
+        """Remove files no manifest entry references; returns count."""
+        assert self._directory is not None
+        referenced = manifest.physical_names() | {MANIFEST_NAME}
+        removed = 0
+        for path in sorted(self._directory.iterdir()):
+            if not path.is_file() or path.name in referenced:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue  # best effort; retried at the next open
+            removed += 1
+            record("manifest.gc", path.name)
+        if removed:
+            get_metrics().inc("manifest_gc_files_total", removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Manifest plumbing
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> Manifest:
+        """The currently committed manifest."""
+        return self._manifest
+
+    @property
+    def generation(self) -> int:
+        """The committed generation number (0 = empty store)."""
+        return self._manifest.generation
+
+    def _write_manifest_bytes(self, data: bytes) -> None:
+        """Atomically replace the MANIFEST file (no crash points)."""
+        try:
+            with self._lock:
+                tmp = self._manifest_path.with_name(
+                    f".{MANIFEST_NAME}.tmp"
+                )
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self._manifest_path)
+                self._fsync_directory()
+        except OSError as err:
+            raise self._wrap_write_error(MANIFEST_NAME, err) from err
+
+    def _fsync_directory(self) -> None:
+        assert self._directory is not None
+        try:
+            fd = os.open(self._directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _commit_manifest(self, manifest: Manifest) -> None:
+        """The commit protocol: manifest swap, then old-generation GC.
+
+        Crash points (consulted via the fault policy):
+        ``commit.manifest.begin`` / ``commit.manifest.torn`` /
+        ``commit.manifest.rename`` around the atomic manifest replace
+        (the rename *is* the commit point), then ``commit.gc`` before
+        each unlink of a now-unreferenced file.
+        """
+        try:
+            with self._lock:
+                self._atomic_replace(
+                    self._manifest_path,
+                    manifest.to_bytes(),
+                    label_prefix="commit.manifest",
+                )
+                self._fsync_directory()
+        except OSError as err:
+            raise self._wrap_write_error(MANIFEST_NAME, err) from err
+        self._manifest = manifest
+        # Post-commit GC: anything the new manifest does not reference
+        # is dead.  A crash mid-GC is harmless — the next open re-runs
+        # the sweep against the committed manifest.
+        assert self._directory is not None
+        policy = self._fault_policy
+        referenced = manifest.physical_names() | {MANIFEST_NAME}
+        for path in sorted(self._directory.iterdir()):
+            if not path.is_file() or path.name in referenced:
+                continue
+            if policy is not None:
+                policy.crash_point("commit.gc")
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            record("manifest.gc", path.name)
+
+    def _write_physical(self, physical: str, payload: bytes) -> None:
+        """Atomically write a physical file (staging / repair path)."""
+        assert self._directory is not None
+        path = self._directory / physical
+        try:
+            with self._lock:
+                self._atomic_replace(path, payload)
+        except OSError as err:
+            raise self._wrap_write_error(physical, err) from err
+
+    def _delete_physical(self, physical: str) -> None:
+        assert self._directory is not None
+        try:
+            (self._directory / physical).unlink()
+        except FileNotFoundError:
+            raise FileMissingError(physical) from None
+        except OSError as err:
+            raise self._wrap_write_error(physical, err) from err
+
+    def read_physical(self, name: str) -> bytes:
+        """Read an entry's bytes straight from its physical file.
+
+        Bypasses the read-fault policy — this is the scrubber's view
+        of what is *actually on disk*, as opposed to what a faulty
+        read path would deliver.
+        """
+        entry = self._manifest.entry(name)
+        assert self._directory is not None
+        try:
+            return (self._directory / entry.physical).read_bytes()
+        except FileNotFoundError:
+            raise FileMissingError(name) from None
+        except OSError as err:
+            raise self._wrap_os_error(name, err) from err
+
+    # ------------------------------------------------------------------
+    # Builds
+    # ------------------------------------------------------------------
+    def begin_build(
+        self,
+        hierarchy_fingerprint: str = "",
+        num_rows: int = 0,
+        replace_all: bool = True,
+    ) -> IndexBuild:
+        """Start a staged build of the next generation.
+
+        Use as a context manager::
+
+            with store.begin_build(fingerprint, num_rows) as build:
+                build.add("node_0.wah", payload)
+            # committed atomically here (aborted on exception)
+
+        ``replace_all=True`` (an index rebuild) commits exactly the
+        staged file set; ``replace_all=False`` (a partial update, e.g.
+        a scrub repair) carries unstaged entries forward.
+        """
+        return IndexBuild(
+            self,
+            hierarchy_fingerprint=hierarchy_fingerprint,
+            num_rows=num_rows,
+            replace_all=replace_all,
+        )
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self, name: str) -> str:
+        """Condemn an entry: park its file, drop it from the manifest.
+
+        The physical file (when still present) is moved into
+        ``.quarantine/`` — preserved as evidence, invisible to readers
+        and to GC — and a new generation is committed without the
+        entry.  Returns the quarantined physical file name.  Readers
+        of the logical name subsequently get
+        :class:`~repro.errors.FileMissingError`, which the executor's
+        degraded-read path turns into a child-union recovery for
+        internal nodes.
+        """
+        entry = self._manifest.entry(name)
+        assert self._directory is not None
+        quarantine_dir = self._directory / QUARANTINE_DIR_NAME
+        source = self._directory / entry.physical
+        try:
+            quarantine_dir.mkdir(exist_ok=True)
+            if source.exists():
+                os.replace(source, quarantine_dir / entry.physical)
+        except OSError as err:
+            raise self._wrap_write_error(entry.physical, err) from err
+        entries = {
+            other: value
+            for other, value in self._manifest.entries.items()
+            if other != name
+        }
+        self._commit_manifest(
+            Manifest(
+                generation=self._manifest.generation + 1,
+                entries=entries,
+                hierarchy_fingerprint=(
+                    self._manifest.hierarchy_fingerprint
+                ),
+                num_rows=self._manifest.num_rows,
+            )
+        )
+        record("manifest.quarantine", name, physical=entry.physical)
+        get_metrics().inc("scrub_quarantined_total")
+        return entry.physical
+
+    def quarantined_names(self) -> list[str]:
+        """Physical file names currently parked in quarantine."""
+        assert self._directory is not None
+        quarantine_dir = self._directory / QUARANTINE_DIR_NAME
+        if not quarantine_dir.is_dir():
+            return []
+        return sorted(
+            path.name
+            for path in quarantine_dir.iterdir()
+            if path.is_file()
+        )
+
+    # ------------------------------------------------------------------
+    # Logical-name file API (what pools/catalogs/executors use)
+    # ------------------------------------------------------------------
+    def write(self, name: str, payload: bytes) -> None:
+        """Write one file as a single-entry committed generation.
+
+        Stages the payload under the next generation's physical name,
+        then commits a manifest carrying every other entry forward —
+        a one-file build.  Bulk writers should prefer
+        :meth:`begin_build`, which commits once for the whole set.
+        """
+        with self.begin_build(replace_all=False) as build:
+            build.add(name, payload)
+
+    def read(self, name: str) -> bytes:
+        """Fetch a logical file's content through the manifest.
+
+        Unmanifested names raise :class:`~repro.errors.
+        FileMissingError` even if a stray file with that name exists
+        on disk — the manifest is the only source of truth.
+        """
+        entry = self._manifest.entry(name)
+        return super().read(entry.physical)
+
+    def size_bytes(self, name: str) -> int:
+        """Size of a logical file, as recorded by the manifest."""
+        return self._manifest.entry(name).size
+
+    def delete(self, name: str) -> None:
+        """Remove a logical file by committing a generation without it."""
+        entry = self._manifest.entry(name)
+        entries = {
+            other: value
+            for other, value in self._manifest.entries.items()
+            if other != name
+        }
+        self._commit_manifest(
+            Manifest(
+                generation=self._manifest.generation + 1,
+                entries=entries,
+                hierarchy_fingerprint=(
+                    self._manifest.hierarchy_fingerprint
+                ),
+                num_rows=self._manifest.num_rows,
+            )
+        )
+        record("manifest.delete", name, physical=entry.physical)
+
+    def exists(self, name: str) -> bool:
+        """Whether the manifest lists a logical file with this name."""
+        return name in self._manifest.entries
+
+    def names(self) -> Iterator[str]:
+        """Iterate the manifest's logical file names, sorted."""
+        yield from sorted(self._manifest.entries)
+
+    def verify_hierarchy(self, hierarchy) -> None:
+        """Check the manifest was built for this hierarchy.
+
+        Raises :class:`~repro.errors.ManifestError` on a fingerprint
+        mismatch; an empty stored fingerprint (pre-durability data or
+        ad-hoc writes) is accepted.
+        """
+        stored = self._manifest.hierarchy_fingerprint
+        if not stored:
+            return
+        expected = hierarchy_fingerprint(hierarchy)
+        if stored != expected:
+            raise ManifestError(
+                f"index was built for a different hierarchy: "
+                f"manifest fingerprint {stored[:12]}..., expected "
+                f"{expected[:12]}..."
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableBitmapStore(directory="
+            f"{str(self._directory)!r}, "
+            f"generation={self._manifest.generation}, "
+            f"files={len(self._manifest.entries)})"
+        )

@@ -1,0 +1,204 @@
+"""Crash matrix: a simulated crash at every commit-protocol step.
+
+The durability contract under test (ISSUE 5 acceptance): for *every*
+injected write-path crash point during a rebuild of a live index,
+reopening the store yields **exactly** the old generation or exactly
+the new one — bit-identical, asserted via manifest checksums against
+fault-free oracle builds — and Case 1/2/3 queries answer identically
+to the corresponding fault-free oracle.
+
+All randomness flows from ``chaos_seed`` (derived from the test node
+id), so every cell of the matrix reproduces from its test name alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import QueryExecutor, scan_answer
+from repro.errors import SimulatedCrashError
+from repro.hierarchy.tree import Hierarchy
+from repro.storage.catalog import MaterializedNodeCatalog
+from repro.storage.faults import FaultPolicy
+from repro.storage.manifest import DurableBitmapStore
+from repro.storage.scrub import Scrubber
+from repro.workload.query import RangeQuery
+
+pytestmark = [pytest.mark.chaos, pytest.mark.crash]
+
+#: The rebuild writes one physical file per hierarchy node, so write
+#: crash points can fire anywhere in [1, NUM_NODES]; the manifest swap
+#: fires once; post-commit GC unlinks one old file per node.
+_SPEC = [[2, 2], [3, 2], [3]]
+_NUM_NODES = Hierarchy.from_nested(_SPEC).num_nodes
+
+#: Every commit-protocol step × early/mid/late occurrences.
+CRASH_MATRIX = [
+    ("write.begin", 1),
+    ("write.begin", _NUM_NODES // 2),
+    ("write.begin", _NUM_NODES),
+    ("write.torn", 1),
+    ("write.torn", _NUM_NODES // 2),
+    ("write.torn", _NUM_NODES),
+    ("write.rename", 1),
+    ("write.rename", _NUM_NODES // 2),
+    ("write.rename", _NUM_NODES),
+    ("commit.manifest.begin", 1),
+    ("commit.manifest.torn", 1),
+    ("commit.manifest.rename", 1),
+    ("commit.gc", 1),
+    ("commit.gc", _NUM_NODES // 2),
+    ("commit.gc", _NUM_NODES),
+]
+
+
+def _columns(chaos_seed, hierarchy):
+    rng = np.random.default_rng(chaos_seed)
+    old = rng.integers(0, hierarchy.num_leaves, size=4000)
+    new = rng.integers(0, hierarchy.num_leaves, size=4000)
+    return old, new
+
+
+def _oracle_payloads(tmp_path, hierarchy, column, label):
+    """Fault-free build in a scratch dir; returns {name: payload}."""
+    directory = tmp_path / f"oracle-{label}"
+    store = DurableBitmapStore(directory)
+    MaterializedNodeCatalog(hierarchy, column, store)
+    return {name: store.read(name) for name in store.names()}
+
+
+def _case_queries(hierarchy):
+    last = hierarchy.num_leaves - 1
+    return [
+        RangeQuery([(0, 3)]),          # Case 1: small range
+        RangeQuery([(2, last - 1)]),   # Case 2-ish: wide range
+        RangeQuery([(0, last)]),       # full domain
+        RangeQuery([(1, 3), (6, last)]),  # multi-spec
+    ]
+
+
+@pytest.mark.parametrize(("label", "occurrence"), CRASH_MATRIX)
+def test_crash_leaves_exactly_old_or_new_generation(
+    tmp_path, chaos_seed, label, occurrence
+):
+    hierarchy = Hierarchy.from_nested(_SPEC)
+    column_old, column_new = _columns(chaos_seed, hierarchy)
+    oracle_old = _oracle_payloads(
+        tmp_path, hierarchy, column_old, "old"
+    )
+    oracle_new = _oracle_payloads(
+        tmp_path, hierarchy, column_new, "new"
+    )
+
+    # Live store at generation 1, then a rebuild that crashes.
+    directory = tmp_path / "store"
+    store = DurableBitmapStore(directory)
+    MaterializedNodeCatalog(hierarchy, column_old, store)
+    assert store.generation == 1
+    store.set_fault_policy(
+        FaultPolicy(crash_plan={label: occurrence})
+    )
+    with pytest.raises(SimulatedCrashError):
+        MaterializedNodeCatalog(hierarchy, column_new, store)
+
+    # Recovery: reopen without faults.  The manifest must describe
+    # exactly one of the two generations, every file bit-identical to
+    # the corresponding fault-free oracle build.
+    reopened = DurableBitmapStore(directory)
+    assert reopened.generation in (1, 2), label
+    oracle = oracle_old if reopened.generation == 1 else oracle_new
+    column = (
+        column_old if reopened.generation == 1 else column_new
+    )
+    assert sorted(reopened.names()) == sorted(oracle)
+    for name, expected in oracle.items():
+        assert reopened.read(name) == expected, (label, name)
+
+    # The manifest's checksums agree with what is on disk.
+    report = Scrubber(reopened, hierarchy).verify()
+    assert report.is_clean, report.findings
+
+    # No stray staging or tmp files survive recovery.
+    leftovers = [
+        path.name
+        for path in directory.iterdir()
+        if path.is_file()
+        and path.name != "MANIFEST"
+        and path.name
+        not in {
+            reopened.manifest.entry(name).physical
+            for name in reopened.names()
+        }
+    ]
+    assert leftovers == [], label
+
+    # Queries over the surviving generation answer exactly like the
+    # fault-free oracle (leaf plans and internal-node cut plans).
+    catalog = MaterializedNodeCatalog.from_store(hierarchy, reopened)
+    executor = QueryExecutor(catalog)
+    internal_cut = hierarchy.node(hierarchy.root_id).children
+    for query in _case_queries(hierarchy):
+        expected = scan_answer(column, query)
+        for cut in ((), internal_cut):
+            result = executor.execute_query(query, cut_node_ids=cut)
+            assert not result.degraded
+            assert (
+                result.answer.to_positions().tolist()
+                == expected.to_positions().tolist()
+            )
+
+
+def test_crash_during_initial_build_leaves_empty_store(
+    tmp_path, chaos_seed
+):
+    """A crash before the very first commit recovers to generation 0."""
+    hierarchy = Hierarchy.from_nested(_SPEC)
+    column, _ = _columns(chaos_seed, hierarchy)
+    directory = tmp_path / "store"
+    store = DurableBitmapStore(
+        directory,
+        fault_policy=FaultPolicy(
+            crash_plan={"commit.manifest.rename": 1}
+        ),
+    )
+    with pytest.raises(SimulatedCrashError):
+        MaterializedNodeCatalog(hierarchy, column, store)
+    reopened = DurableBitmapStore(directory)
+    assert reopened.generation == 0
+    assert list(reopened.names()) == []
+
+
+def test_simulated_crash_is_not_absorbed_by_write_wrappers(tmp_path):
+    """`SimulatedCrashError` must escape every typed-error wrapper."""
+    store = DurableBitmapStore(
+        tmp_path, fault_policy=FaultPolicy(crash_plan={"write.begin": 1})
+    )
+    with pytest.raises(SimulatedCrashError):
+        store.write("a.wah", b"payload")
+
+
+def test_torn_write_persists_a_prefix(tmp_path, chaos_seed):
+    """The torn-write crash leaves a real partial tmp file behind —
+    and recovery still serves the old generation untouched."""
+    directory = tmp_path / "store"
+    store = DurableBitmapStore(directory)
+    store.write("a.wah", b"x" * 64)
+    store.set_fault_policy(
+        FaultPolicy(
+            crash_plan={"write.torn": 1}, torn_write_fraction=0.5
+        )
+    )
+    with pytest.raises(SimulatedCrashError, match="torn write"):
+        store.write("a.wah", b"y" * 64)
+    torn = [
+        path for path in directory.iterdir()
+        if path.name.startswith(".") and path.name.endswith(".tmp")
+    ]
+    assert len(torn) == 1
+    assert torn[0].read_bytes() == b"y" * 32  # the persisted prefix
+    reopened = DurableBitmapStore(directory)
+    assert reopened.read("a.wah") == b"x" * 64
+    assert not any(  # recovery GC'd the torn staging file
+        path.name.endswith(".tmp") for path in directory.iterdir()
+    )

@@ -119,6 +119,39 @@ class TestSingleFlight:
         assert pool.reload(NAMES[0]) == bytes(7)
         assert pool.get(NAMES[0]) == bytes(7)
 
+    def test_invalidate_drops_inflight_entry(self):
+        """invalidate() of a name mid-fetch abandons the flight.
+
+        When a scrubber quarantines a file, a leader may be mid-read
+        of the condemned bytes; requesters arriving after the
+        invalidate must start a fresh fetch instead of joining the
+        stale flight — and the abandoned leader's completion must not
+        cancel the successor flight's deduplication.
+        """
+        store = _BlockingStore()
+        store.write("a.wah", bytes(100))
+        pool = BufferPool(store)
+        with ThreadPoolExecutor(max_workers=2) as tpe:
+            first = tpe.submit(pool.get, "a.wah")
+            assert store.entered.wait(timeout=10)
+            # The file is condemned while the leader is parked inside
+            # the store read.
+            pool.invalidate("a.wah")
+            second = tpe.submit(pool.get, "a.wah")
+            # The second get must be a fresh leader (read_calls -> 2),
+            # not a waiter on the first flight.
+            deadline = threading.Event()
+            for _ in range(100):
+                if store.read_calls == 2:
+                    break
+                deadline.wait(0.05)
+            assert store.read_calls == 2
+            store.release.set()
+            assert first.result() == bytes(100)
+            assert second.result() == bytes(100)
+        # Both flights retired; the dedup table is empty again.
+        assert pool._inflight == {}
+
 
 class TestBudgetInvariantProperty:
     @settings(max_examples=60, deadline=None)

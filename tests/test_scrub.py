@@ -1,0 +1,357 @@
+"""Scrubber: detection, child-union repair, quarantine, IO accounting.
+
+The load-bearing property (hypothesis, mirroring PAPER §2.1): for *any*
+hierarchy and *any* single corrupted internal node, repair restores the
+byte-identical canonical WAH payload and charges exactly the sum of the
+child file sizes as repair IO.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FileMissingError
+from repro.hierarchy.tree import Hierarchy
+from repro.obs import TraceCollector, collecting_metrics, recording
+from repro.storage.accounting import IOAccountant
+from repro.storage.catalog import (
+    MaterializedNodeCatalog,
+    node_file_name,
+    node_id_from_file_name,
+)
+from repro.storage.manifest import DurableBitmapStore
+from repro.storage.scrub import Scrubber
+
+
+def _build_store(tmp_path, hierarchy, seed=5, rows=1500):
+    rng = np.random.default_rng(seed)
+    column = rng.integers(0, hierarchy.num_leaves, size=rows)
+    store = DurableBitmapStore(tmp_path)
+    MaterializedNodeCatalog(hierarchy, column, store)
+    return store
+
+
+def _corrupt_on_disk(tmp_path, store, name, mode="flip"):
+    """Damage a file's physical bytes without the store noticing."""
+    entry = store.manifest.entry(name)
+    path = tmp_path / entry.physical
+    if mode == "delete":
+        path.unlink()
+        return
+    data = bytearray(path.read_bytes())
+    if mode == "flip":
+        data[len(data) // 2] ^= 0x40
+    elif mode == "truncate":
+        data = data[:-3]
+    elif mode == "extend":
+        data += b"\x00\x01"
+    path.write_bytes(bytes(data))
+
+
+@pytest.fixture
+def hierarchy() -> Hierarchy:
+    return Hierarchy.from_nested([[2, 3], [3, 2], [2]])
+
+
+# ----------------------------------------------------------------------
+# node_id_from_file_name
+# ----------------------------------------------------------------------
+def test_node_id_round_trip():
+    for node_id in (0, 7, 123):
+        assert node_id_from_file_name(node_file_name(node_id)) == (
+            node_id
+        )
+    assert node_id_from_file_name("MANIFEST") is None
+    assert node_id_from_file_name("node_x.wah") is None
+    assert node_id_from_file_name("node_1.bin") is None
+
+
+# ----------------------------------------------------------------------
+# Detection
+# ----------------------------------------------------------------------
+def test_clean_store_scrubs_clean(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    report = Scrubber(store, hierarchy).verify()
+    assert report.is_clean
+    assert report.files_checked == hierarchy.num_nodes
+    assert report.repair_io_bytes == 0
+    assert report.generation_after == report.generation_before
+
+
+@pytest.mark.parametrize(
+    "mode,kind",
+    [
+        ("flip", "checksum"),
+        ("truncate", "size"),
+        ("extend", "size"),
+        ("delete", "missing"),
+    ],
+)
+def test_every_corruption_mode_is_detected(
+    tmp_path, hierarchy, mode, kind
+):
+    store = _build_store(tmp_path, hierarchy)
+    name = node_file_name(hierarchy.root_id)
+    _corrupt_on_disk(tmp_path, store, name, mode)
+    scrubber = Scrubber(
+        DurableBitmapStore(tmp_path, verify_files=False), hierarchy
+    )
+    report = scrubber.verify()
+    assert [f.name for f in report.findings] == [name]
+    assert report.findings[0].kind == kind
+    assert report.findings[0].action == "reported"
+
+
+def test_verify_does_not_modify_store(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    name = node_file_name(hierarchy.root_id)
+    _corrupt_on_disk(tmp_path, store, name)
+    damaged = DurableBitmapStore(tmp_path, verify_files=False)
+    generation = damaged.generation
+    Scrubber(damaged, hierarchy).verify()
+    assert damaged.generation == generation
+    # the rot is still there
+    report = Scrubber(damaged, hierarchy).verify()
+    assert not report.is_clean
+
+
+# ----------------------------------------------------------------------
+# Repair
+# ----------------------------------------------------------------------
+def test_internal_repair_restores_byte_identical_payload(
+    tmp_path, hierarchy
+):
+    store = _build_store(tmp_path, hierarchy)
+    internal = hierarchy.internal_ids_postorder()[0]
+    name = node_file_name(internal)
+    original = store.read(name)
+    _corrupt_on_disk(tmp_path, store, name)
+
+    damaged = DurableBitmapStore(tmp_path, verify_files=False)
+    report = Scrubber(damaged, hierarchy).run()
+    assert [f.action for f in report.findings] == ["repaired"]
+    healed = DurableBitmapStore(tmp_path)
+    assert healed.read(name) == original
+
+
+def test_repair_io_is_exactly_sum_of_child_sizes(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    internal = hierarchy.internal_ids_postorder()[0]
+    name = node_file_name(internal)
+    children = hierarchy.node(internal).children
+    expected = sum(
+        store.manifest.entry(node_file_name(child)).size
+        for child in children
+    )
+    _corrupt_on_disk(tmp_path, store, name)
+    accountant = IOAccountant()
+    scrubber = Scrubber(
+        DurableBitmapStore(tmp_path, verify_files=False),
+        hierarchy,
+        accountant=accountant,
+    )
+    report = scrubber.run()
+    assert report.repair_io_bytes == expected
+    # the accountant saw the verification reads plus the repair reads
+    assert accountant.bytes_read == (
+        report.verify_io_bytes + report.repair_io_bytes
+    )
+
+
+def test_missing_internal_file_is_repaired(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    internal = hierarchy.internal_ids_postorder()[1]
+    name = node_file_name(internal)
+    original = store.read(name)
+    _corrupt_on_disk(tmp_path, store, name, mode="delete")
+    report = Scrubber(
+        DurableBitmapStore(tmp_path, verify_files=False), hierarchy
+    ).run()
+    assert [f.action for f in report.findings] == ["repaired"]
+    assert DurableBitmapStore(tmp_path).read(name) == original
+
+
+def test_cascading_repair_deepest_first(tmp_path, hierarchy):
+    # Corrupt an internal node AND its internal parent: the child must
+    # heal first (from the leaves), then the parent heals from it.
+    store = _build_store(tmp_path, hierarchy)
+    child = hierarchy.internal_ids_postorder()[0]
+    parent = hierarchy.node(child).parent_id
+    assert parent is not None and not hierarchy.node(parent).is_leaf
+    originals = {
+        node_id: store.read(node_file_name(node_id))
+        for node_id in (child, parent)
+    }
+    _corrupt_on_disk(tmp_path, store, node_file_name(child))
+    _corrupt_on_disk(tmp_path, store, node_file_name(parent))
+
+    report = Scrubber(
+        DurableBitmapStore(tmp_path, verify_files=False), hierarchy
+    ).run()
+    assert sorted(f.action for f in report.findings) == [
+        "repaired",
+        "repaired",
+    ]
+    healed = DurableBitmapStore(tmp_path)
+    for node_id, original in originals.items():
+        assert healed.read(node_file_name(node_id)) == original
+
+
+def test_repairs_commit_as_one_generation(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    internals = hierarchy.internal_ids_postorder()[:2]
+    for node_id in internals:
+        _corrupt_on_disk(tmp_path, store, node_file_name(node_id))
+    damaged = DurableBitmapStore(tmp_path, verify_files=False)
+    generation = damaged.generation
+    report = Scrubber(damaged, hierarchy).run()
+    assert len(report.repaired) == 2
+    assert damaged.generation == generation + 1
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+# ----------------------------------------------------------------------
+def test_corrupt_leaf_is_quarantined(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    leaf = hierarchy.leaf_ids()[0]
+    name = node_file_name(leaf)
+    _corrupt_on_disk(tmp_path, store, name)
+    report = Scrubber(
+        DurableBitmapStore(tmp_path, verify_files=False), hierarchy
+    ).run()
+    assert [f.action for f in report.findings] == ["quarantined"]
+    healed = DurableBitmapStore(tmp_path)
+    assert not healed.exists(name)
+    assert healed.quarantined_names()  # evidence preserved
+    with pytest.raises(FileMissingError):
+        healed.read(name)
+
+
+def test_parent_of_corrupt_leaf_is_quarantined_too(
+    tmp_path, hierarchy
+):
+    # A corrupt internal node whose leaf child is also corrupt has no
+    # healthy redundancy to rebuild from: both are condemned.
+    store = _build_store(tmp_path, hierarchy)
+    leaf = hierarchy.leaf_ids()[0]
+    parent = hierarchy.node(leaf).parent_id
+    assert parent is not None
+    _corrupt_on_disk(tmp_path, store, node_file_name(leaf))
+    _corrupt_on_disk(tmp_path, store, node_file_name(parent))
+    report = Scrubber(
+        DurableBitmapStore(tmp_path, verify_files=False), hierarchy
+    ).run()
+    actions = {f.name: f.action for f in report.findings}
+    assert actions == {
+        node_file_name(leaf): "quarantined",
+        node_file_name(parent): "quarantined",
+    }
+
+
+def test_scrub_without_hierarchy_quarantines(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    internal = hierarchy.internal_ids_postorder()[0]
+    _corrupt_on_disk(tmp_path, store, node_file_name(internal))
+    report = Scrubber(
+        DurableBitmapStore(tmp_path, verify_files=False)
+    ).run()
+    assert [f.action for f in report.findings] == ["quarantined"]
+    assert "no hierarchy" in report.findings[0].detail
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+def test_scrub_emits_events_and_metrics(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    internal = hierarchy.internal_ids_postorder()[0]
+    # a leaf outside the corrupt internal's subtree, so the internal
+    # still has healthy children to repair from
+    leaf = hierarchy.leaf_ids()[-1]
+    assert not hierarchy.node(internal).covers_leaf(
+        hierarchy.node(leaf).leaf_lo
+    )
+    _corrupt_on_disk(tmp_path, store, node_file_name(internal))
+    _corrupt_on_disk(tmp_path, store, node_file_name(leaf))
+
+    collector = TraceCollector()
+    with recording(collector), collecting_metrics() as registry:
+        report = Scrubber(
+            DurableBitmapStore(tmp_path, verify_files=False),
+            hierarchy,
+        ).run()
+    kinds = collector.counts_by_kind()
+    assert kinds.get("scrub.start") == 1
+    assert kinds.get("scrub.done") == 1
+    assert kinds.get("scrub.corrupt") == 2
+    assert kinds.get("scrub.repair") == 1
+    assert kinds.get("scrub.quarantine") == 1
+    assert registry.counter(
+        "scrub_files_verified_total"
+    ) == hierarchy.num_nodes
+    assert registry.counter(
+        "scrub_corruptions_total", kind="checksum"
+    ) == 2
+    assert registry.counter(
+        "scrub_repairs_total", kind="checksum"
+    ) == 1
+    assert registry.counter("scrub_quarantined_total") == 1
+    assert not report.is_clean
+
+
+# ----------------------------------------------------------------------
+# The hypothesis property (satellite): any hierarchy, any single
+# corrupted internal node -> byte-identical repair, exact repair IO.
+# ----------------------------------------------------------------------
+_nested_specs = st.recursive(
+    st.integers(min_value=1, max_value=3),
+    lambda children: st.lists(children, min_size=2, max_size=3),
+    max_leaves=5,
+).filter(lambda spec: isinstance(spec, list))
+
+
+@given(
+    spec=_nested_specs,
+    pick=st.integers(min_value=0, max_value=10**6),
+    seed=st.integers(min_value=0, max_value=2**16),
+    mode=st.sampled_from(["flip", "truncate", "delete"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_internal_corruption_repairs_byte_identical(
+    spec, pick, seed, mode
+):
+    hierarchy = Hierarchy.from_nested(spec)
+    internals = hierarchy.internal_ids_postorder()
+    node_id = internals[pick % len(internals)]
+    name = node_file_name(node_id)
+    tmp = tempfile.mkdtemp(prefix="scrub-prop-")
+    try:
+        from pathlib import Path
+
+        tmp_path = Path(tmp)
+        store = _build_store(
+            tmp_path, hierarchy, seed=seed, rows=400
+        )
+        original = store.read(name)
+        expected_io = sum(
+            store.manifest.entry(node_file_name(child)).size
+            for child in hierarchy.node(node_id).children
+        )
+        _corrupt_on_disk(tmp_path, store, name, mode)
+
+        report = Scrubber(
+            DurableBitmapStore(tmp_path, verify_files=False),
+            hierarchy,
+        ).run()
+        assert [f.action for f in report.findings] == ["repaired"]
+        assert report.repair_io_bytes == expected_io
+        assert DurableBitmapStore(tmp_path).read(name) == original
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
