@@ -2,8 +2,8 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-chaos test-crash test-stress bench-wah-smoke \
-	bench-wah bench-serve-smoke bench-serve bench docs
+.PHONY: test test-chaos test-crash test-stress test-shard \
+	bench-wah-smoke bench-wah bench-serve-smoke bench-serve bench docs
 
 # Tier-1 verification (what CI must keep green).
 test:
@@ -24,6 +24,11 @@ test-crash:
 # every stress-marked test) to surface interleaving bugs.
 test-stress:
 	$(PY) -m pytest -m stress -q
+
+# Sharded scatter-gather serving tests: spawn real worker processes
+# (slower than the in-process suite; CI runs them in the serving job).
+test-shard:
+	$(PY) -m pytest -m shard -q
 
 # Tier-1-adjacent smoke: execute the WAH kernel micro-benchmark with
 # small operands and no timing assertions, emitting BENCH_wah.json so

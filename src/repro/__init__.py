@@ -75,7 +75,10 @@ from .errors import (
     HierarchyError,
     InvalidCutError,
     ManifestError,
+    QueryFailedError,
     ReproError,
+    ShardError,
+    ShardFailedError,
     SimulatedCrashError,
     StorageError,
     StorageReadError,
@@ -98,7 +101,15 @@ from .obs import (
     span,
     thread_recording,
 )
-from .serve import BatchExecutor, BatchReport, QueryOutcome
+from .serve import (
+    BatchExecutor,
+    BatchReport,
+    QueryOutcome,
+    ShardedBatchReport,
+    ShardedExecutor,
+    ShardSpec,
+    shard_row_ranges,
+)
 from .hierarchy import (
     Cut,
     Hierarchy,
@@ -209,6 +220,10 @@ __all__ = [
     "BatchExecutor",
     "BatchReport",
     "QueryOutcome",
+    "ShardSpec",
+    "ShardedBatchReport",
+    "ShardedExecutor",
+    "shard_row_ranges",
     # observability
     "ExplainReport",
     "NodeIOReport",
@@ -234,6 +249,9 @@ __all__ = [
     "StorageReadError",
     "StorageWriteError",
     "ManifestError",
+    "QueryFailedError",
+    "ShardError",
+    "ShardFailedError",
     "SimulatedCrashError",
     "FileMissingError",
     "TransientStorageError",

@@ -102,18 +102,46 @@ class HierarchicalBitmapIndex:
                 f"[{values.min()}, {values.max()}]"
             )
         batch = int(values.size)
-        for node in self._hierarchy:
-            mask = (values >= node.leaf_lo) & (values <= node.leaf_hi)
-            tail = WahBitmap.from_positions(
-                np.flatnonzero(mask), batch
+        for node_id, positions in self._node_tail_positions(values):
+            tail = WahBitmap.from_positions(positions, batch)
+            self._bitmaps[node_id] = self._bitmaps[node_id].concat(
+                tail
             )
-            self._bitmaps[node.node_id] = self._bitmaps[
-                node.node_id
-            ].concat(tail)
         self._deleted = self._deleted.concat(
             WahBitmap.zeros(batch)
         )
         self._num_rows += batch
+
+    def _node_tail_positions(self, values: np.ndarray):
+        """Yield ``(node_id, batch positions)`` for every node.
+
+        One stable argsort of the batch replaces the per-node boolean
+        mask: because every node covers a contiguous leaf span
+        ``[leaf_lo, leaf_hi]``, the rows falling under a node are a
+        contiguous slice of the value-sorted order, found with two
+        binary searches — O((batch + nodes) · log batch) total instead
+        of the reference's O(nodes × batch).  The yielded positions are
+        unordered within the slice; :meth:`WahBitmap.from_positions`
+        canonicalizes, so the resulting tails are identical to the
+        reference's.
+        """
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        for node in self._hierarchy:
+            lo = np.searchsorted(
+                sorted_values, node.leaf_lo, side="left"
+            )
+            hi = np.searchsorted(
+                sorted_values, node.leaf_hi, side="right"
+            )
+            yield node.node_id, order[lo:hi]
+
+    def _node_tail_positions_reference(self, values: np.ndarray):
+        """Oracle for :meth:`_node_tail_positions`: the original
+        per-node mask scan, kept for the equivalence property test."""
+        for node in self._hierarchy:
+            mask = (values >= node.leaf_lo) & (values <= node.leaf_hi)
+            yield node.node_id, np.flatnonzero(mask)
 
     def delete_rows(self, row_ids: np.ndarray) -> None:
         """Tombstone rows by id (idempotent).

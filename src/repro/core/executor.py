@@ -520,6 +520,7 @@ class QueryExecutor:
         cut_node_ids=(),
         pin: bool = True,
         parallelism: int = 1,
+        shards: int = 1,
     ) -> tuple[list[ExecutionResult], IOSnapshot]:
         """Execute every query of a workload against one cut.
 
@@ -531,10 +532,26 @@ class QueryExecutor:
         :class:`repro.serve.BatchExecutor` over this executor's shared
         pool; results still come back in workload order with exact
         per-query IO attribution.
+
+        ``shards > 1`` serves the workload through
+        :class:`repro.serve.ShardedExecutor` instead: the column is
+        reconstructed from the catalog's leaf bitmaps, re-partitioned
+        into per-shard stores under a temporary directory, and scattered
+        across that many worker processes (each running ``parallelism``
+        threads).  Results are merged back to full-column answers,
+        bit-identical to the serial path; the returned snapshot is the
+        reconciled cross-shard IO delta for the batch (this executor's
+        own pool is not touched).
         """
         if parallelism < 1:
             raise ValueError(
                 f"parallelism must be >= 1, got {parallelism}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > 1:
+            return self._execute_workload_sharded(
+                workload, cut_node_ids, pin, parallelism, shards
             )
         if pin and cut_node_ids:
             self.pin_cut(cut_node_ids)
@@ -565,3 +582,47 @@ class QueryExecutor:
             )
             results = list(report.results)
         return results, self._pool.accountant.snapshot()
+
+    def _execute_workload_sharded(
+        self,
+        workload: Workload,
+        cut_node_ids,
+        pin: bool,
+        parallelism: int,
+        shards: int,
+    ) -> tuple[list[ExecutionResult], IOSnapshot]:
+        """Serve a workload scatter-gather over row shards.
+
+        Builds per-shard stores in a temporary directory from the
+        column reconstructed out of this catalog's leaf bitmaps, runs
+        the batch across spawn-started worker processes, and verifies
+        the cross-process reconciliation before returning the merged
+        results.
+        """
+        import tempfile
+
+        # Imported lazily: repro.serve wraps this executor, so a
+        # module-level import would be circular.
+        from ..serve.sharded import ShardedExecutor
+
+        cut = tuple(cut_node_ids)
+        with tempfile.TemporaryDirectory() as tmp:
+            sharded = ShardedExecutor.build(
+                self._catalog.hierarchy,
+                self._catalog.reconstruct_column(),
+                shards,
+                tmp,
+                threads_per_shard=parallelism,
+            )
+            with sharded:
+                sharded.prepare(
+                    workload,
+                    cut_node_ids=cut if cut else None,
+                )
+                report = sharded.run(workload, pin=pin)
+        if not report.reconciles():
+            raise RuntimeError(
+                "sharded IO accounting failed to reconcile across "
+                "process boundaries"
+            )
+        return list(report.results), report.io

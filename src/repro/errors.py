@@ -165,3 +165,74 @@ class BudgetExceededError(StorageError):
 
 class CalibrationError(ReproError):
     """Raised when cost-model calibration receives unusable measurements."""
+
+
+class QueryFailedError(ReproError):
+    """One query of a batch failed while the rest of the batch ran on.
+
+    The batch executor isolates per-query failures: a raising query
+    becomes an error *outcome* (carrying this exception) instead of
+    aborting its siblings.  The original error is preserved as a
+    ``(type name, message)`` pair rather than by reference, so the
+    exception round-trips through ``pickle`` unchanged — shard worker
+    processes ship these over their result pipe.
+
+    Attributes:
+        query_index: position of the failed query in the batch.
+        error_type: class name of the original exception.
+        message: string form of the original exception.
+        shard_id: shard the failure happened on, or ``None`` for the
+            single-store thread path.
+    """
+
+    def __init__(
+        self,
+        query_index: int,
+        error_type: str,
+        message: str,
+        shard_id: int | None = None,
+    ):
+        self.query_index = query_index
+        self.error_type = error_type
+        self.message = message
+        self.shard_id = shard_id
+        where = f" on shard {shard_id}" if shard_id is not None else ""
+        super().__init__(
+            f"query {query_index} failed{where}: "
+            f"{error_type}: {message}"
+        )
+
+    def __reduce__(self):
+        """Pickle by field, not by ``args`` (the formatted message)."""
+        return (
+            type(self),
+            (
+                self.query_index,
+                self.error_type,
+                self.message,
+                self.shard_id,
+            ),
+        )
+
+
+class ShardError(ReproError):
+    """Base class for sharded scatter-gather serving failures."""
+
+
+class ShardFailedError(ShardError):
+    """A shard worker process died, hung, or reported a fatal error.
+
+    Raised by the parent instead of hanging on the result pipe or
+    silently returning a partial answer; carries the shard id and a
+    human-readable reason (exit code, timeout, or the worker-side
+    error).
+    """
+
+    def __init__(self, shard_id: int, reason: str):
+        self.shard_id = shard_id
+        self.reason = reason
+        super().__init__(f"shard {shard_id} failed: {reason}")
+
+    def __reduce__(self):
+        """Pickle by field, not by ``args`` (the formatted message)."""
+        return (type(self), (self.shard_id, self.reason))

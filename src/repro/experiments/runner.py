@@ -104,6 +104,7 @@ _FAST_OVERRIDES: dict[str, dict] = {
         "num_queries": 8,
         "num_rows": 20_000,
         "worker_counts": (1, 4),
+        "shard_configs": ((2, 2),),
         "slow_delay_s": 0.0005,
     },
 }
@@ -114,13 +115,15 @@ def run_experiment(
     fast: bool = False,
     runs: int | None = None,
     parallel: int | None = None,
+    shards: int | None = None,
 ) -> ExperimentResult:
     """Run one experiment by name, optionally with fast parameters.
 
     ``runs`` overrides the number of seeded repetitions for the
     experiments that average (the paper uses 10).  ``parallel``
     overrides the worker count for the experiments that serve
-    concurrently (currently ``serve``); other experiments ignore it.
+    concurrently (currently ``serve``); ``shards`` overrides their
+    shard-process count the same way; other experiments ignore both.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -138,6 +141,9 @@ def run_experiment(
     if parallel is not None and "parallel" in parameters:
         kwargs["parallel"] = parallel
         kwargs.pop("worker_counts", None)
+    if shards is not None and "shards" in parameters:
+        kwargs["shards"] = shards
+        kwargs.pop("shard_configs", None)
     return runner(**kwargs)
 
 
@@ -261,6 +267,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve the concurrent experiments with N shard worker "
+            "processes (currently 'serve': scatter-gathers the batch "
+            "across N per-shard stores, each running --parallel "
+            "threads, and verifies the merged answers against the "
+            "serial oracle; 1 disables the shard sweep)"
+        ),
+    )
+    parser.add_argument(
         "--wah-kernel",
         choices=kernels.KERNEL_MODES,
         default=None,
@@ -356,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
                 fast=args.fast,
                 runs=args.runs,
                 parallel=args.parallel,
+                shards=args.shards,
             )
             elapsed = time.perf_counter() - started
             print(result.to_text())

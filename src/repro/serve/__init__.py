@@ -2,14 +2,48 @@
 
 The paper's Case-2/3 workloads are "many queries share one pinned cut"
 — exactly the shape that parallelizes across queries.  This package
-runs them that way: :class:`BatchExecutor` fans a list of queries out
-over a ``ThreadPoolExecutor`` against a single
-:class:`~repro.storage.cache.BufferPool`, preserving the accounting
-contracts the serial path guarantees (per-query IO attribution, exact
-reconciliation with the shared accountant, deterministic per-query
-trace streams).  See ``docs/serving.md`` for the threading model.
+runs them that way, at two scales:
+
+* :class:`BatchExecutor` fans a list of queries out over a
+  ``ThreadPoolExecutor`` against a single
+  :class:`~repro.storage.cache.BufferPool`, preserving the accounting
+  contracts the serial path guarantees (per-query IO attribution,
+  exact reconciliation with the shared accountant, deterministic
+  per-query trace streams).
+* :class:`ShardedExecutor` partitions the *rows* into shards served by
+  worker processes (each with its own store, pool, cut, and local
+  thread pool) and merges scatter-gather answers by row offset —
+  the same contracts, held across process boundaries.
+
+See ``docs/serving.md`` for the threading and sharding models.
 """
 
-from .batch import BatchExecutor, BatchReport, QueryOutcome
+from .batch import (
+    BatchExecutor,
+    BatchReport,
+    QueryOutcome,
+    merge_event_streams,
+    reconcile_exactly,
+)
+from .sharded import (
+    ShardCutInfo,
+    ShardRunReport,
+    ShardSpec,
+    ShardedBatchReport,
+    ShardedExecutor,
+    shard_row_ranges,
+)
 
-__all__ = ["BatchExecutor", "BatchReport", "QueryOutcome"]
+__all__ = [
+    "BatchExecutor",
+    "BatchReport",
+    "QueryOutcome",
+    "ShardCutInfo",
+    "ShardRunReport",
+    "ShardSpec",
+    "ShardedBatchReport",
+    "ShardedExecutor",
+    "merge_event_streams",
+    "reconcile_exactly",
+    "shard_row_ranges",
+]

@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..errors import QueryFailedError
 from ..obs import TraceCollector, TraceEvent, thread_recording
 from ..storage.accounting import IOAccountant, IOSnapshot
 from ..workload.query import RangeQuery
@@ -35,7 +36,74 @@ from ..workload.query import RangeQuery
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.executor import ExecutionResult, QueryExecutor
 
-__all__ = ["BatchExecutor", "BatchReport", "QueryOutcome"]
+__all__ = [
+    "BatchExecutor",
+    "BatchReport",
+    "QueryOutcome",
+    "merge_event_streams",
+    "reconcile_exactly",
+]
+
+
+def merge_event_streams(
+    streams: Iterable[tuple[TraceEvent, ...]],
+) -> tuple[TraceEvent, ...]:
+    """Concatenate per-query trace streams and re-sequence densely.
+
+    The order of ``streams`` (query order, then shard order for the
+    sharded path) fully determines the output — wall-clock
+    interleaving never leaks in, so two runs of the same batch over
+    healthy storage merge byte-identically.
+    """
+    merged: list[TraceEvent] = []
+    seq = 0
+    for stream in streams:
+        for event in stream:
+            merged.append(
+                TraceEvent(
+                    seq=seq,
+                    kind=event.kind,
+                    name=event.name,
+                    depth=event.depth,
+                    attrs=dict(event.attrs),
+                )
+            )
+            seq += 1
+    return tuple(merged)
+
+#: Counters that must balance between the shared accountant and the
+#: pin-phase-plus-per-query attribution.  ``bytes_read``/``read_count``
+#: cover useful IO; the fault-path counters catch a retry or discard
+#: charged to the wrong accountant, which the byte tallies alone would
+#: miss (retries transfer no bytes).
+_RECONCILED_COUNTERS = (
+    "bytes_read",
+    "read_count",
+    "retry_count",
+    "discarded_bytes",
+    "discard_count",
+)
+
+
+def reconcile_exactly(
+    pin_io: IOSnapshot,
+    per_query: Iterable[IOSnapshot],
+    total: IOSnapshot,
+) -> bool:
+    """Whether pin-phase IO plus per-query IO explains ``total`` exactly.
+
+    Checked counter by counter — useful bytes/reads *and* the fault
+    path (retries, discarded bytes/count) — so misattributed waste
+    cannot hide behind balanced byte tallies.  Shared by the thread
+    batch report and the per-shard reports of the sharded path.
+    """
+    snapshots = list(per_query)
+    return all(
+        getattr(pin_io, counter)
+        + sum(getattr(snapshot, counter) for snapshot in snapshots)
+        == getattr(total, counter)
+        for counter in _RECONCILED_COUNTERS
+    )
 
 
 @dataclass(frozen=True)
@@ -45,21 +113,32 @@ class QueryOutcome:
     Attributes:
         index: the query's position in the submitted batch (outcomes
             are always sorted by this, not by completion).
-        result: the execution result (answer, io_bytes, degradations).
+        result: the execution result (answer, io_bytes, degradations),
+            or ``None`` when the query failed.
         io: this query's private accountant snapshot — per-file reads
             and bytes, retries, and discards caused by this query
-            alone.
+            alone (partial reads of a failed query included).
         events: the query's private trace stream (sequence numbers are
             per-query, starting at 0).
         wall_seconds: wall-clock latency of this query inside the
             batch.
+        error: ``None`` on success; a
+            :class:`~repro.errors.QueryFailedError` wrapping whatever
+            the query raised.  Failures are isolated per query: one
+            bad query never discards its siblings' outcomes.
     """
 
     index: int
-    result: "ExecutionResult"
+    result: "ExecutionResult | None"
     io: IOSnapshot
     events: tuple[TraceEvent, ...]
     wall_seconds: float
+    error: QueryFailedError | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query produced a result."""
+        return self.error is None
 
 
 @dataclass(frozen=True)
@@ -73,7 +152,9 @@ class BatchReport:
         io: shared-accountant delta for the whole run (pin + queries).
         wall_seconds: wall-clock time for the whole batch (pin
             included).
-        workers: thread count the batch ran with.
+        workers: thread count the batch actually ran with — clamped to
+            the batch size, and 1 when the run degenerated to the
+            serial loop (batches of ≤ 1 query).
     """
 
     outcomes: tuple[QueryOutcome, ...]
@@ -84,8 +165,32 @@ class BatchReport:
 
     @property
     def results(self) -> tuple["ExecutionResult", ...]:
-        """Execution results in query order (the serial-loop shape)."""
+        """Execution results in query order (the serial-loop shape).
+
+        Raises the first failed outcome's
+        :class:`~repro.errors.QueryFailedError` — callers that want
+        the per-query view of a partially-failed batch read
+        :attr:`outcomes` (or :attr:`errors`) instead.
+        """
+        for outcome in self.outcomes:
+            if outcome.error is not None:
+                raise outcome.error
         return tuple(outcome.result for outcome in self.outcomes)
+
+    @property
+    def errors(self) -> tuple[QueryFailedError, ...]:
+        """The failed outcomes' errors, in query order (empty when the
+        whole batch succeeded)."""
+        return tuple(
+            outcome.error
+            for outcome in self.outcomes
+            if outcome.error is not None
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether every query in the batch succeeded."""
+        return not self.errors
 
     @property
     def attributed_bytes(self) -> int:
@@ -94,19 +199,20 @@ class BatchReport:
 
     def reconciles(self) -> bool:
         """Whether per-query IO plus the pin phase exactly explains the
-        shared accountant's delta.
+        shared accountant's delta — every reconciled counter, fault
+        path included (``retry_count``, ``discarded_bytes``,
+        ``discard_count``), not just useful bytes/reads.
 
         True by construction — every fetch is charged to the pin phase
         or to exactly one query (single-flight waiters are charged
-        nothing) — and asserted by the chaos suite under fault
+        nothing); failed queries still carry whatever IO they incurred
+        before raising — and asserted by the chaos suite under fault
         injection at 2 and 8 workers.
         """
-        return (
-            self.pin_io.bytes_read + self.attributed_bytes
-            == self.io.bytes_read
-            and self.pin_io.read_count
-            + sum(o.io.read_count for o in self.outcomes)
-            == self.io.read_count
+        return reconcile_exactly(
+            self.pin_io,
+            (outcome.io for outcome in self.outcomes),
+            self.io,
         )
 
     def merged_events(self) -> tuple[TraceEvent, ...]:
@@ -117,21 +223,9 @@ class BatchReport:
         merged stream does not depend on that interleaving — two runs
         of the same batch over healthy storage merge byte-identically.
         """
-        merged: list[TraceEvent] = []
-        seq = 0
-        for outcome in self.outcomes:
-            for event in outcome.events:
-                merged.append(
-                    TraceEvent(
-                        seq=seq,
-                        kind=event.kind,
-                        name=event.name,
-                        depth=event.depth,
-                        attrs=dict(event.attrs),
-                    )
-                )
-                seq += 1
-        return tuple(merged)
+        return merge_event_streams(
+            outcome.events for outcome in self.outcomes
+        )
 
 
 class BatchExecutor:
@@ -179,16 +273,28 @@ class BatchExecutor:
         collector = TraceCollector()
         local = IOAccountant()
         started = time.perf_counter()
-        with thread_recording(collector), pool.attributing(local):
-            result = self._executor.execute_query(
-                query, cut_node_ids, node_is_cached=node_is_cached
+        result: "ExecutionResult | None" = None
+        error: QueryFailedError | None = None
+        try:
+            with thread_recording(collector), pool.attributing(local):
+                result = self._executor.execute_query(
+                    query, cut_node_ids, node_is_cached=node_is_cached
+                )
+        except Exception as exc:
+            # Isolate the failure to this query: siblings keep their
+            # outcomes, and the partial IO this query performed stays
+            # attributed to it so the batch still reconciles.
+            error = QueryFailedError(
+                index, type(exc).__name__, str(exc)
             )
+            error.__cause__ = exc
         return QueryOutcome(
             index=index,
             result=result,
             io=local.snapshot(),
             events=tuple(collector.events),
             wall_seconds=time.perf_counter() - started,
+            error=error,
         )
 
     def run(
@@ -215,7 +321,10 @@ class BatchExecutor:
 
         Returns:
             A :class:`BatchReport` whose accounting reconciles exactly:
-            ``pin_io + sum(per-query io) == io``.
+            ``pin_io + sum(per-query io) == io``.  A raising query
+            becomes an error outcome (its siblings still return);
+            :attr:`BatchReport.results` re-raises the first failure,
+            :attr:`BatchReport.outcomes` exposes the per-query view.
         """
         batch = list(queries)
         accountant = self._executor.pool.accountant
@@ -227,6 +336,7 @@ class BatchExecutor:
         if node_is_cached is None:
             node_is_cached = pin and bool(cut_node_ids)
         if self._max_workers == 1 or len(batch) <= 1:
+            workers = 1
             outcomes = [
                 self._run_one(
                     index, query, cut_node_ids, node_is_cached
@@ -259,5 +369,5 @@ class BatchExecutor:
             pin_io=after_pin.diff(before),
             io=accountant.diff_since(before),
             wall_seconds=time.perf_counter() - started,
-            workers=self._max_workers,
+            workers=workers,
         )

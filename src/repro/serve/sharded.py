@@ -1,0 +1,984 @@
+"""Sharded multiprocess scatter-gather serving.
+
+The thread-pool :class:`~repro.serve.batch.BatchExecutor` saturates on
+WAH decode/union CPU — the GIL caps the serving path at one core's
+worth of compute.  This module scales past that by *sharding the rows*:
+the column is partitioned into ``N`` contiguous row ranges, each shard
+owning its own hierarchy-node bitmaps, store directory,
+:class:`~repro.storage.cache.BufferPool`, and H-CS cut selected under a
+per-shard slice of the Case-3 budget ``S_total``.  Shards run in worker
+*processes* (spawn-safe), each free to run its own small thread pool —
+a process/thread hybrid.  Every :class:`~repro.workload.query.RangeQuery`
+is scattered to all shards and the per-shard answers are merged by
+row-offset concatenation.
+
+The discipline of the thread path survives the process boundary:
+
+* **Bit-identical answers** — each shard's answer and the merged
+  concatenation are canonical WAH, so the merged bitmap's words equal
+  the single-shard serial oracle's exactly.
+* **Exact reconciliation** — each shard's
+  :class:`~repro.storage.accounting.IOSnapshot`\\ s ship back over the
+  result pipe and must satisfy ``io == pin_io + Σ per-query io`` (all
+  counters, fault path included) *per shard*, and the batch totals are
+  the per-shard sums.
+* **Deterministic trace merge** — per-shard per-query streams merge
+  query-major then shard-major, re-sequenced densely; wall-clock
+  interleaving never leaks in.
+* **Typed failure** — a dead, hung, or erroring shard raises
+  :class:`~repro.errors.ShardFailedError` (no hang, no silent partial
+  answer); a query that fails on one shard becomes a per-query
+  :class:`~repro.errors.QueryFailedError` outcome carrying the shard
+  id, and its siblings still return.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from ..bitmap.wah import WahBitmap
+from ..errors import QueryFailedError, ShardError, ShardFailedError
+from ..hierarchy.serialization import (
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+)
+from ..hierarchy.tree import Hierarchy
+from ..obs import TraceEvent
+from ..storage.accounting import IOSnapshot
+from ..workload.query import RangeQuery, Workload
+from .batch import (
+    QueryOutcome,
+    merge_event_streams,
+    reconcile_exactly,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.executor import ExecutionResult
+
+__all__ = [
+    "ShardCutInfo",
+    "ShardRunReport",
+    "ShardSpec",
+    "ShardedBatchReport",
+    "ShardedExecutor",
+    "shard_row_ranges",
+]
+
+#: Per-shard k for budgeted (Case-3) cut selection.
+DEFAULT_SHARD_K = 4
+
+#: How long the parent waits on a shard's reply before declaring it
+#: hung.  Generous — the point is "no infinite hang", not latency SLO.
+DEFAULT_RECV_TIMEOUT_S = 120.0
+
+
+def shard_row_ranges(
+    num_rows: int, num_shards: int
+) -> tuple[tuple[int, int], ...]:
+    """Partition ``[0, num_rows)`` into ``num_shards`` contiguous
+    half-open ranges whose sizes differ by at most one row.
+
+    Raises:
+        ValueError: when ``num_shards`` is not in ``[1, num_rows]``
+            (an empty shard would own zero-bit bitmaps, which the
+            reopen path cannot size).
+    """
+    if num_shards < 1:
+        raise ValueError(
+            f"num_shards must be >= 1, got {num_shards}"
+        )
+    if num_shards > num_rows:
+        raise ValueError(
+            f"cannot cut {num_rows} rows into {num_shards} non-empty "
+            f"shards"
+        )
+    base, extra = divmod(num_rows, num_shards)
+    ranges = []
+    lo = 0
+    for shard_id in range(num_shards):
+        hi = lo + base + (1 if shard_id < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return tuple(ranges)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity: its store directory and row range.
+
+    Attributes:
+        shard_id: dense shard index, ``0 .. num_shards-1``.
+        store_dir: directory holding this shard's ``node_<id>.wah``
+            bitmap files (and MANIFEST when durable).
+        row_lo: first global row owned by the shard (inclusive).
+        row_hi: end of the shard's global row range (exclusive).
+    """
+
+    shard_id: int
+    store_dir: str
+    row_lo: int
+    row_hi: int
+
+    @property
+    def num_rows(self) -> int:
+        """Rows owned by this shard."""
+        return self.row_hi - self.row_lo
+
+
+@dataclass(frozen=True)
+class ShardCutInfo:
+    """What one shard prepared: its cut and its pool budget.
+
+    Attributes:
+        shard_id: the shard that selected the cut.
+        cut_node_ids: hierarchy node ids of the shard's cut (the
+            hierarchy is shared, so ids are comparable across shards).
+        budget_bytes: the shard's buffer-pool budget — the per-shard
+            ``S_total`` slice when one was given, otherwise the cut's
+            measured file bytes (``None`` for an unbounded pool).
+    """
+
+    shard_id: int
+    cut_node_ids: tuple[int, ...]
+    budget_bytes: int | None
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything a spawn-started worker needs (all fields picklable)."""
+
+    shard_id: int
+    store_dir: str
+    hierarchy_payload: dict
+    threads: int
+    durable: bool
+    fault_policy_kwargs: dict | None
+    retry_max_attempts: int | None
+    expected_rows: int
+
+
+class _WorkerState:
+    """Worker-process state: reopened catalog, pool, batch executor."""
+
+    def __init__(self, config: _WorkerConfig):
+        from ..storage.catalog import MaterializedNodeCatalog
+        from ..storage.faults import FaultPolicy
+        from ..storage.filestore import BitmapFileStore
+        from ..storage.manifest import DurableBitmapStore
+
+        self._config = config
+        hierarchy = hierarchy_from_dict(config.hierarchy_payload)
+        policy = (
+            FaultPolicy(**config.fault_policy_kwargs)
+            if config.fault_policy_kwargs
+            else None
+        )
+        store_cls = (
+            DurableBitmapStore if config.durable else BitmapFileStore
+        )
+        self._store = store_cls(
+            config.store_dir, fault_policy=policy
+        )
+        # The manifest-reopen path: rehydrate sizes/densities from the
+        # stored bitmaps (and, when durable, verify the manifest's
+        # hierarchy fingerprint) instead of rebuilding from a column.
+        self._catalog = MaterializedNodeCatalog.from_store(
+            hierarchy, self._store
+        )
+        if self._catalog.num_rows != config.expected_rows:
+            raise ShardError(
+                f"shard {config.shard_id} store holds "
+                f"{self._catalog.num_rows} rows, expected "
+                f"{config.expected_rows}"
+            )
+        self._batch = None
+        self._pool = None
+        self._cut: tuple[int, ...] = ()
+
+    @property
+    def num_rows(self) -> int:
+        """Rows in the shard's reopened catalog."""
+        return self._catalog.num_rows
+
+    def prepare(
+        self,
+        queries: tuple[RangeQuery, ...],
+        budget_bytes: int | None,
+        cut_node_ids: tuple[int, ...] | None,
+        k: int,
+    ) -> tuple:
+        """Select (or accept) a cut and build the shard's pool."""
+        from ..core.constrained import k_cut_selection
+        from ..core.executor import QueryExecutor
+        from ..core.multi import select_cut_multi
+        from ..storage.cache import BufferPool
+        from ..storage.catalog import node_file_name
+        from ..storage.costmodel import MB
+        from ..storage.faults import RetryPolicy
+        from .batch import BatchExecutor
+
+        workload = Workload(queries) if queries else None
+        if cut_node_ids is not None:
+            cut = tuple(cut_node_ids)
+        elif workload is None:
+            raise ShardError(
+                "prepare needs a workload to select a cut from, or "
+                "an explicit cut"
+            )
+        elif budget_bytes is not None:
+            selected = k_cut_selection(
+                self._catalog, workload, budget_bytes / MB, k=k
+            )
+            cut = tuple(selected.cut.node_ids)
+        else:
+            cut = tuple(
+                select_cut_multi(
+                    self._catalog, workload
+                ).cut.node_ids
+            )
+        if budget_bytes is not None:
+            pool_budget: int | None = int(budget_bytes)
+        elif cut:
+            pool_budget = sum(
+                self._store.size_bytes(node_file_name(node_id))
+                for node_id in cut
+            )
+        else:
+            pool_budget = None
+        retry = (
+            RetryPolicy(
+                max_attempts=self._config.retry_max_attempts
+            )
+            if self._config.retry_max_attempts is not None
+            else None
+        )
+        self._pool = BufferPool(
+            self._store,
+            budget_bytes=pool_budget,
+            retry_policy=retry,
+        )
+        self._batch = BatchExecutor(
+            QueryExecutor(self._catalog, self._pool),
+            max_workers=self._config.threads,
+        )
+        self._cut = cut
+        return (
+            "prepared",
+            self._config.shard_id,
+            cut,
+            pool_budget,
+        )
+
+    def run(
+        self, queries: tuple[RangeQuery, ...], pin: bool
+    ) -> tuple:
+        """Serve the batch locally and ship the full report back."""
+        if self._batch is None:
+            raise ShardError("run received before prepare")
+        report = self._batch.run(queries, self._cut, pin=pin)
+        return (
+            "report",
+            self._config.shard_id,
+            report,
+            self._pool.resident_bytes,
+        )
+
+
+def _send_safely(conn, message) -> None:
+    """Best-effort send; a gone parent is not the worker's problem."""
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):  # pragma: no cover - teardown
+        pass
+
+
+def _shard_worker_main(conn, config: _WorkerConfig) -> None:
+    """Entry point of one shard worker process (spawn-safe: module
+    level, all arguments picklable).
+
+    Replies on ``conn`` with ``("ready", ...)`` after reopening its
+    store, then serves ``("prepare", ...)`` / ``("run", ...)`` commands
+    until ``("stop",)`` or EOF.  Any exception becomes an
+    ``("error", shard_id, type_name, message)`` reply — errors cross
+    the pipe as strings, never as pickled exception objects.
+    """
+    try:
+        state = _WorkerState(config)
+        conn.send(("ready", config.shard_id, state.num_rows))
+    except Exception as exc:
+        _send_safely(
+            conn,
+            ("error", config.shard_id, type(exc).__name__, str(exc)),
+        )
+        conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        if command == "stop":
+            _send_safely(conn, ("stopped", config.shard_id))
+            break
+        try:
+            if command == "prepare":
+                reply = state.prepare(*message[1:])
+            elif command == "run":
+                reply = state.run(*message[1:])
+            else:
+                raise ShardError(f"unknown command {command!r}")
+            conn.send(reply)
+        except Exception as exc:
+            _send_safely(
+                conn,
+                (
+                    "error",
+                    config.shard_id,
+                    type(exc).__name__,
+                    str(exc),
+                ),
+            )
+    conn.close()
+
+
+@dataclass(frozen=True)
+class ShardRunReport:
+    """One shard's view of a batch, reconstructed parent-side.
+
+    Everything here crossed the result pipe from the worker process:
+    per-query outcomes (shard-local answers over the shard's rows),
+    the shard's pin-phase and total accountant deltas, and the
+    resident-set size of its budgeted pool.
+
+    Attributes:
+        shard_id: which shard produced the report.
+        row_lo: the shard's first global row (inclusive).
+        row_hi: end of the shard's global row range (exclusive).
+        outcomes: the shard's per-query outcomes in query order
+            (answers are bitmaps over ``row_hi - row_lo`` bits).
+        pin_io: the shard accountant's delta for its pin phase.
+        io: the shard accountant's delta for the whole batch.
+        wall_seconds: the shard's local batch wall clock.
+        workers: threads the shard's batch actually used.
+        resident_bytes: the shard pool's resident bytes after the run
+            (must stay within the shard's budget slice).
+    """
+
+    shard_id: int
+    row_lo: int
+    row_hi: int
+    outcomes: tuple[QueryOutcome, ...]
+    pin_io: IOSnapshot
+    io: IOSnapshot
+    wall_seconds: float
+    workers: int
+    resident_bytes: int
+
+    def reconciles(self) -> bool:
+        """Whether this shard's shipped snapshots balance exactly:
+        ``io == pin_io + Σ per-query io`` on every counter."""
+        return reconcile_exactly(
+            self.pin_io,
+            (outcome.io for outcome in self.outcomes),
+            self.io,
+        )
+
+
+@dataclass(frozen=True)
+class ShardedBatchReport:
+    """A scatter-gather batch: merged outcomes plus per-shard reports.
+
+    Attributes:
+        outcomes: merged per-query outcomes in query order — answers
+            are full-width bitmaps (per-shard answers concatenated by
+            row offset), IO snapshots are per-shard sums, events are
+            the deterministic query-major/shard-major merge.
+        shard_reports: the per-shard views, in shard order.
+        pin_io: sum of the shards' pin-phase deltas.
+        io: sum of the shards' total deltas.
+        wall_seconds: parent-side scatter→gather wall clock.
+        workers: total worker threads across shards.
+        num_rows: total rows across shards (the merged answers' width).
+    """
+
+    outcomes: tuple[QueryOutcome, ...]
+    shard_reports: tuple[ShardRunReport, ...]
+    pin_io: IOSnapshot
+    io: IOSnapshot
+    wall_seconds: float
+    workers: int
+    num_rows: int
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards served the batch."""
+        return len(self.shard_reports)
+
+    @property
+    def results(self) -> tuple["ExecutionResult", ...]:
+        """Merged execution results in query order; raises the first
+        failed outcome's :class:`~repro.errors.QueryFailedError`."""
+        for outcome in self.outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return tuple(outcome.result for outcome in self.outcomes)
+
+    @property
+    def errors(self) -> tuple[QueryFailedError, ...]:
+        """Failed merged outcomes' errors, in query order."""
+        return tuple(
+            outcome.error
+            for outcome in self.outcomes
+            if outcome.error is not None
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether every query succeeded on every shard."""
+        return not self.errors
+
+    @property
+    def attributed_bytes(self) -> int:
+        """Total bytes charged to individual (merged) queries."""
+        return sum(
+            outcome.io.bytes_read for outcome in self.outcomes
+        )
+
+    def reconciles(self) -> bool:
+        """Whether IO reconciles byte-exactly across the process
+        boundaries: every shard internally (``io == pin_io +
+        Σ per-query io``, fault counters included) and the batch
+        totals as the per-shard sums."""
+        return (
+            all(
+                report.reconciles()
+                for report in self.shard_reports
+            )
+            and IOSnapshot.combine(
+                report.io for report in self.shard_reports
+            )
+            == self.io
+            and IOSnapshot.combine(
+                report.pin_io for report in self.shard_reports
+            )
+            == self.pin_io
+        )
+
+    def merged_events(self) -> tuple[TraceEvent, ...]:
+        """One deterministic stream: merged per-query streams (already
+        shard-major within each query) concatenated in query order and
+        re-sequenced densely."""
+        return merge_event_streams(
+            outcome.events for outcome in self.outcomes
+        )
+
+
+class ShardedExecutor:
+    """Scatter-gather serving over row shards in worker processes.
+
+    Lifecycle: :meth:`build` (or construct over existing
+    :class:`ShardSpec`\\ s) → :meth:`start` → :meth:`prepare` →
+    :meth:`run` (any number of times) → :meth:`close`.  The class is a
+    context manager; ``__enter__`` starts the workers.
+
+    Args:
+        hierarchy: the shared domain hierarchy (shipped to workers as
+            a JSON payload; every shard indexes the same tree).
+        shard_specs: the shards' store directories and row ranges, in
+            shard order; ranges must tile ``[0, num_rows)``.
+        threads_per_shard: size of each shard's local thread pool.
+        durable: open shard stores as
+            :class:`~repro.storage.manifest.DurableBitmapStore`
+            (manifest verified on reopen).
+        fault_policy_kwargs: keyword arguments for a per-shard
+            :class:`~repro.storage.faults.FaultPolicy` constructed
+            inside each worker (policies themselves hold locks and
+            cannot cross the spawn boundary).
+        retry_max_attempts: per-shard pool
+            :class:`~repro.storage.faults.RetryPolicy` attempts, or
+            ``None`` for the pool default.
+        recv_timeout_s: how long to wait on a shard reply before
+            raising :class:`~repro.errors.ShardFailedError`.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        shard_specs: Sequence[ShardSpec],
+        threads_per_shard: int = 1,
+        durable: bool = False,
+        fault_policy_kwargs: dict | None = None,
+        retry_max_attempts: int | None = None,
+        recv_timeout_s: float = DEFAULT_RECV_TIMEOUT_S,
+    ):
+        if not shard_specs:
+            raise ValueError("need at least one shard")
+        if threads_per_shard < 1:
+            raise ValueError(
+                f"threads_per_shard must be >= 1, got "
+                f"{threads_per_shard}"
+            )
+        expected_lo = 0
+        for spec in shard_specs:
+            if spec.row_lo != expected_lo or spec.num_rows <= 0:
+                raise ValueError(
+                    f"shard specs must tile [0, num_rows) with "
+                    f"non-empty contiguous ranges; shard "
+                    f"{spec.shard_id} covers "
+                    f"[{spec.row_lo}, {spec.row_hi})"
+                )
+            expected_lo = spec.row_hi
+        self._hierarchy = hierarchy
+        self._specs = tuple(shard_specs)
+        self._threads = threads_per_shard
+        self._durable = durable
+        self._fault_policy_kwargs = fault_policy_kwargs
+        self._retry_max_attempts = retry_max_attempts
+        self._recv_timeout_s = recv_timeout_s
+        self._handles: list = []
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        hierarchy: Hierarchy,
+        column: np.ndarray,
+        num_shards: int,
+        base_dir: str | Path,
+        **kwargs,
+    ) -> "ShardedExecutor":
+        """Partition a column into per-shard stores and wire up an
+        executor over them (workers not yet started).
+
+        Each shard's bitmaps are materialized from its row slice into
+        ``base_dir/shard_<i>`` (a MANIFEST-committed build when
+        ``durable=True`` is passed through); workers later *reopen*
+        those stores via
+        :meth:`~repro.storage.catalog.MaterializedNodeCatalog.from_store`.
+        """
+        from ..storage.catalog import MaterializedNodeCatalog
+        from ..storage.filestore import BitmapFileStore
+        from ..storage.manifest import DurableBitmapStore
+
+        column = np.asarray(column)
+        durable = bool(kwargs.get("durable", False))
+        store_cls = (
+            DurableBitmapStore if durable else BitmapFileStore
+        )
+        specs = []
+        for shard_id, (lo, hi) in enumerate(
+            shard_row_ranges(int(column.size), num_shards)
+        ):
+            shard_dir = Path(base_dir) / f"shard_{shard_id}"
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            MaterializedNodeCatalog(
+                hierarchy, column[lo:hi], store_cls(shard_dir)
+            )
+            specs.append(
+                ShardSpec(
+                    shard_id=shard_id,
+                    store_dir=str(shard_dir),
+                    row_lo=lo,
+                    row_hi=hi,
+                )
+            )
+        return cls(hierarchy, specs, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self._specs)
+
+    @property
+    def shard_specs(self) -> tuple[ShardSpec, ...]:
+        """The shards' specs, in shard order."""
+        return self._specs
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows across shards."""
+        return self._specs[-1].row_hi
+
+    @property
+    def total_workers(self) -> int:
+        """Worker threads across all shard processes."""
+        return self.num_shards * self._threads
+
+    @property
+    def worker_processes(self) -> tuple:
+        """The live worker ``Process`` objects (test hook — chaos
+        tests kill one to assert typed failure propagation)."""
+        return tuple(handle[1] for handle in self._handles)
+
+    @property
+    def started(self) -> bool:
+        """Whether the worker processes are running."""
+        return bool(self._handles)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one worker process per shard and wait for each to
+        reopen its store (raises
+        :class:`~repro.errors.ShardFailedError` if any cannot)."""
+        if self._handles:
+            raise ShardError("workers already started")
+        context = multiprocessing.get_context("spawn")
+        hierarchy_payload = hierarchy_to_dict(self._hierarchy)
+        try:
+            for spec in self._specs:
+                parent_conn, child_conn = context.Pipe()
+                config = _WorkerConfig(
+                    shard_id=spec.shard_id,
+                    store_dir=spec.store_dir,
+                    hierarchy_payload=hierarchy_payload,
+                    threads=self._threads,
+                    durable=self._durable,
+                    fault_policy_kwargs=self._fault_policy_kwargs,
+                    retry_max_attempts=self._retry_max_attempts,
+                    expected_rows=spec.num_rows,
+                )
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, config),
+                    name=f"hcs-shard-{spec.shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._handles.append(
+                    (spec, process, parent_conn)
+                )
+            for handle in self._handles:
+                self._recv(handle, "ready")
+        except BaseException:
+            self.close()
+            raise
+
+    def _require_started(self) -> None:
+        if not self._handles:
+            raise ShardError(
+                "workers not running; call start() (or use the "
+                "executor as a context manager) first"
+            )
+
+    def _recv(self, handle, expected_kind: str):
+        """Receive one reply from a shard; never hangs.
+
+        Polls the pipe with a deadline while watching process
+        liveness, so a dead or wedged worker surfaces as a typed
+        :class:`~repro.errors.ShardFailedError` instead of a silent
+        partial answer or an indefinite block.
+        """
+        spec, process, conn = handle
+        deadline = time.monotonic() + self._recv_timeout_s
+        while True:
+            try:
+                if conn.poll(0.05):
+                    message = conn.recv()
+                    break
+            except (EOFError, OSError):
+                raise ShardFailedError(
+                    spec.shard_id,
+                    "result pipe closed before a reply arrived",
+                ) from None
+            if not process.is_alive():
+                raise ShardFailedError(
+                    spec.shard_id,
+                    f"worker process exited with code "
+                    f"{process.exitcode} before replying",
+                )
+            if time.monotonic() > deadline:
+                raise ShardFailedError(
+                    spec.shard_id,
+                    f"no reply within {self._recv_timeout_s:.0f}s",
+                )
+        kind = message[0]
+        if kind == "error":
+            raise ShardFailedError(
+                spec.shard_id, f"{message[2]}: {message[3]}"
+            )
+        if kind != expected_kind:
+            raise ShardFailedError(
+                spec.shard_id,
+                f"expected {expected_kind!r} reply, got {kind!r}",
+            )
+        return message
+
+    def _scatter_gather(
+        self, command: tuple, expected_kind: str
+    ) -> list:
+        """Send one command to every shard, then gather all replies.
+
+        Any shard failure tears the whole fleet down (close()) before
+        re-raising — after a scatter has partially executed there is
+        no consistent state to continue from.
+        """
+        self._require_started()
+        try:
+            for _spec, _process, conn in self._handles:
+                conn.send(command)
+            return [
+                self._recv(handle, expected_kind)
+                for handle in self._handles
+            ]
+        except ShardError:
+            self.close()
+            raise
+        except (BrokenPipeError, OSError) as exc:
+            self.close()
+            raise ShardFailedError(
+                -1, f"scatter failed: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        workload: Iterable[RangeQuery] | None = None,
+        budget_bytes_total: int | None = None,
+        cut_node_ids: Sequence[int] | None = None,
+        k: int = DEFAULT_SHARD_K,
+    ) -> tuple[ShardCutInfo, ...]:
+        """Have every shard select its cut and build its pool.
+
+        Each shard receives a ``budget_bytes_total / num_shards``
+        slice of the Case-3 budget and runs
+        :func:`~repro.core.constrained.k_cut_selection` under it; with
+        no budget, shards run the unconstrained Alg.-3 multi-query
+        selection (:func:`~repro.core.multi.select_cut_multi`) and
+        budget their pools to the selected cut's file bytes.  An
+        explicit ``cut_node_ids`` (valid for every shard — the
+        hierarchy is shared) skips selection.
+
+        Args:
+            workload: the queries to select cuts for (optional when
+                ``cut_node_ids`` is given).
+            budget_bytes_total: the global ``S_total`` to slice across
+                shards, or ``None``.
+            cut_node_ids: use this cut on every shard instead of
+                selecting one.
+            k: per-shard ``k`` for the budgeted k-Cut selection.
+
+        Returns:
+            One :class:`ShardCutInfo` per shard, in shard order.
+        """
+        queries = tuple(workload) if workload is not None else ()
+        per_shard_budget = (
+            int(budget_bytes_total) // self.num_shards
+            if budget_bytes_total is not None
+            else None
+        )
+        explicit_cut = (
+            tuple(cut_node_ids)
+            if cut_node_ids is not None
+            else None
+        )
+        replies = self._scatter_gather(
+            ("prepare", queries, per_shard_budget, explicit_cut, k),
+            "prepared",
+        )
+        self._prepared = True
+        return tuple(
+            ShardCutInfo(
+                shard_id=reply[1],
+                cut_node_ids=tuple(reply[2]),
+                budget_bytes=reply[3],
+            )
+            for reply in replies
+        )
+
+    def run(
+        self,
+        queries: Iterable[RangeQuery],
+        pin: bool = True,
+    ) -> ShardedBatchReport:
+        """Scatter a batch to every shard and merge the answers.
+
+        Args:
+            queries: the batch (a list or a
+                :class:`~repro.workload.query.Workload`).
+            pin: pin each shard's cut first (skipped for members
+                already resident from a previous batch).
+
+        Returns:
+            A :class:`ShardedBatchReport` whose merged answers are
+            bit-identical to a single-shard run over the whole column
+            and whose accounting reconciles across the process
+            boundaries.
+        """
+        batch = list(queries)
+        if not self._prepared:
+            raise ShardError("call prepare() before run()")
+        started = time.perf_counter()
+        replies = self._scatter_gather(
+            ("run", tuple(batch), pin), "report"
+        )
+        wall = time.perf_counter() - started
+        shard_reports = []
+        for (spec, _process, _conn), reply in zip(
+            self._handles, replies
+        ):
+            _kind, shard_id, report, resident_bytes = reply
+            if shard_id != spec.shard_id or len(
+                report.outcomes
+            ) != len(batch):
+                raise ShardFailedError(
+                    spec.shard_id,
+                    "reply does not match the scattered batch",
+                )
+            shard_reports.append(
+                ShardRunReport(
+                    shard_id=shard_id,
+                    row_lo=spec.row_lo,
+                    row_hi=spec.row_hi,
+                    outcomes=report.outcomes,
+                    pin_io=report.pin_io,
+                    io=report.io,
+                    wall_seconds=report.wall_seconds,
+                    workers=report.workers,
+                    resident_bytes=resident_bytes,
+                )
+            )
+        return ShardedBatchReport(
+            outcomes=self._merge_outcomes(batch, shard_reports),
+            shard_reports=tuple(shard_reports),
+            pin_io=IOSnapshot.combine(
+                report.pin_io for report in shard_reports
+            ),
+            io=IOSnapshot.combine(
+                report.io for report in shard_reports
+            ),
+            wall_seconds=wall,
+            workers=sum(
+                report.workers for report in shard_reports
+            ),
+            num_rows=self.num_rows,
+        )
+
+    def _merge_outcomes(
+        self,
+        batch: list[RangeQuery],
+        shard_reports: list[ShardRunReport],
+    ) -> tuple[QueryOutcome, ...]:
+        """Merge per-shard outcomes into full-column outcomes.
+
+        Answers concatenate by row offset: each shard's set positions
+        shift by its ``row_lo`` and one canonical
+        :meth:`~repro.bitmap.wah.WahBitmap.from_positions` build over
+        the union makes the merged words identical to a single-shard
+        answer.  A failure on any shard makes the merged outcome a
+        :class:`~repro.errors.QueryFailedError` carrying the shard id
+        (IO and events of all shards, failed included, stay merged).
+        """
+        from ..core.executor import ExecutionResult
+
+        merged: list[QueryOutcome] = []
+        for index, query in enumerate(batch):
+            parts = [
+                report.outcomes[index] for report in shard_reports
+            ]
+            io = IOSnapshot.combine(part.io for part in parts)
+            events = merge_event_streams(
+                part.events for part in parts
+            )
+            wall = max(part.wall_seconds for part in parts)
+            error: QueryFailedError | None = None
+            for report, part in zip(shard_reports, parts):
+                if part.error is not None:
+                    error = QueryFailedError(
+                        index,
+                        part.error.error_type,
+                        part.error.message,
+                        shard_id=report.shard_id,
+                    )
+                    break
+            if error is not None:
+                merged.append(
+                    QueryOutcome(
+                        index=index,
+                        result=None,
+                        io=io,
+                        events=events,
+                        wall_seconds=wall,
+                        error=error,
+                    )
+                )
+                continue
+            positions = np.concatenate(
+                [
+                    part.result.answer.to_positions()
+                    + report.row_lo
+                    for report, part in zip(shard_reports, parts)
+                ]
+            )
+            answer = WahBitmap.from_positions(
+                positions, self.num_rows
+            )
+            result = ExecutionResult(
+                query=query,
+                answer=answer,
+                io_bytes=sum(
+                    part.result.io_bytes for part in parts
+                ),
+                degraded_reads=tuple(
+                    event
+                    for part in parts
+                    for event in part.result.degraded_reads
+                ),
+            )
+            merged.append(
+                QueryOutcome(
+                    index=index,
+                    result=result,
+                    io=io,
+                    events=events,
+                    wall_seconds=wall,
+                )
+            )
+        return tuple(merged)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker (politely, then by terminate) and release
+        the pipes.  Idempotent."""
+        handles, self._handles = self._handles, []
+        self._prepared = False
+        for _spec, process, conn in handles:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for _spec, process, conn in handles:
+            process.join(
+                timeout=max(0.1, deadline - time.monotonic())
+            )
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            conn.close()
+
+    def __enter__(self) -> "ShardedExecutor":
+        """Start the workers (if not already) and return self."""
+        if not self._handles:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the fleet."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedExecutor(shards={self.num_shards}, "
+            f"threads_per_shard={self._threads}, "
+            f"rows={self.num_rows})"
+        )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from .costmodel import MB
@@ -39,6 +40,44 @@ class IOSnapshot:
     def mb_read(self) -> float:
         """Total data read in MB (the paper's plotted unit)."""
         return self.bytes_read / MB
+
+    @staticmethod
+    def combine(
+        snapshots: "Iterable[IOSnapshot]",
+    ) -> "IOSnapshot":
+        """Sum several snapshots counter by counter.
+
+        Used by the sharded serving path to merge per-shard deltas
+        shipped over process boundaries into one batch-level snapshot;
+        per-name maps are summed key-wise (shards share the
+        ``node_<id>.wah`` naming, so identically-named files across
+        shards aggregate — callers who need shard-resolved names keep
+        the per-shard snapshots).
+        """
+        bytes_read = 0
+        read_count = 0
+        retry_count = 0
+        discarded_bytes = 0
+        discard_count = 0
+        reads_by_name: Counter = Counter()
+        bytes_by_name: Counter = Counter()
+        for snapshot in snapshots:
+            bytes_read += snapshot.bytes_read
+            read_count += snapshot.read_count
+            retry_count += snapshot.retry_count
+            discarded_bytes += snapshot.discarded_bytes
+            discard_count += snapshot.discard_count
+            reads_by_name.update(snapshot.reads_by_name)
+            bytes_by_name.update(snapshot.bytes_by_name)
+        return IOSnapshot(
+            bytes_read=bytes_read,
+            read_count=read_count,
+            reads_by_name=dict(reads_by_name),
+            retry_count=retry_count,
+            discarded_bytes=discarded_bytes,
+            discard_count=discard_count,
+            bytes_by_name=dict(bytes_by_name),
+        )
 
     def diff(self, earlier: "IOSnapshot") -> "IOSnapshot":
         """The IO that happened between ``earlier`` and this snapshot.

@@ -27,10 +27,14 @@ import pytest
 from repro.core.constrained import k_cut_selection
 from repro.core.executor import QueryExecutor, scan_answer
 from repro.core.multi import select_cut_multi
+from repro.errors import QueryFailedError
 from repro.hierarchy.tree import Hierarchy
 from repro.serve import BatchExecutor
 from repro.storage.cache import BufferPool
-from repro.storage.catalog import MaterializedNodeCatalog
+from repro.storage.catalog import (
+    MaterializedNodeCatalog,
+    node_file_name,
+)
 from repro.storage.costmodel import MB
 from repro.storage.faults import FaultPolicy, RetryPolicy
 from repro.workload import (
@@ -140,6 +144,23 @@ class TestConcurrentBatchChaos:
         # per-query accountants explain the shared delta to the byte,
         # retries and discarded (wasted) reads included.
         assert report.reconciles()
+        # Spell the identity out per counter so a future accountant
+        # that balances useful bytes but leaks fault-path work (a
+        # retry or discard charged to nobody) fails loudly here.
+        for counter in (
+            "bytes_read",
+            "read_count",
+            "retry_count",
+            "discarded_bytes",
+            "discard_count",
+        ):
+            attributed = sum(
+                getattr(outcome.io, counter)
+                for outcome in report.outcomes
+            )
+            assert getattr(report.pin_io, counter) + attributed == (
+                getattr(report.io, counter)
+            ), counter
         if rate == 0.0:
             assert policy.total_injected == 0
             assert report.io.retry_count == 0
@@ -170,6 +191,60 @@ class TestConcurrentBatchChaos:
             batch_queries, concurrent.results
         ):
             assert result.answer == oracle[query]
+
+
+class TestChaosFailedQuery:
+    """A query that runs out of recovery options becomes a typed
+    per-query outcome — and the batch accounting still balances with
+    the failed query's wasted IO in the ledger."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_reconciliation_holds_with_a_failed_query(
+        self, chaos_setup, chaos_seed, workers
+    ):
+        hierarchy, column, catalog = chaos_setup
+        last = hierarchy.num_leaves - 1
+        poisoned_leaf = hierarchy.leaf_node_id(0)
+        # Pin nothing; plan over the leaf level so exactly one query
+        # touches the sticky-corrupt leaf file.
+        leaf_cut = tuple(
+            hierarchy.leaf_node_id(value)
+            for value in range(hierarchy.num_leaves)
+        )
+        batch = [RangeQuery([(0, 0)])] + [
+            RangeQuery([(3, 12)]),
+            RangeQuery([(5, last)]),
+            RangeQuery([(2, 4), (9, last)]),
+        ] * 2
+        policy = FaultPolicy(
+            seed=chaos_seed,
+            sticky_corrupt_names=[node_file_name(poisoned_leaf)],
+        )
+        executor = _fresh_executor(catalog)
+        with injected(catalog.store, policy):
+            report = BatchExecutor(
+                executor, max_workers=workers
+            ).run(batch, leaf_cut, pin=False)
+        assert not report.ok
+        assert len(report.errors) == 1
+        failed = report.outcomes[0]
+        assert failed.result is None
+        assert isinstance(failed.error, QueryFailedError)
+        assert failed.error.query_index == 0
+        assert failed.error.error_type == "UnrecoverableReadError"
+        for query, outcome in zip(
+            batch[1:], report.outcomes[1:]
+        ):
+            assert outcome.ok
+            assert outcome.result.answer == scan_answer(
+                column, query
+            )
+        # Every corrupt payload the failed query read and threw away
+        # is still attributed to it — so the batch reconciles.
+        assert failed.io.discard_count > 0
+        assert failed.io.discarded_bytes > 0
+        assert report.io.discard_count >= failed.io.discard_count
+        assert report.reconciles()
 
 
 class TestConcurrentBudgetedChaos:

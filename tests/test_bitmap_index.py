@@ -174,3 +174,76 @@ class TestHierarchicalBitmapIndex:
 
     def test_repr(self, hierarchy):
         assert "rows=0" in repr(HierarchicalBitmapIndex(hierarchy))
+
+
+class TestAppendVectorization:
+    """The vectorized append hot loop must be indistinguishable from
+    the per-node mask loop it replaced (kept as the oracle)."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=11),
+            max_size=200,
+        )
+    )
+    def test_tail_positions_match_the_reference(self, values):
+        hierarchy = Hierarchy.from_nested([[2, 2], [3, 2], [3]])
+        index = HierarchicalBitmapIndex(hierarchy)
+        batch = np.asarray(values, dtype=np.int64)
+        fast = {
+            node_id: np.sort(positions).tolist()
+            for node_id, positions in index._node_tail_positions(
+                batch
+            )
+        }
+        reference = {
+            node_id: positions.tolist()
+            for node_id, positions in (
+                index._node_tail_positions_reference(batch)
+            )
+        }
+        # The vectorized path may emit a node's positions unordered
+        # (from_positions canonicalizes); as *sets of rows per node*
+        # the two must be identical, node for node.
+        assert fast == reference
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=11),
+                max_size=60,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_appended_bitmaps_match_the_reference_loop(
+        self, batches
+    ):
+        hierarchy = Hierarchy.from_nested([[2, 2], [3, 2], [3]])
+        fast = HierarchicalBitmapIndex(hierarchy)
+        oracle = HierarchicalBitmapIndex(hierarchy)
+        for values in batches:
+            batch = np.asarray(values, dtype=np.int64)
+            fast.append_rows(batch)
+            if batch.size == 0:
+                continue
+            # Drive the oracle index through the reference loop.
+            for node_id, positions in (
+                oracle._node_tail_positions_reference(batch)
+            ):
+                tail = WahBitmap.from_positions(
+                    positions, batch.size
+                )
+                oracle._bitmaps[node_id] = oracle._bitmaps[
+                    node_id
+                ].concat(tail)
+            oracle._num_rows += int(batch.size)
+        assert fast.num_rows == oracle.num_rows
+        for node in hierarchy:
+            ours = fast.bitmap(node.node_id)
+            theirs = oracle.bitmap(node.node_id)
+            assert ours.words == theirs.words, node.node_id
+        fast.verify_consistency()

@@ -13,7 +13,9 @@ import pytest
 
 from repro.core.executor import QueryExecutor, scan_answer
 from repro.core.multi import select_cut_multi
+from repro.errors import QueryFailedError
 from repro.serve import BatchExecutor
+from repro.storage.accounting import IOSnapshot
 from repro.storage.cache import BufferPool
 from repro.workload.query import RangeQuery, Workload
 
@@ -93,6 +95,186 @@ class TestBatchCorrectness:
         _hierarchy, _column, catalog = materialized_setup
         with pytest.raises(ValueError):
             BatchExecutor(_fresh_executor(catalog), max_workers=0)
+
+
+class TestWorkersReporting:
+    """``BatchReport.workers`` is the count actually used, not the
+    configured maximum (regression: it used to echo ``max_workers``)."""
+
+    def test_workers_clamped_to_batch_size(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        report = BatchExecutor(
+            _fresh_executor(catalog), max_workers=32
+        ).run(QUERIES, cut)
+        assert report.workers == len(QUERIES)
+
+    def test_serial_degeneration_reports_one_worker(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        single = BatchExecutor(
+            _fresh_executor(catalog), max_workers=8
+        ).run(QUERIES[:1], cut)
+        assert single.workers == 1
+        empty = BatchExecutor(
+            _fresh_executor(catalog), max_workers=8
+        ).run([])
+        assert empty.workers == 1
+
+    def test_workers_reported_when_pool_smaller_than_batch(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        report = BatchExecutor(
+            _fresh_executor(catalog), max_workers=4
+        ).run(QUERIES, cut)
+        assert report.workers == 4
+
+
+class _FailingExecutor(QueryExecutor):
+    """Raises for queries whose label marks them as poisoned."""
+
+    def execute_query(self, query, cut_node_ids=(), **kwargs):
+        if query.label == "poison":
+            raise ValueError("injected query failure")
+        return super().execute_query(
+            query, cut_node_ids, **kwargs
+        )
+
+
+class TestFailureIsolation:
+    """One raising query must not abort its siblings (regression:
+    ``tpe.map`` used to propagate the first exception and discard
+    every other outcome)."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_healthy_queries_survive_a_failing_sibling(
+        self, materialized_setup, workers
+    ):
+        _hierarchy, column, catalog = materialized_setup
+        cut = _cut_for(catalog, QUERIES)
+        batch = list(QUERIES)
+        batch.insert(2, RangeQuery([(0, 3)], label="poison"))
+        report = BatchExecutor(
+            _FailingExecutor(catalog, BufferPool(catalog.store)),
+            max_workers=workers,
+        ).run(batch, cut)
+        assert len(report.outcomes) == len(batch)
+        assert not report.ok
+        assert len(report.errors) == 1
+        failed = report.outcomes[2]
+        assert failed.result is None
+        assert not failed.ok
+        assert isinstance(failed.error, QueryFailedError)
+        assert failed.error.query_index == 2
+        assert failed.error.error_type == "ValueError"
+        for index, outcome in enumerate(report.outcomes):
+            if index == 2:
+                continue
+            assert outcome.ok
+            assert outcome.result.answer == scan_answer(
+                column, batch[index]
+            )
+        assert report.reconciles()
+
+    def test_results_raises_the_first_failure(
+        self, materialized_setup
+    ):
+        _hierarchy, _column, catalog = materialized_setup
+        batch = [
+            QUERIES[0],
+            RangeQuery([(0, 3)], label="poison"),
+        ]
+        report = BatchExecutor(
+            _FailingExecutor(catalog, BufferPool(catalog.store)),
+            max_workers=2,
+        ).run(batch)
+        with pytest.raises(QueryFailedError) as excinfo:
+            report.results
+        assert excinfo.value.query_index == 1
+
+    def test_query_failed_error_survives_pickling(self):
+        import pickle
+
+        error = QueryFailedError(
+            3, "ChecksumError", "payload mismatch", shard_id=1
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.query_index == 3
+        assert clone.error_type == "ChecksumError"
+        assert clone.shard_id == 1
+        assert str(clone) == str(error)
+
+
+class TestReconcileFaultCounters:
+    """``reconciles()`` must balance the fault path, not just useful
+    bytes (regression: a retry charged to the wrong accountant used to
+    pass)."""
+
+    @staticmethod
+    def _snapshot(**overrides) -> IOSnapshot:
+        base = dict(
+            bytes_read=0,
+            read_count=0,
+            reads_by_name={},
+            retry_count=0,
+            discarded_bytes=0,
+            discard_count=0,
+            bytes_by_name={},
+        )
+        base.update(overrides)
+        return IOSnapshot(**base)
+
+    def _report(self, pin_io, outcome_io, total_io):
+        from repro.serve import BatchReport, QueryOutcome
+
+        outcome = QueryOutcome(
+            index=0,
+            result=None,
+            io=outcome_io,
+            events=(),
+            wall_seconds=0.0,
+        )
+        return BatchReport(
+            outcomes=(outcome,),
+            pin_io=pin_io,
+            io=total_io,
+            wall_seconds=0.0,
+            workers=1,
+        )
+
+    def test_unattributed_retry_fails_reconciliation(self):
+        report = self._report(
+            self._snapshot(),
+            self._snapshot(),
+            self._snapshot(retry_count=1),
+        )
+        assert not report.reconciles()
+
+    def test_unattributed_discard_fails_reconciliation(self):
+        report = self._report(
+            self._snapshot(),
+            self._snapshot(),
+            self._snapshot(discarded_bytes=64, discard_count=1),
+        )
+        assert not report.reconciles()
+
+    def test_balanced_fault_counters_reconcile(self):
+        report = self._report(
+            self._snapshot(retry_count=1),
+            self._snapshot(
+                retry_count=2, discarded_bytes=64, discard_count=1
+            ),
+            self._snapshot(
+                retry_count=3, discarded_bytes=64, discard_count=1
+            ),
+        )
+        assert report.reconciles()
 
 
 class TestAttribution:
