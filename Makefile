@@ -3,7 +3,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-chaos test-crash test-stress test-shard \
-	bench-wah-smoke bench-wah bench-serve-smoke bench-serve bench docs
+	test-ingest bench-wah-smoke bench-wah bench-serve-smoke \
+	bench-serve bench docs
 
 # Tier-1 verification (what CI must keep green).
 test:
@@ -24,6 +25,12 @@ test-crash:
 # every stress-marked test) to surface interleaving bugs.
 test-stress:
 	$(PY) -m pytest -m stress -q
+
+# Delta-generation lifecycle suite: ingest (LSM-style appends),
+# merge-on-read, compaction, and the chaos tests interleaving them
+# with scrubs and queries under seeded faults.
+test-ingest:
+	$(PY) -m pytest -m ingest -q
 
 # Sharded scatter-gather serving tests: spawn real worker processes
 # (slower than the in-process suite; CI runs them in the serving job).

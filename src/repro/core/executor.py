@@ -16,6 +16,18 @@ through the same pool/accountant, so measured IO stays honest, and each
 recovery surfaces as a :class:`DegradedRead` on the
 :class:`ExecutionResult`.  Only a leaf with no readable copy is fatal
 (:class:`~repro.errors.UnrecoverableReadError`).
+
+Reads are also *merge-on-read* over a mutable store: when the backing
+store is a :class:`~repro.storage.manifest.DurableBitmapStore` with
+live delta generations (appended row batches committed by
+:class:`~repro.storage.delta.DeltaAppender`), a node's effective
+bitmap is ``base.concat(delta_1).concat(delta_2)...`` in seq order —
+canonically equal to ``OR(base ∪ offset-extended deltas)`` and
+bit-identical to a from-scratch rebuild over the full column.  Delta
+fetches go through the same pool, so their bytes land in the same
+accountant and per-query attribution as base reads; each merge is
+surfaced as a ``delta.merge`` trace event, and delta files appear as
+``delta-merge`` rows in EXPLAIN ANALYZE.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from ..bitmap.serialization import (
 from ..bitmap.wah import WahBitmap
 from ..errors import (
     BitmapDecodeError,
+    FileMissingError,
     StorageError,
     UnrecoverableReadError,
 )
@@ -49,6 +62,7 @@ from ..storage.cache import BufferPool
 from ..storage.catalog import MaterializedNodeCatalog, node_file_name
 from ..storage.costmodel import MB
 from ..storage.faults import RetryPolicy
+from ..storage.manifest import DeltaManifest, delta_file_name
 from ..workload.query import RangeQuery, Workload
 from .costs import StrategyLabel
 from .explain import ExplainReport, build_explain_report
@@ -171,21 +185,44 @@ class QueryExecutor:
         """The buffer pool (and its IO accountant)."""
         return self._pool
 
-    def _bitmap(
-        self,
-        node_id: int,
-        events: list[DegradedRead] | None = None,
-    ) -> WahBitmap:
-        """Read one node's bitmap, retrying and degrading as needed.
+    def _manifest_snapshot(self):
+        """The backing store's manifest, when it is a durable store
+        with a built base — the executor's merge-on-read view.
 
-        Attempt 1 goes through the pool's cache; later attempts force a
-        fresh fetch (a cached copy that failed its checksum is stale by
-        definition).  If every attempt fails and ``events`` is given,
-        the bitmap is recovered as the union of the node's children —
-        recursively, so a damaged subtree heals from whatever level
-        still reads cleanly.
+        One snapshot is taken per node read, so one merge always pairs
+        a base with exactly the delta set committed alongside it.
+        Returns ``None`` for plain (non-durable) stores.
         """
-        name = node_file_name(node_id)
+        manifest = getattr(self._catalog.store, "manifest", None)
+        if manifest is None or manifest.num_rows <= 0:
+            return None
+        return manifest
+
+    def _num_rows(self) -> int:
+        """Rows the current answers must cover: the durable store's
+        base + delta total when one backs the catalog, else the
+        catalog's build-time row count."""
+        manifest = self._manifest_snapshot()
+        if manifest is not None:
+            return manifest.total_rows
+        return self._catalog.num_rows
+
+    def _read_bitmap_file(
+        self,
+        name: str,
+        node_id: int,
+        events: list[DegradedRead] | None,
+        recover,
+    ) -> tuple[WahBitmap, bool]:
+        """Read and decode one bitmap file, retrying as needed.
+
+        Attempt 1 goes through the pool's cache; later attempts force
+        a fresh fetch (a cached copy that failed its checksum is stale
+        by definition).  If every attempt fails and ``events`` is
+        given, ``recover(node_id, name, attempts, last_error,
+        events)`` supplies the bitmap instead; the returned flag says
+        whether that recovery path ran.
+        """
         metrics = get_metrics()
         last_error: Exception | None = None
         attempts = 0
@@ -215,8 +252,8 @@ class QueryExecutor:
                         len(payload),
                         codec=codec_name(payload_codec(payload)),
                     )
-                    return bitmap
-                return deserialize_wah(payload)
+                    return bitmap, False
+                return deserialize_wah(payload), False
             except BitmapDecodeError as err:
                 last_error = err
                 self._pool.record_discard(name, len(payload))
@@ -231,6 +268,159 @@ class QueryExecutor:
         assert last_error is not None
         if events is None or not self._allow_degraded:
             raise last_error
+        return recover(node_id, name, attempts, last_error, events), True
+
+    def _note_degraded(
+        self,
+        node_id: int,
+        name: str,
+        attempts: int,
+        last_error: Exception,
+        events: list[DegradedRead],
+        children,
+    ) -> None:
+        events.append(
+            DegradedRead(
+                node_id=node_id,
+                file_name=name,
+                attempts=attempts,
+                error=f"{type(last_error).__name__}: {last_error}",
+                recovered_from=tuple(children),
+            )
+        )
+        record(
+            "executor.degraded",
+            name,
+            node_id=node_id,
+            attempts=attempts,
+            recovered_from=tuple(children),
+        )
+        get_metrics().inc("degraded_reads_total")
+
+    def _bitmap(
+        self,
+        node_id: int,
+        events: list[DegradedRead] | None = None,
+    ) -> WahBitmap:
+        """A node's *effective* bitmap: base merged with live deltas.
+
+        Over a plain store this is one read (with the retry/degrade
+        ladder).  Over a durable store with live delta generations,
+        the base payload is concatenated with each delta generation's
+        tail for this node, in seq order — canonical WAH concatenation
+        makes the result word-identical to a from-scratch rebuild over
+        the full column.  Every delta fetch goes through the same pool
+        and lands in the same per-query attribution as the base read.
+
+        A cached base whose bit length disagrees with the manifest
+        (the only possible cache staleness: a compaction replaced the
+        base under a long-lived pool; delta payloads are immutable) is
+        dropped — along with its whole node group — and re-read
+        against a fresh manifest snapshot.
+        """
+        name = node_file_name(node_id)
+        manifest = self._manifest_snapshot()
+        if manifest is None:
+            bitmap, _ = self._read_bitmap_file(
+                name, node_id, events, self._recover_base
+            )
+            return bitmap
+        for attempt in range(3):
+            base, recovered = self._read_bitmap_file(
+                name, node_id, events, self._recover_base
+            )
+            if recovered:
+                # The children unioned by the recovery were themselves
+                # merged (base + deltas); appending deltas again here
+                # would double-count the appended rows.
+                return base
+            if base.num_bits != manifest.num_rows:
+                if attempt == 2:
+                    raise StorageError(
+                        f"{name!r} decodes to {base.num_bits} bits "
+                        f"but the manifest records "
+                        f"{manifest.num_rows} base rows; store and "
+                        f"cache cannot be reconciled"
+                    )
+                record(
+                    "executor.stale-base",
+                    name,
+                    node_id=node_id,
+                    cached_bits=base.num_bits,
+                    manifest_rows=manifest.num_rows,
+                )
+                get_metrics().inc("stale_base_invalidations_total")
+                self._pool.invalidate(name)
+                refreshed = self._manifest_snapshot()
+                assert refreshed is not None
+                manifest = refreshed
+                continue
+            if not manifest.deltas:
+                return base
+            try:
+                merged = base
+                for delta in manifest.deltas:
+                    merged = merged.concat(
+                        self._delta_bitmap(delta, node_id, events)
+                    )
+            except (FileMissingError, UnrecoverableReadError) as err:
+                # A compaction can fold this snapshot's deltas and GC
+                # their files between our snapshot and the delta
+                # reads.  If that is what happened (some snapshot
+                # delta is no longer live), re-merge against a fresh
+                # snapshot; a delta that is still referenced really
+                # is damaged, so the error stands.
+                refreshed = self._manifest_snapshot()
+                assert refreshed is not None
+                live = {d.seq for d in refreshed.deltas}
+                folded = any(
+                    d.seq not in live for d in manifest.deltas
+                )
+                if attempt == 2 or not folded:
+                    raise
+                record(
+                    "executor.folded-delta-retry",
+                    name,
+                    node_id=node_id,
+                    error=type(err).__name__,
+                )
+                get_metrics().inc("folded_delta_retries_total")
+                # The fold also replaced the base this merge paired
+                # with those deltas; drop the cached copy too.
+                self._pool.invalidate(name)
+                manifest = refreshed
+                continue
+            if merged.num_bits != manifest.total_rows:
+                raise StorageError(
+                    f"merge-on-read of node {node_id} produced "
+                    f"{merged.num_bits} bits, manifest records "
+                    f"{manifest.total_rows} total rows"
+                )
+            record(
+                "delta.merge",
+                name,
+                node_id=node_id,
+                deltas=len(manifest.deltas),
+                seqs=[delta.seq for delta in manifest.deltas],
+                num_bits=merged.num_bits,
+            )
+            get_metrics().inc("delta_merges_total")
+            return merged
+        raise StorageError(  # pragma: no cover - loop always resolves
+            f"merge-on-read of node {node_id} did not converge"
+        )
+
+    def _recover_base(
+        self,
+        node_id: int,
+        name: str,
+        attempts: int,
+        last_error: Exception,
+        events: list[DegradedRead],
+    ) -> WahBitmap:
+        """Recover an unreadable node as the union of its children's
+        *effective* (merged) bitmaps — so the recovery covers the full
+        row range, deltas included."""
         node = self._catalog.hierarchy.node(node_id)
         if node.is_leaf:
             raise UnrecoverableReadError(
@@ -245,28 +435,81 @@ class QueryExecutor:
             self._bitmap(child, events) for child in node.children
         ]
         recovered = WahBitmap.union_all(
-            parts, num_bits=self._catalog.num_rows
+            parts, num_bits=self._num_rows()
         )
-        events.append(
-            DegradedRead(
-                node_id=node_id,
-                file_name=name,
-                attempts=attempts,
-                error=f"{type(last_error).__name__}: {last_error}",
-                recovered_from=tuple(node.children),
-            )
+        self._note_degraded(
+            node_id, name, attempts, last_error, events, node.children
         )
-        record(
-            "executor.degraded",
-            name,
-            node_id=node_id,
-            attempts=attempts,
-            recovered_from=tuple(node.children),
-        )
-        metrics.inc("degraded_reads_total")
-        if self._online_repair:
+        manifest = self._manifest_snapshot()
+        if self._online_repair and (
+            manifest is None or not manifest.deltas
+        ):
+            # With live deltas the recovered bitmap spans base +
+            # appended rows; writing it over the base file would make
+            # merge-on-read double-count the deltas.  Compaction (or a
+            # scrub) heals the file instead.
             self._repair_online(node_id, name, recovered)
         return recovered
+
+    def _delta_bitmap(
+        self,
+        delta: DeltaManifest,
+        node_id: int,
+        events: list[DegradedRead] | None,
+    ) -> WahBitmap:
+        """One delta generation's tail bitmap for a node, with the
+        same retry/degrade ladder as base reads.
+
+        An unreadable internal delta file is recovered as the union of
+        the *same generation's* child tails (the OR-of-children
+        identity holds over the batch's rows alone); an unreadable
+        leaf tail is fatal, exactly like an unreadable base leaf.
+        """
+
+        def recover(
+            node_id: int,
+            name: str,
+            attempts: int,
+            last_error: Exception,
+            events: list[DegradedRead],
+        ) -> WahBitmap:
+            node = self._catalog.hierarchy.node(node_id)
+            if node.is_leaf:
+                raise UnrecoverableReadError(
+                    name,
+                    0,
+                    f"delta {delta.seq} tail of leaf node {node_id} "
+                    f"unreadable after {attempts} attempts and has "
+                    f"no descendants to recover from ({last_error})",
+                ) from last_error
+            parts = [
+                self._delta_bitmap(delta, child, events)
+                for child in node.children
+            ]
+            recovered = WahBitmap.union_all(
+                parts, num_bits=delta.num_rows
+            )
+            self._note_degraded(
+                node_id,
+                name,
+                attempts,
+                last_error,
+                events,
+                node.children,
+            )
+            return recovered
+
+        name = delta_file_name(delta.seq, node_id)
+        bitmap, _ = self._read_bitmap_file(
+            name, node_id, events, recover
+        )
+        if bitmap.num_bits != delta.num_rows:
+            raise StorageError(
+                f"{name!r} decodes to {bitmap.num_bits} bits but "
+                f"delta generation {delta.seq} appended "
+                f"{delta.num_rows} rows"
+            )
+        return bitmap
 
     def _repair_online(
         self, node_id: int, name: str, recovered: WahBitmap
@@ -328,7 +571,7 @@ class QueryExecutor:
 
             verify_plan(plan, self._catalog.hierarchy)
         local = IOAccountant()
-        num_bits = self._catalog.num_rows
+        num_bits = self._num_rows()
         events: list[DegradedRead] = []
         terms: list[WahBitmap] = []
         with span(
@@ -403,10 +646,11 @@ class QueryExecutor:
             for avg/min/max.
         """
         measure = np.asarray(measure)
-        if measure.shape != (self._catalog.num_rows,):
+        expected_rows = self._num_rows()
+        if measure.shape != (expected_rows,):
             raise ValueError(
                 f"measure must have one value per row "
-                f"({self._catalog.num_rows}), got shape "
+                f"({expected_rows}), got shape "
                 f"{measure.shape}"
             )
         result = self.execute_plan(plan)
@@ -521,6 +765,7 @@ class QueryExecutor:
         pin: bool = True,
         parallelism: int = 1,
         shards: int = 1,
+        appends=None,
     ) -> tuple[list[ExecutionResult], IOSnapshot]:
         """Execute every query of a workload against one cut.
 
@@ -542,6 +787,15 @@ class QueryExecutor:
         bit-identical to the serial path; the returned snapshot is the
         reconciled cross-shard IO delta for the batch (this executor's
         own pool is not touched).
+
+        ``appends`` is a sequence of row batches (integer leaf-id
+        arrays) committed as delta generations *before* the workload
+        runs: the serial/batch path appends them to this executor's
+        durable store via :class:`~repro.storage.delta.DeltaAppender`
+        (a non-durable store raises
+        :class:`~repro.errors.StorageError`); the sharded path ingests
+        them into the fleet's last shard.  Answers then cover the
+        appended rows through merge-on-read.
         """
         if parallelism < 1:
             raise ValueError(
@@ -551,8 +805,19 @@ class QueryExecutor:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if shards > 1:
             return self._execute_workload_sharded(
-                workload, cut_node_ids, pin, parallelism, shards
+                workload, cut_node_ids, pin, parallelism, shards,
+                appends,
             )
+        if appends is not None:
+            # Imported lazily to keep executor importable without the
+            # durable-store stack in play.
+            from ..storage.delta import DeltaAppender
+
+            appender = DeltaAppender(
+                self._catalog.store, self._catalog.hierarchy
+            )
+            for batch in appends:
+                appender.append(np.asarray(batch))
         if pin and cut_node_ids:
             self.pin_cut(cut_node_ids)
         # Plans may only assume cut members are resident when the pool
@@ -590,13 +855,15 @@ class QueryExecutor:
         pin: bool,
         parallelism: int,
         shards: int,
+        appends=None,
     ) -> tuple[list[ExecutionResult], IOSnapshot]:
         """Serve a workload scatter-gather over row shards.
 
         Builds per-shard stores in a temporary directory from the
-        column reconstructed out of this catalog's leaf bitmaps, runs
-        the batch across spawn-started worker processes, and verifies
-        the cross-process reconciliation before returning the merged
+        column reconstructed out of this catalog's leaf bitmaps,
+        ingests any append batches into the fleet, runs the batch
+        across spawn-started worker processes, and verifies the
+        cross-process reconciliation before returning the merged
         results.
         """
         import tempfile
@@ -613,8 +880,13 @@ class QueryExecutor:
                 shards,
                 tmp,
                 threads_per_shard=parallelism,
+                # Delta generations are manifest-committed, so append
+                # batches need durable shard stores.
+                durable=appends is not None,
             )
             with sharded:
+                for batch in appends or ():
+                    sharded.ingest(np.asarray(batch))
                 sharded.prepare(
                     workload,
                     cut_node_ids=cut if cut else None,

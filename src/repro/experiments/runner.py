@@ -14,11 +14,19 @@ Index maintenance commands operate on a durable store directory::
     hcs-experiments verify-index --store-dir idx/   # detect-only scrub
     hcs-experiments scrub --store-dir idx/ \\
         --hierarchy-json h.json                     # detect + repair
+    hcs-experiments ingest --store-dir idx/ \\
+        --hierarchy-json h.json --ingest-rows 1000  # append a delta
+    hcs-experiments compact --store-dir idx/ \\
+        --max-deltas 4                              # fold deltas
 
 ``verify-index`` exits 0 when every file matches the manifest, 1 when
 damage was found, 2 when the store cannot be opened.  ``scrub`` exits 0
 when the store is clean (possibly after repairs), 1 when anything had
-to be quarantined, 2 on open failure.  Both print a JSON report.
+to be quarantined, 2 on open failure.  ``ingest`` appends a row batch
+as one delta generation (``--ingest-values`` for explicit leaf ids or
+``--ingest-rows``/``--ingest-seed`` for a seeded random batch) and
+``compact`` folds delta generations into a new base; both exit 0 on
+commit and 2 on failure.  All four print a JSON report.
 """
 
 from __future__ import annotations
@@ -61,8 +69,9 @@ from .common import ExperimentResult
 __all__ = ["EXPERIMENTS", "MAINTENANCE_COMMANDS", "run_experiment", "run_maintenance", "main"]
 
 #: Index-maintenance subcommands (not experiments): detect-only
-#: verification and full scrub-and-repair of a durable store.
-MAINTENANCE_COMMANDS = ("verify-index", "scrub")
+#: verification, full scrub-and-repair, delta ingest, and delta
+#: compaction of a durable store.
+MAINTENANCE_COMMANDS = ("verify-index", "scrub", "ingest", "compact")
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig1": fig01_costmodel.run,
@@ -151,19 +160,25 @@ def run_maintenance(
     command: str,
     store_dir: str,
     hierarchy_json: str | None = None,
+    ingest_rows: int | None = None,
+    ingest_seed: int = 0,
+    ingest_values: str | None = None,
+    max_deltas: int | None = None,
 ) -> int:
     """Run a maintenance command against a durable store directory.
 
     ``verify-index`` is a detect-only scrub; ``scrub`` also repairs
     internal-node damage from child unions and quarantines the rest.
-    Prints a JSON :class:`~repro.storage.scrub.ScrubReport` and
-    returns the process exit code (0 clean / repaired, 1 damage left
-    behind, 2 store unopenable).  Repair needs ``hierarchy_json`` (a
-    file written by :func:`repro.hierarchy.serialization.
-    save_hierarchy`); without it, damaged files can only be reported
-    or quarantined.
+    ``ingest`` appends a row batch (explicit leaf ids from
+    ``ingest_values`` CSV, or ``ingest_rows`` seeded-random ids) as
+    one delta generation; ``compact`` folds up to ``max_deltas``
+    delta generations into a new base.  All commands print a JSON
+    report and return the process exit code (0 clean / repaired /
+    committed, 1 damage left behind after a scrub, 2 on failure).
+    Scrub repair and ingest need ``hierarchy_json`` (a file written
+    by :func:`repro.hierarchy.serialization.save_hierarchy`).
     """
-    from ..errors import ManifestError, StorageError
+    from ..errors import ManifestError, StorageError, WorkloadError
     from ..hierarchy.serialization import load_hierarchy
     from ..storage.manifest import DurableBitmapStore
     from ..storage.scrub import Scrubber
@@ -179,8 +194,53 @@ def run_maintenance(
                 f"store directory {store_dir!r} does not exist"
             )
         store = DurableBitmapStore(store_dir, verify_files=False)
+        if command == "ingest":
+            import numpy as np
+
+            from ..storage.delta import DeltaAppender
+
+            if hierarchy is None:
+                raise ManifestError(
+                    "'ingest' requires --hierarchy-json (appends are "
+                    "staged per hierarchy node)"
+                )
+            if ingest_values is not None:
+                values = np.array(
+                    [
+                        int(item)
+                        for item in ingest_values.split(",")
+                        if item.strip()
+                    ],
+                    dtype=np.int64,
+                )
+            elif ingest_rows is not None:
+                rng = np.random.default_rng(ingest_seed)
+                values = rng.integers(
+                    0,
+                    hierarchy.num_leaves,
+                    size=int(ingest_rows),
+                    dtype=np.int64,
+                )
+            else:
+                raise ManifestError(
+                    "'ingest' needs --ingest-values or --ingest-rows"
+                )
+            result = DeltaAppender(store, hierarchy).append(values)
+            print(json.dumps(result.to_dict(), indent=2))
+            return 0
+        if command == "compact":
+            from ..storage.compactor import Compactor
+
+            compaction = Compactor(
+                store, max_deltas_per_run=max_deltas
+            ).run()
+            print(json.dumps(compaction.to_dict(), indent=2))
+            return 0
         scrubber = Scrubber(store, hierarchy=hierarchy)
-    except (ManifestError, StorageError, OSError) as err:
+    except (
+        ManifestError, StorageError, WorkloadError, OSError,
+        ValueError,
+    ) as err:
         print(
             json.dumps(
                 {"error": f"{type(err).__name__}: {err}"}, indent=2
@@ -215,7 +275,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help=(
             "experiments to run (or 'all'), or a maintenance command: "
-            "'verify-index' / 'scrub' with --store-dir"
+            "'verify-index' / 'scrub' / 'ingest' / 'compact' with "
+            "--store-dir"
         ),
     )
     parser.add_argument(
@@ -234,6 +295,42 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "hierarchy JSON (from save_hierarchy) enabling child-union "
             "repair during 'scrub'"
+        ),
+    )
+    parser.add_argument(
+        "--ingest-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "for 'ingest': append N rows with seeded-random leaf ids "
+            "(see --ingest-seed)"
+        ),
+    )
+    parser.add_argument(
+        "--ingest-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for the --ingest-rows random batch (default 0)",
+    )
+    parser.add_argument(
+        "--ingest-values",
+        metavar="CSV",
+        default=None,
+        help=(
+            "for 'ingest': comma-separated leaf ids of the appended "
+            "rows (overrides --ingest-rows)"
+        ),
+    )
+    parser.add_argument(
+        "--max-deltas",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "for 'compact': fold at most the N oldest delta "
+            "generations this run (default: all)"
         ),
     )
     parser.add_argument(
@@ -334,7 +431,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.names[0]!r} requires --store-dir"
             )
         return run_maintenance(
-            args.names[0], args.store_dir, args.hierarchy_json
+            args.names[0],
+            args.store_dir,
+            args.hierarchy_json,
+            ingest_rows=args.ingest_rows,
+            ingest_seed=args.ingest_seed,
+            ingest_values=args.ingest_values,
+            max_deltas=args.max_deltas,
         )
     if args.wah_kernel is not None:
         kernels.set_kernel_mode(args.wah_kernel)

@@ -60,6 +60,8 @@ from .batch import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.executor import ExecutionResult
+    from ..storage.compactor import CompactionReport
+    from ..storage.delta import DeltaAppendResult
 
 __all__ = [
     "ShardCutInfo",
@@ -200,6 +202,7 @@ class _WorkerState:
         self._batch = None
         self._pool = None
         self._cut: tuple[int, ...] = ()
+        self._auto_budget = False
 
     @property
     def num_rows(self) -> int:
@@ -215,13 +218,8 @@ class _WorkerState:
     ) -> tuple:
         """Select (or accept) a cut and build the shard's pool."""
         from ..core.constrained import k_cut_selection
-        from ..core.executor import QueryExecutor
         from ..core.multi import select_cut_multi
-        from ..storage.cache import BufferPool
-        from ..storage.catalog import node_file_name
         from ..storage.costmodel import MB
-        from ..storage.faults import RetryPolicy
-        from .batch import BatchExecutor
 
         workload = Workload(queries) if queries else None
         if cut_node_ids is not None:
@@ -245,12 +243,35 @@ class _WorkerState:
         if budget_bytes is not None:
             pool_budget: int | None = int(budget_bytes)
         elif cut:
-            pool_budget = sum(
-                self._store.size_bytes(node_file_name(node_id))
-                for node_id in cut
-            )
+            pool_budget = self._cut_file_bytes(cut)
         else:
             pool_budget = None
+        self._auto_budget = budget_bytes is None
+        self._cut = cut
+        self._build_serving(pool_budget)
+        return (
+            "prepared",
+            self._config.shard_id,
+            cut,
+            pool_budget,
+        )
+
+    def _cut_file_bytes(self, cut: tuple[int, ...]) -> int:
+        """Total stored bytes of the cut members' bitmap files."""
+        from ..storage.catalog import node_file_name
+
+        return sum(
+            self._store.size_bytes(node_file_name(node_id))
+            for node_id in cut
+        )
+
+    def _build_serving(self, pool_budget: int | None) -> None:
+        """(Re)build the shard's pool and batch executor."""
+        from ..core.executor import QueryExecutor
+        from ..storage.cache import BufferPool
+        from ..storage.faults import RetryPolicy
+        from .batch import BatchExecutor
+
         retry = (
             RetryPolicy(
                 max_attempts=self._config.retry_max_attempts
@@ -267,13 +288,6 @@ class _WorkerState:
             QueryExecutor(self._catalog, self._pool),
             max_workers=self._config.threads,
         )
-        self._cut = cut
-        return (
-            "prepared",
-            self._config.shard_id,
-            cut,
-            pool_budget,
-        )
 
     def run(
         self, queries: tuple[RangeQuery, ...], pin: bool
@@ -288,6 +302,40 @@ class _WorkerState:
             report,
             self._pool.resident_bytes,
         )
+
+    def ingest(self, values: np.ndarray) -> tuple:
+        """Append a row batch to this shard's store as one delta
+        generation; queries merge it on read from then on."""
+        from ..storage.delta import DeltaAppender
+
+        appender = DeltaAppender(
+            self._store, self._catalog.hierarchy
+        )
+        result = appender.append(np.asarray(values))
+        return ("ingested", self._config.shard_id, result)
+
+    def compact(self, max_deltas: int | None) -> tuple:
+        """Fold this shard's delta generations into a new base, then
+        drop the shard pool's now-stale cached payloads.
+
+        A pool budgeted to the cut's *file bytes* (no explicit budget
+        at prepare time) is rebuilt against the new base generation:
+        folded bases are larger than the ones the budget was sized
+        for, and a stale budget would reject the very cut it exists
+        to hold.
+        """
+        from ..storage.compactor import Compactor
+
+        report = Compactor(
+            self._store, max_deltas_per_run=max_deltas
+        ).run()
+        if self._pool is not None:
+            self._pool.clear()
+            if report.did_work and self._auto_budget and self._cut:
+                self._build_serving(
+                    self._cut_file_bytes(self._cut)
+                )
+        return ("compacted", self._config.shard_id, report)
 
 
 def _send_safely(conn, message) -> None:
@@ -332,6 +380,10 @@ def _shard_worker_main(conn, config: _WorkerConfig) -> None:
                 reply = state.prepare(*message[1:])
             elif command == "run":
                 reply = state.run(*message[1:])
+            elif command == "ingest":
+                reply = state.ingest(*message[1:])
+            elif command == "compact":
+                reply = state.compact(*message[1:])
             else:
                 raise ShardError(f"unknown command {command!r}")
             conn.send(reply)
@@ -544,6 +596,7 @@ class ShardedExecutor:
         self._recv_timeout_s = recv_timeout_s
         self._handles: list = []
         self._prepared = False
+        self._appended_rows = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -605,8 +658,14 @@ class ShardedExecutor:
 
     @property
     def num_rows(self) -> int:
-        """Total rows across shards."""
-        return self._specs[-1].row_hi
+        """Total rows across shards, ingested appends included."""
+        return self._specs[-1].row_hi + self._appended_rows
+
+    @property
+    def appended_rows(self) -> int:
+        """Rows appended via :meth:`ingest` since the fleet started
+        (all owned by the last shard — appends extend its range)."""
+        return self._appended_rows
 
     @property
     def total_workers(self) -> int:
@@ -834,11 +893,16 @@ class ShardedExecutor:
                     spec.shard_id,
                     "reply does not match the scattered batch",
                 )
+            # Appended rows extend the *last* shard's range: its
+            # answers span base + delta rows after an ingest.
+            row_hi = spec.row_hi
+            if spec.shard_id == self._specs[-1].shard_id:
+                row_hi += self._appended_rows
             shard_reports.append(
                 ShardRunReport(
                     shard_id=shard_id,
                     row_lo=spec.row_lo,
-                    row_hi=spec.row_hi,
+                    row_hi=row_hi,
                     outcomes=report.outcomes,
                     pin_io=report.pin_io,
                     io=report.io,
@@ -862,6 +926,68 @@ class ShardedExecutor:
             ),
             num_rows=self.num_rows,
         )
+
+    def ingest(self, values) -> "DeltaAppendResult":
+        """Append a batch of rows to the column.
+
+        Appended global rows extend the *tail* of the row space, which
+        the last shard owns — so the batch routes to that one shard,
+        whose worker commits it as a delta generation via
+        :class:`~repro.storage.delta.DeltaAppender`.  Subsequent
+        :meth:`run` answers are full-width over :attr:`num_rows`
+        (appends included), merged on read.  Requires ``durable=True``
+        shard stores: delta generations live in the manifest.
+
+        Args:
+            values: 1-D array of leaf ids for the appended rows.
+
+        Returns:
+            The last shard's
+            :class:`~repro.storage.delta.DeltaAppendResult`.
+        """
+        self._require_started()
+        if not self._durable:
+            raise ShardError(
+                "ingest requires durable=True shard stores (delta "
+                "generations are manifest-committed)"
+            )
+        handle = self._handles[-1]
+        spec, _process, conn = handle
+        try:
+            conn.send(("ingest", np.asarray(values)))
+            reply = self._recv(handle, "ingested")
+        except ShardError:
+            self.close()
+            raise
+        except (BrokenPipeError, OSError) as exc:
+            self.close()
+            raise ShardFailedError(
+                spec.shard_id, f"ingest failed: {exc}"
+            ) from exc
+        result = reply[2]
+        self._appended_rows += result.num_rows
+        return result
+
+    def compact(
+        self, max_deltas_per_run: int | None = None
+    ) -> tuple["CompactionReport", ...]:
+        """Fold delta generations shard-by-shard: every worker runs
+        its own :class:`~repro.storage.compactor.Compactor` against
+        its own store (and drops its pool's stale cached bases).
+
+        Args:
+            max_deltas_per_run: bound each shard's fold to its oldest
+                N delta generations; ``None`` folds everything.
+
+        Returns:
+            One :class:`~repro.storage.compactor.CompactionReport`
+            per shard, in shard order (no-op reports for shards with
+            nothing to fold).
+        """
+        replies = self._scatter_gather(
+            ("compact", max_deltas_per_run), "compacted"
+        )
+        return tuple(reply[2] for reply in replies)
 
     def _merge_outcomes(
         self,

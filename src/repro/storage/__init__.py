@@ -1,10 +1,13 @@
 """Simulated secondary storage: cost model, calibration, file store,
 IO accounting, budgeted buffer pool, node catalogs, deterministic
 fault injection, and the durable index lifecycle (manifest-committed
-builds, crash recovery, scrub-and-repair)."""
+builds, crash recovery, scrub-and-repair, LSM-style delta ingest with
+merge-on-read and compaction)."""
 
 from .accounting import IOAccountant, IOSnapshot
 from .cache import BufferPool
+from .compactor import BackgroundCompactor, CompactionReport, Compactor
+from .delta import DeltaAppender, DeltaAppendResult
 from .faults import (
     DEFAULT_RETRY_POLICY,
     FaultKind,
@@ -37,11 +40,15 @@ from .manifest import (
     MANIFEST_FORMAT_VERSION,
     MANIFEST_NAME,
     QUARANTINE_DIR_NAME,
+    DeltaBuild,
+    DeltaManifest,
     DurableBitmapStore,
     IndexBuild,
     Manifest,
     ManifestEntry,
+    delta_file_name,
     hierarchy_fingerprint,
+    parse_delta_file_name,
     physical_file_name,
 )
 from .scrub import ScrubFinding, ScrubReport, Scrubber
@@ -62,6 +69,15 @@ __all__ = [
     "QUARANTINE_DIR_NAME",
     "hierarchy_fingerprint",
     "physical_file_name",
+    "DeltaManifest",
+    "DeltaBuild",
+    "delta_file_name",
+    "parse_delta_file_name",
+    "DeltaAppender",
+    "DeltaAppendResult",
+    "Compactor",
+    "BackgroundCompactor",
+    "CompactionReport",
     "Scrubber",
     "ScrubReport",
     "ScrubFinding",

@@ -50,6 +50,29 @@ from .filestore import BitmapFileStore
 __all__ = ["BufferPool"]
 
 
+def _node_group_key(name: str) -> int | None:
+    """The hierarchy node a cached file name belongs to, if any.
+
+    Base files (``node_<id>.wah``) and delta files
+    (``delta_<seq>-node_<id>.wah``) of the same node form one
+    *coherence group*: after a compaction folds deltas into a new
+    base, a stale base payload and a stale delta payload are equally
+    poisonous, so :meth:`BufferPool.invalidate` drops the whole group
+    together.  Names outside both schemes group as ``None`` and are
+    invalidated individually.
+    """
+    from .catalog import node_id_from_file_name
+    from .manifest import parse_delta_file_name
+
+    node_id = node_id_from_file_name(name)
+    if node_id is not None:
+        return node_id
+    parsed = parse_delta_file_name(name)
+    if parsed is not None:
+        return parsed[1]
+    return None
+
+
 class _Flight:
     """One in-flight storage fetch, shared by concurrent requesters.
 
@@ -456,24 +479,52 @@ class BufferPool:
         requesters must not join that flight and inherit them.  The
         abandoned leader still completes (its waiters get its result),
         but it no longer publishes into the pool's dedup table.
+
+        Invalidation is *node-coherent*: dropping a node's base
+        payload also drops any resident delta payloads of the same
+        node (and vice versa), along with their in-flight fetches.
+        After a compaction replaces base + deltas with a new base in
+        one atomic commit, there is no sequence of per-name
+        invalidations that could otherwise prevent a reader from
+        pairing the fresh base with a stale cached delta.  The return
+        value reports the *named* entry's pinned status only.
         """
+        metrics = get_metrics()
         with self._lock:
-            self._inflight.pop(name, None)
-            was_pinned = name in self._pinned
-            if was_pinned:
-                payload = self._pinned.pop(name)
-                self._pinned_bytes -= len(payload)
-                record("cache.invalidate", name, tier="pinned")
-                get_metrics().inc(
-                    "cache_invalidations_total", tier="pinned"
+            targets = [name]
+            group = _node_group_key(name)
+            if group is not None:
+                targets.extend(
+                    other
+                    for other in (
+                        set(self._pinned)
+                        | set(self._lru)
+                        | set(self._inflight)
+                    )
+                    if other != name
+                    and _node_group_key(other) == group
                 )
-            elif name in self._lru:
-                payload = self._lru.pop(name)
-                self._lru_bytes -= len(payload)
-                record("cache.invalidate", name, tier="lru")
-                get_metrics().inc(
-                    "cache_invalidations_total", tier="lru"
-                )
+            was_pinned = False
+            for target in targets:
+                self._inflight.pop(target, None)
+                if target in self._pinned:
+                    payload = self._pinned.pop(target)
+                    self._pinned_bytes -= len(payload)
+                    if target == name:
+                        was_pinned = True
+                    record(
+                        "cache.invalidate", target, tier="pinned"
+                    )
+                    metrics.inc(
+                        "cache_invalidations_total", tier="pinned"
+                    )
+                elif target in self._lru:
+                    payload = self._lru.pop(target)
+                    self._lru_bytes -= len(payload)
+                    record("cache.invalidate", target, tier="lru")
+                    metrics.inc(
+                        "cache_invalidations_total", tier="lru"
+                    )
             return was_pinned
 
     def reload(self, name: str) -> bytes:

@@ -38,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import zlib
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -60,10 +61,14 @@ __all__ = [
     "QUARANTINE_DIR_NAME",
     "ManifestEntry",
     "Manifest",
+    "DeltaManifest",
     "IndexBuild",
+    "DeltaBuild",
     "DurableBitmapStore",
     "hierarchy_fingerprint",
     "physical_file_name",
+    "delta_file_name",
+    "parse_delta_file_name",
 ]
 
 #: File name of the manifest at the root of a store directory.
@@ -85,6 +90,33 @@ def physical_file_name(generation: int, name: str) -> str:
     coexist with the live generation and commit by manifest swap alone.
     """
     return f"g{generation:08d}-{name}"
+
+
+def delta_file_name(seq: int, node_id: int) -> str:
+    """Logical file name of one node's bitmap in delta generation
+    ``seq``.
+
+    Delta names are disjoint from base names
+    (:func:`~repro.storage.catalog.node_file_name`), so base and delta
+    payloads for the same node coexist in one manifest, one buffer
+    pool, and one IO ledger without aliasing.
+    """
+    return f"delta_{seq:06d}-node_{node_id}.wah"
+
+
+def parse_delta_file_name(name: str) -> tuple[int, int] | None:
+    """Inverse of :func:`delta_file_name`.
+
+    Returns ``(seq, node_id)``, or ``None`` when the name is not a
+    delta file name (e.g. a base ``node_<id>.wah``).
+    """
+    if not (name.startswith("delta_") and name.endswith(".wah")):
+        return None
+    stem = name[len("delta_"):-len(".wah")]
+    seq_part, sep, node_part = stem.partition("-node_")
+    if not sep or not seq_part.isdigit() or not node_part.isdigit():
+        return None
+    return int(seq_part), int(node_part)
 
 
 def hierarchy_fingerprint(hierarchy) -> str:
@@ -197,12 +229,79 @@ class ManifestEntry:
 
 
 @dataclass(frozen=True)
+class DeltaManifest:
+    """One committed delta generation: a batch of appended rows.
+
+    A delta generation records ``num_rows`` appended rows as one
+    per-node tail bitmap each (logical names from
+    :func:`delta_file_name`).  Deltas are immutable once committed;
+    they are retired only by compaction, which folds them into a new
+    base generation and drops them from the manifest in the same
+    atomic commit.  ``seq`` numbers are assigned monotonically by the
+    store and never reused, so a cached delta payload can never alias
+    a later generation's.
+    """
+
+    seq: int
+    num_rows: int
+    entries: dict[str, ManifestEntry] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "seq": self.seq,
+            "num_rows": self.num_rows,
+            "entries": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.entries.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeltaManifest":
+        """Parse a delta generation; raises
+        :class:`~repro.errors.ManifestError` if malformed."""
+        if not isinstance(payload, dict):
+            raise ManifestError(
+                "manifest delta generation must be an object"
+            )
+        seq = payload.get("seq")
+        num_rows = payload.get("num_rows")
+        raw_entries = payload.get("entries")
+        if (
+            not isinstance(seq, int)
+            or seq <= 0
+            or not isinstance(num_rows, int)
+            or num_rows <= 0
+            or not isinstance(raw_entries, dict)
+        ):
+            raise ManifestError(
+                f"manifest delta generation is malformed: "
+                f"seq={seq!r}, num_rows={num_rows!r}"
+            )
+        return cls(
+            seq=seq,
+            num_rows=num_rows,
+            entries={
+                name: ManifestEntry.from_dict(name, value)
+                for name, value in raw_entries.items()
+            },
+        )
+
+
+@dataclass(frozen=True)
 class Manifest:
     """A committed index generation: the file list plus provenance.
 
     Immutable; commits replace the whole manifest.  The serialized form
     is canonical JSON followed by its own CRC32 line, so a torn or
     bit-flipped manifest is detected before a single entry is trusted.
+
+    ``entries`` lists the base generation; ``deltas`` lists the live
+    delta generations (appended row batches) in seq order.  A manifest
+    without deltas serializes byte-identically to the pre-delta format
+    (the ``deltas`` / ``delta_seq`` keys are omitted when trivial), so
+    existing stores stay readable and re-writable in place.
     """
 
     generation: int
@@ -210,18 +309,87 @@ class Manifest:
     hierarchy_fingerprint: str = ""
     num_rows: int = 0
     format_version: int = MANIFEST_FORMAT_VERSION
+    deltas: tuple[DeltaManifest, ...] = ()
+    delta_seq: int = 0
 
     def entry(self, name: str) -> ManifestEntry:
-        """The entry for a logical name (raises
+        """The entry for a logical name — base or delta (raises
         :class:`~repro.errors.FileMissingError` when absent)."""
-        try:
-            return self.entries[name]
-        except KeyError:
-            raise FileMissingError(name) from None
+        found = self.entries.get(name)
+        if found is not None:
+            return found
+        for delta in self.deltas:
+            found = delta.entries.get(name)
+            if found is not None:
+                return found
+        raise FileMissingError(name)
+
+    def has(self, name: str) -> bool:
+        """Whether any generation (base or delta) lists this name."""
+        return name in self.entries or any(
+            name in delta.entries for delta in self.deltas
+        )
+
+    def all_entries(self) -> dict[str, ManifestEntry]:
+        """Every live entry, base and delta, in one mapping.
+
+        Base and delta name spaces are disjoint by construction, so
+        the merge cannot shadow anything.
+        """
+        merged = dict(self.entries)
+        for delta in self.deltas:
+            merged.update(delta.entries)
+        return merged
 
     def physical_names(self) -> set[str]:
-        """The physical file names this generation references."""
-        return {entry.physical for entry in self.entries.values()}
+        """The physical file names this generation references — base
+        *and* delta entries, so GC and orphan sweeps never reap a
+        live delta file."""
+        referenced = {
+            entry.physical for entry in self.entries.values()
+        }
+        for delta in self.deltas:
+            referenced.update(
+                entry.physical for entry in delta.entries.values()
+            )
+        return referenced
+
+    @property
+    def total_rows(self) -> int:
+        """Base rows plus every live delta generation's rows — the
+        row count merge-on-read answers describe."""
+        return self.num_rows + sum(
+            delta.num_rows for delta in self.deltas
+        )
+
+    def without(self, name: str) -> "Manifest":
+        """A next-generation manifest with one entry (base or delta)
+        removed and everything else carried forward."""
+        return Manifest(
+            generation=self.generation + 1,
+            entries={
+                other: value
+                for other, value in self.entries.items()
+                if other != name
+            },
+            hierarchy_fingerprint=self.hierarchy_fingerprint,
+            num_rows=self.num_rows,
+            deltas=tuple(
+                DeltaManifest(
+                    seq=delta.seq,
+                    num_rows=delta.num_rows,
+                    entries={
+                        other: value
+                        for other, value in delta.entries.items()
+                        if other != name
+                    },
+                )
+                if name in delta.entries
+                else delta
+                for delta in self.deltas
+            ),
+            delta_seq=self.delta_seq,
+        )
 
     def to_bytes(self) -> bytes:
         """Serialize to the self-checksummed on-disk representation."""
@@ -235,6 +403,12 @@ class Manifest:
                 for name, entry in sorted(self.entries.items())
             },
         }
+        if self.deltas:
+            doc["deltas"] = [
+                delta.to_dict() for delta in self.deltas
+            ]
+        if self.delta_seq:
+            doc["delta_seq"] = self.delta_seq
         body = json.dumps(
             doc, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
@@ -296,6 +470,25 @@ class Manifest:
             name: ManifestEntry.from_dict(name, value)
             for name, value in raw_entries.items()
         }
+        raw_deltas = doc.get("deltas", [])
+        if not isinstance(raw_deltas, list):
+            raise ManifestError("manifest deltas must be a list")
+        deltas = tuple(
+            DeltaManifest.from_dict(item) for item in raw_deltas
+        )
+        seqs = [delta.seq for delta in deltas]
+        if seqs != sorted(set(seqs)):
+            raise ManifestError(
+                "manifest delta generations must have strictly "
+                f"increasing seq numbers, got {seqs!r}"
+            )
+        last_seq = seqs[-1] if seqs else 0
+        delta_seq = doc.get("delta_seq", last_seq)
+        if not isinstance(delta_seq, int) or delta_seq < last_seq:
+            raise ManifestError(
+                f"manifest delta_seq {delta_seq!r} is behind the "
+                f"newest live delta generation {last_seq}"
+            )
         return cls(
             generation=generation,
             entries=entries,
@@ -304,6 +497,8 @@ class Manifest:
             ),
             num_rows=int(doc.get("num_rows", 0)),
             format_version=version,
+            deltas=deltas,
+            delta_seq=delta_seq,
         )
 
 
@@ -377,23 +572,60 @@ class IndexBuild:
         the rename leaves the old generation fully live; a crash after
         it leaves the new generation fully live (the GC re-runs at the
         next open).
+
+        ``replace_all=True`` (a full rebuild) supersedes the live
+        delta generations along with the old base — the rebuild was
+        computed from the full current column.  ``replace_all=False``
+        (a partial update such as a scrub repair) carries live deltas
+        forward untouched, and routes any staged name that belongs to
+        a live delta generation (a repaired delta file) back into that
+        generation's entry set rather than shadowing it in the base.
         """
         self._check_open()
         store = self._store
-        if self._replace_all:
-            entries = dict(self._staged)
-        else:
-            entries = {**store.manifest.entries, **self._staged}
-        manifest = Manifest(
-            generation=self._generation,
-            entries=entries,
-            hierarchy_fingerprint=(
-                self._fingerprint
-                or store.manifest.hierarchy_fingerprint
-            ),
-            num_rows=self._num_rows or store.manifest.num_rows,
-        )
-        store._commit_manifest(manifest)
+        with store._reorg_lock:
+            previous = store.manifest
+            staged_base = dict(self._staged)
+            deltas: tuple[DeltaManifest, ...] = ()
+            if not self._replace_all:
+                live_seqs = {
+                    delta.seq for delta in previous.deltas
+                }
+                staged_delta: dict[int, dict[str, ManifestEntry]] = {}
+                for name in list(staged_base):
+                    parsed = parse_delta_file_name(name)
+                    if parsed is not None and parsed[0] in live_seqs:
+                        staged_delta.setdefault(parsed[0], {})[
+                            name
+                        ] = staged_base.pop(name)
+                entries = {**previous.entries, **staged_base}
+                deltas = tuple(
+                    DeltaManifest(
+                        seq=delta.seq,
+                        num_rows=delta.num_rows,
+                        entries={
+                            **delta.entries,
+                            **staged_delta[delta.seq],
+                        },
+                    )
+                    if delta.seq in staged_delta
+                    else delta
+                    for delta in previous.deltas
+                )
+            else:
+                entries = staged_base
+            manifest = Manifest(
+                generation=self._generation,
+                entries=entries,
+                hierarchy_fingerprint=(
+                    self._fingerprint
+                    or previous.hierarchy_fingerprint
+                ),
+                num_rows=self._num_rows or previous.num_rows,
+                deltas=deltas,
+                delta_seq=previous.delta_seq,
+            )
+            store._commit_manifest(manifest)
         self._closed = True
         record(
             "manifest.commit",
@@ -430,6 +662,162 @@ class IndexBuild:
         if isinstance(exc, SimulatedCrashError):
             # A real crash runs no cleanup; neither does an injected
             # one — recovery at the next open is what's under test.
+            self._closed = True
+            return
+        if not self._closed:
+            self.abort()
+
+
+class DeltaBuild:
+    """One staged delta generation: a batch of appended rows.
+
+    Created via :meth:`DurableBitmapStore.begin_delta`; usable as a
+    context manager exactly like :class:`IndexBuild` (commit on clean
+    exit, abort on error, a :class:`~repro.errors.SimulatedCrashError`
+    escapes without cleanup).  Staged files are written under the next
+    generation's physical names through the same atomic
+    write-tmp-fsync-rename path as base files, and :meth:`commit`
+    publishes them with the same manifest-swap protocol — so the
+    delta-commit crash matrix inherits every crash point the base
+    build already proves.
+
+    Committing never unreferences anything (the old base and older
+    deltas all stay live), so the post-commit GC sweep is a no-op;
+    deltas are reclaimed only by compaction.
+
+    The store's reorg lock is held for the builder's whole lifetime
+    (taken by :meth:`DurableBitmapStore.begin_delta`'s caller,
+    :class:`~repro.storage.delta.DeltaAppender`, or by :meth:`commit`
+    itself for direct users), serializing delta commits against
+    compaction so neither can drop the other's freshly committed
+    state.
+    """
+
+    def __init__(self, store: "DurableBitmapStore", num_rows: int):
+        if num_rows <= 0:
+            raise ValueError(
+                f"a delta generation must append at least one row, "
+                f"got num_rows={num_rows}"
+            )
+        self._store = store
+        self._num_rows = num_rows
+        self._seq = store.manifest.delta_seq + 1
+        self._generation = store.generation + 1
+        self._staged: dict[str, ManifestEntry] = {}
+        self._closed = False
+
+    @property
+    def seq(self) -> int:
+        """The delta sequence number this build will commit as."""
+        return self._seq
+
+    @property
+    def generation(self) -> int:
+        """The manifest generation this build will commit as."""
+        return self._generation
+
+    @property
+    def staged_names(self) -> tuple[str, ...]:
+        """Logical delta names staged so far, in insertion order."""
+        return tuple(self._staged)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                "delta build already committed or aborted"
+            )
+
+    def add(self, node_id: int, payload: bytes) -> str:
+        """Stage one node's delta tail bitmap; returns its logical
+        name.
+
+        The payload is written (atomically, fsynced) under the next
+        generation's physical name; nothing references it until
+        :meth:`commit`.
+        """
+        self._check_open()
+        payload = bytes(payload)
+        name = delta_file_name(self._seq, node_id)
+        physical = physical_file_name(self._generation, name)
+        self._store._write_physical(physical, payload)
+        self._staged[name] = ManifestEntry.for_payload(
+            name, physical, payload
+        )
+        return name
+
+    def commit(self) -> Manifest:
+        """Atomically publish the staged delta generation.
+
+        The new manifest keeps the base entries and every older delta
+        untouched and appends one :class:`DeltaManifest`; the rename
+        of the MANIFEST file is the commit point, exactly as for a
+        base build.
+        """
+        self._check_open()
+        store = self._store
+        with store._reorg_lock:
+            previous = store.manifest
+            if previous.delta_seq >= self._seq:
+                raise StorageError(
+                    f"delta seq {self._seq} was assigned "
+                    f"concurrently (store is at "
+                    f"{previous.delta_seq}); serialize appends "
+                    f"through one DeltaAppender"
+                )
+            manifest = Manifest(
+                generation=self._generation,
+                entries=previous.entries,
+                hierarchy_fingerprint=(
+                    previous.hierarchy_fingerprint
+                ),
+                num_rows=previous.num_rows,
+                deltas=previous.deltas
+                + (
+                    DeltaManifest(
+                        seq=self._seq,
+                        num_rows=self._num_rows,
+                        entries=dict(self._staged),
+                    ),
+                ),
+                delta_seq=self._seq,
+            )
+            store._commit_manifest(manifest)
+        self._closed = True
+        record(
+            "manifest.commit-delta",
+            MANIFEST_NAME,
+            generation=self._generation,
+            seq=self._seq,
+            rows=self._num_rows,
+            files=len(self._staged),
+        )
+        get_metrics().inc("delta_commits_total")
+        return manifest
+
+    def abort(self) -> None:
+        """Discard the staged files (best effort) without committing."""
+        self._check_open()
+        self._closed = True
+        for entry in self._staged.values():
+            try:
+                self._store._delete_physical(entry.physical)
+            except StorageError:
+                pass  # orphans are GC'd at the next open
+
+    def __enter__(self) -> "DeltaBuild":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if exc_type is None:
+            if not self._closed:
+                self.commit()
+            return
+        if isinstance(exc, SimulatedCrashError):
             self._closed = True
             return
         if not self._closed:
@@ -474,6 +862,10 @@ class DurableBitmapStore(BitmapFileStore):
         super().__init__(directory, fault_policy)
         assert self._directory is not None
         self._manifest_path = self._directory / MANIFEST_NAME
+        # Serializes manifest read-modify-write windows of the
+        # reorganizing writers (builds, delta appends, compaction,
+        # quarantine) against each other.  Readers never take it.
+        self._reorg_lock = threading.RLock()
         self._manifest = self._recover(verify_files)
 
     # ------------------------------------------------------------------
@@ -532,33 +924,45 @@ class DurableBitmapStore(BitmapFileStore):
         quarantine = self._directory / QUARANTINE_DIR_NAME
         if not quarantine.is_dir():
             return manifest
-        stranded = [
+        stranded = {
             name
-            for name, entry in manifest.entries.items()
+            for name, entry in manifest.all_entries().items()
             if not (self._directory / entry.physical).exists()
             and (quarantine / entry.physical).exists()
-        ]
+        }
         if not stranded:
             return manifest
-        entries = {
-            name: entry
-            for name, entry in manifest.entries.items()
-            if name not in stranded
-        }
         healed = Manifest(
             generation=manifest.generation + 1,
-            entries=entries,
+            entries={
+                name: entry
+                for name, entry in manifest.entries.items()
+                if name not in stranded
+            },
             hierarchy_fingerprint=manifest.hierarchy_fingerprint,
             num_rows=manifest.num_rows,
+            deltas=tuple(
+                DeltaManifest(
+                    seq=delta.seq,
+                    num_rows=delta.num_rows,
+                    entries={
+                        name: entry
+                        for name, entry in delta.entries.items()
+                        if name not in stranded
+                    },
+                )
+                for delta in manifest.deltas
+            ),
+            delta_seq=manifest.delta_seq,
         )
         self._write_manifest_bytes(healed.to_bytes())
-        for name in stranded:
+        for name in sorted(stranded):
             record("manifest.heal-quarantined", name)
         return healed
 
     def _verify_manifest_files(self, manifest: Manifest) -> None:
         assert self._directory is not None
-        for name, entry in sorted(manifest.entries.items()):
+        for name, entry in sorted(manifest.all_entries().items()):
             path = self._directory / entry.physical
             try:
                 size = path.stat().st_size
@@ -609,6 +1013,21 @@ class DurableBitmapStore(BitmapFileStore):
     def generation(self) -> int:
         """The committed generation number (0 = empty store)."""
         return self._manifest.generation
+
+    @property
+    def delta_manifests(self) -> tuple[DeltaManifest, ...]:
+        """The live delta generations, oldest first."""
+        return self._manifest.deltas
+
+    @property
+    def total_num_rows(self) -> int:
+        """Base rows plus every live delta's appended rows."""
+        return self._manifest.total_rows
+
+    @property
+    def next_delta_seq(self) -> int:
+        """The seq the next delta generation would commit as."""
+        return self._manifest.delta_seq + 1
 
     def _write_manifest_bytes(self, data: bytes) -> None:
         """Atomically replace the MANIFEST file (no crash points)."""
@@ -739,6 +1158,23 @@ class DurableBitmapStore(BitmapFileStore):
             replace_all=replace_all,
         )
 
+    def begin_delta(self, num_rows: int) -> DeltaBuild:
+        """Start a staged delta generation for ``num_rows`` appended
+        rows.
+
+        Use as a context manager::
+
+            with store.begin_delta(len(batch)) as delta:
+                delta.add(node_id, payload)
+            # committed atomically here (aborted on exception)
+
+        Higher-level callers should prefer
+        :class:`~repro.storage.delta.DeltaAppender`, which computes
+        the per-node tail bitmaps and holds the reorg lock across
+        staging and commit.
+        """
+        return DeltaBuild(self, num_rows=num_rows)
+
     # ------------------------------------------------------------------
     # Quarantine
     # ------------------------------------------------------------------
@@ -754,31 +1190,22 @@ class DurableBitmapStore(BitmapFileStore):
         degraded-read path turns into a child-union recovery for
         internal nodes.
         """
-        entry = self._manifest.entry(name)
-        assert self._directory is not None
-        quarantine_dir = self._directory / QUARANTINE_DIR_NAME
-        source = self._directory / entry.physical
-        try:
-            quarantine_dir.mkdir(exist_ok=True)
-            if source.exists():
-                os.replace(source, quarantine_dir / entry.physical)
-        except OSError as err:
-            raise self._wrap_write_error(entry.physical, err) from err
-        entries = {
-            other: value
-            for other, value in self._manifest.entries.items()
-            if other != name
-        }
-        self._commit_manifest(
-            Manifest(
-                generation=self._manifest.generation + 1,
-                entries=entries,
-                hierarchy_fingerprint=(
-                    self._manifest.hierarchy_fingerprint
-                ),
-                num_rows=self._manifest.num_rows,
-            )
-        )
+        with self._reorg_lock:
+            entry = self._manifest.entry(name)
+            assert self._directory is not None
+            quarantine_dir = self._directory / QUARANTINE_DIR_NAME
+            source = self._directory / entry.physical
+            try:
+                quarantine_dir.mkdir(exist_ok=True)
+                if source.exists():
+                    os.replace(
+                        source, quarantine_dir / entry.physical
+                    )
+            except OSError as err:
+                raise self._wrap_write_error(
+                    entry.physical, err
+                ) from err
+            self._commit_manifest(self._manifest.without(name))
         record("manifest.quarantine", name, physical=entry.physical)
         get_metrics().inc("scrub_quarantined_total")
         return entry.physical
@@ -825,31 +1252,20 @@ class DurableBitmapStore(BitmapFileStore):
 
     def delete(self, name: str) -> None:
         """Remove a logical file by committing a generation without it."""
-        entry = self._manifest.entry(name)
-        entries = {
-            other: value
-            for other, value in self._manifest.entries.items()
-            if other != name
-        }
-        self._commit_manifest(
-            Manifest(
-                generation=self._manifest.generation + 1,
-                entries=entries,
-                hierarchy_fingerprint=(
-                    self._manifest.hierarchy_fingerprint
-                ),
-                num_rows=self._manifest.num_rows,
-            )
-        )
+        with self._reorg_lock:
+            entry = self._manifest.entry(name)
+            self._commit_manifest(self._manifest.without(name))
         record("manifest.delete", name, physical=entry.physical)
 
     def exists(self, name: str) -> bool:
-        """Whether the manifest lists a logical file with this name."""
-        return name in self._manifest.entries
+        """Whether the manifest lists a logical file with this name
+        (in the base generation or any live delta)."""
+        return self._manifest.has(name)
 
     def names(self) -> Iterator[str]:
-        """Iterate the manifest's logical file names, sorted."""
-        yield from sorted(self._manifest.entries)
+        """Iterate the manifest's logical file names (base and
+        delta), sorted."""
+        yield from sorted(self._manifest.all_entries())
 
     def verify_hierarchy(self, hierarchy) -> None:
         """Check the manifest was built for this hierarchy.
@@ -874,5 +1290,6 @@ class DurableBitmapStore(BitmapFileStore):
             f"DurableBitmapStore(directory="
             f"{str(self._directory)!r}, "
             f"generation={self._manifest.generation}, "
-            f"files={len(self._manifest.entries)})"
+            f"files={len(self._manifest.entries)}, "
+            f"deltas={len(self._manifest.deltas)})"
         )

@@ -44,7 +44,11 @@ from ..hierarchy.tree import Hierarchy
 from ..obs import get_metrics, record
 from .accounting import IOAccountant
 from .catalog import node_file_name, node_id_from_file_name
-from .manifest import DurableBitmapStore
+from .manifest import (
+    DurableBitmapStore,
+    delta_file_name,
+    parse_delta_file_name,
+)
 
 __all__ = ["ScrubFinding", "ScrubReport", "Scrubber"]
 
@@ -57,6 +61,25 @@ _KIND_CHECKSUM = "checksum"
 _ACTION_REPORTED = "reported"
 _ACTION_REPAIRED = "repaired"
 _ACTION_QUARANTINED = "quarantined"
+
+
+def _file_identity(name: str) -> tuple[int | None, int | None]:
+    """``(node_id, delta_seq)`` for a manifest name.
+
+    Base node files yield ``(node_id, None)``; delta files yield
+    ``(node_id, seq)``; unrecognized names yield ``(None, None)``.
+    A delta entry is a first-class manifest citizen — *not* an orphan
+    — so the scrubber verifies (and, for internal nodes, repairs) it
+    exactly like a base file, using the same delta generation's child
+    files as the redundancy source.
+    """
+    node_id = node_id_from_file_name(name)
+    if node_id is not None:
+        return node_id, None
+    parsed = parse_delta_file_name(name)
+    if parsed is not None:
+        return parsed[1], parsed[0]
+    return None, None
 
 
 @dataclass(frozen=True, slots=True)
@@ -207,21 +230,22 @@ class Scrubber:
     def _scrub(self, repair: bool) -> ScrubReport:
         store = self._store
         manifest = store.manifest
+        all_entries = manifest.all_entries()
         generation_before = manifest.generation
         record(
             "scrub.start",
             "scrub",
             generation=generation_before,
-            files=len(manifest.entries),
+            files=len(all_entries),
             repair=repair,
         )
         metrics = get_metrics()
 
         verify_io = 0
         damaged: list[ScrubFinding] = []
-        for name in sorted(manifest.entries):
-            entry = manifest.entries[name]
-            node_id = node_id_from_file_name(name)
+        for name in sorted(all_entries):
+            entry = all_entries[name]
+            node_id, _seq = _file_identity(name)
             try:
                 payload = store.read_physical(name)
             except FileMissingError:
@@ -261,7 +285,7 @@ class Scrubber:
 
         if not repair or not damaged:
             report = ScrubReport(
-                files_checked=len(manifest.entries),
+                files_checked=len(all_entries),
                 findings=tuple(damaged),
                 verify_io_bytes=verify_io,
                 repair_io_bytes=0,
@@ -273,7 +297,7 @@ class Scrubber:
 
         findings, repair_io = self._repair_or_quarantine(damaged)
         report = ScrubReport(
-            files_checked=len(manifest.entries),
+            files_checked=len(all_entries),
             findings=tuple(findings),
             verify_io_bytes=verify_io,
             repair_io_bytes=repair_io,
@@ -388,7 +412,7 @@ class Scrubber:
             return quarantined(
                 "no hierarchy available for child-union repair"
             )
-        node_id = finding.node_id
+        node_id, seq = _file_identity(finding.name)
         if node_id is None or not 0 <= node_id < hierarchy.num_nodes:
             return quarantined(
                 f"file name {finding.name!r} maps to no hierarchy node"
@@ -399,10 +423,17 @@ class Scrubber:
                 "leaf bitmap: no redundancy below it to repair from"
             )
 
+        # A delta file's redundancy source is the *same* delta
+        # generation's child files: the OR-of-children identity holds
+        # over any row range, the batch included.
         child_bitmaps: list[WahBitmap] = []
         io_bytes = 0
         for child_id in node.children:
-            child_name = node_file_name(child_id)
+            child_name = (
+                node_file_name(child_id)
+                if seq is None
+                else delta_file_name(seq, child_id)
+            )
             payload, child_io, reason = self._child_payload(
                 child_name, damaged_names, staged
             )
@@ -469,7 +500,7 @@ class Scrubber:
         if child_name in damaged_names:
             return None, 0, "child is itself damaged and unrepaired"
         store = self._store
-        if child_name not in store.manifest.entries:
+        if not store.manifest.has(child_name):
             return None, 0, "child is not in the manifest"
         try:
             payload = store.read_physical(child_name)

@@ -178,6 +178,206 @@ def test_simulated_crash_is_not_absorbed_by_write_wrappers(tmp_path):
         store.write("a.wah", b"payload")
 
 
+# ----------------------------------------------------------------------
+# Delta-commit crash matrix (ISSUE 7): a crash at every step of a
+# delta generation's commit leaves the store serving exactly the
+# pre-append state or exactly the appended one.
+# ----------------------------------------------------------------------
+
+#: A delta commit writes one delta file per node, then swaps the
+#: manifest.  It unreferences nothing, so ``commit.gc`` never fires —
+#: asserted separately below, not a matrix row.
+DELTA_CRASH_MATRIX = [
+    ("write.begin", 1),
+    ("write.begin", _NUM_NODES // 2),
+    ("write.begin", _NUM_NODES),
+    ("write.torn", 1),
+    ("write.torn", _NUM_NODES // 2),
+    ("write.torn", _NUM_NODES),
+    ("write.rename", 1),
+    ("write.rename", _NUM_NODES // 2),
+    ("write.rename", _NUM_NODES),
+    ("commit.manifest.begin", 1),
+    ("commit.manifest.torn", 1),
+    ("commit.manifest.rename", 1),
+]
+
+
+def _store_state(store):
+    """Everything observable: payloads by name plus delta seqs."""
+    return (
+        {name: store.read(name) for name in store.names()},
+        tuple(delta.seq for delta in store.delta_manifests),
+        store.manifest.total_rows,
+    )
+
+
+def _assert_no_leftovers(directory, store, label):
+    live = {
+        store.manifest.entry(name).physical
+        for name in store.names()
+    } | {"MANIFEST"}
+    leftovers = [
+        path.name
+        for path in directory.iterdir()
+        if path.is_file() and path.name not in live
+    ]
+    assert leftovers == [], label
+
+
+def _assert_answers_match(hierarchy, store, column, label):
+    catalog = MaterializedNodeCatalog.from_store(hierarchy, store)
+    executor = QueryExecutor(catalog)
+    for query in _case_queries(hierarchy):
+        expected = scan_answer(column, query)
+        result = executor.execute_query(query)
+        assert not result.degraded, label
+        assert (
+            result.answer.to_positions().tolist()
+            == expected.to_positions().tolist()
+        ), (label, query)
+
+
+@pytest.mark.ingest
+@pytest.mark.parametrize(("label", "occurrence"), DELTA_CRASH_MATRIX)
+def test_delta_commit_crash_leaves_exactly_old_or_new(
+    tmp_path, chaos_seed, label, occurrence
+):
+    from repro.storage.delta import DeltaAppender
+
+    hierarchy = Hierarchy.from_nested(_SPEC)
+    column, _ = _columns(chaos_seed, hierarchy)
+    rng = np.random.default_rng(chaos_seed + 1)
+    batch = rng.integers(
+        0, hierarchy.num_leaves, size=200, dtype=np.int64
+    )
+    directory = tmp_path / "store"
+    store = DurableBitmapStore(directory)
+    MaterializedNodeCatalog(hierarchy, column, store)
+    old_state = _store_state(store)
+
+    # Fault-free append on a twin store = the exactly-new oracle.
+    twin_dir = tmp_path / "twin"
+    twin = DurableBitmapStore(twin_dir)
+    MaterializedNodeCatalog(hierarchy, column, twin)
+    DeltaAppender(twin, hierarchy).append(batch)
+    new_state = _store_state(twin)
+
+    store.set_fault_policy(
+        FaultPolicy(crash_plan={label: occurrence})
+    )
+    with pytest.raises(SimulatedCrashError):
+        DeltaAppender(store, hierarchy).append(batch)
+
+    reopened = DurableBitmapStore(directory)
+    state = _store_state(reopened)
+    assert state in (old_state, new_state), label
+    appended = state == new_state
+    _assert_no_leftovers(directory, reopened, label)
+    assert Scrubber(reopened, hierarchy).verify().is_clean, label
+    effective = (
+        np.concatenate([column, batch]) if appended else column
+    )
+    _assert_answers_match(hierarchy, reopened, effective, label)
+
+
+@pytest.mark.ingest
+def test_delta_commit_never_garbage_collects(tmp_path, chaos_seed):
+    """A delta commit unreferences nothing: a crash armed on the
+    post-commit GC step must never fire during an append."""
+    from repro.storage.delta import DeltaAppender
+
+    hierarchy = Hierarchy.from_nested(_SPEC)
+    column, _ = _columns(chaos_seed, hierarchy)
+    store = DurableBitmapStore(tmp_path / "store")
+    MaterializedNodeCatalog(hierarchy, column, store)
+    store.set_fault_policy(FaultPolicy(crash_plan={"commit.gc": 1}))
+    result = DeltaAppender(store, hierarchy).append(
+        np.array([0, 1, 2], dtype=np.int64)
+    )
+    assert result.committed  # no crash: gc never ran
+
+
+# ----------------------------------------------------------------------
+# Compaction-commit crash matrix: compaction rewrites every node base
+# and GCs the superseded bases plus the folded delta files, so every
+# protocol step (gc included) gets early/mid/late cells.  Both
+# surviving states answer identically — folding is purely physical.
+# ----------------------------------------------------------------------
+
+#: GC during a compaction commit unlinks the old base physicals (one
+#: per node) and the folded delta physicals (two generations here).
+_GC_UNLINKS = 3 * _NUM_NODES
+
+COMPACTION_CRASH_MATRIX = [
+    ("write.begin", 1),
+    ("write.begin", _NUM_NODES // 2),
+    ("write.begin", _NUM_NODES),
+    ("write.torn", 1),
+    ("write.torn", _NUM_NODES // 2),
+    ("write.torn", _NUM_NODES),
+    ("write.rename", 1),
+    ("write.rename", _NUM_NODES // 2),
+    ("write.rename", _NUM_NODES),
+    ("commit.manifest.begin", 1),
+    ("commit.manifest.torn", 1),
+    ("commit.manifest.rename", 1),
+    ("commit.gc", 1),
+    ("commit.gc", _GC_UNLINKS // 2),
+    ("commit.gc", _GC_UNLINKS),
+]
+
+
+@pytest.mark.ingest
+@pytest.mark.parametrize(
+    ("label", "occurrence"), COMPACTION_CRASH_MATRIX
+)
+def test_compaction_crash_leaves_exactly_old_or_new(
+    tmp_path, chaos_seed, label, occurrence
+):
+    import shutil
+
+    from repro.storage.compactor import Compactor
+    from repro.storage.delta import DeltaAppender
+
+    hierarchy = Hierarchy.from_nested(_SPEC)
+    column, _ = _columns(chaos_seed, hierarchy)
+    rng = np.random.default_rng(chaos_seed + 2)
+    batches = [
+        rng.integers(0, hierarchy.num_leaves, size=size, dtype=np.int64)
+        for size in (150, 90)
+    ]
+    directory = tmp_path / "store"
+    store = DurableBitmapStore(directory)
+    MaterializedNodeCatalog(hierarchy, column, store)
+    appender = DeltaAppender(store, hierarchy)
+    for batch in batches:
+        appender.append(batch)
+    full = np.concatenate([column, *batches])
+    old_state = _store_state(store)
+
+    # Fault-free compaction of a byte-copy = the exactly-new oracle.
+    twin_dir = tmp_path / "twin"
+    shutil.copytree(directory, twin_dir)
+    twin = DurableBitmapStore(twin_dir)
+    Compactor(twin).run()
+    new_state = _store_state(twin)
+
+    store.set_fault_policy(
+        FaultPolicy(crash_plan={label: occurrence})
+    )
+    with pytest.raises(SimulatedCrashError):
+        Compactor(store).run()
+
+    reopened = DurableBitmapStore(directory)
+    state = _store_state(reopened)
+    assert state in (old_state, new_state), label
+    _assert_no_leftovers(directory, reopened, label)
+    assert Scrubber(reopened, hierarchy).verify().is_clean, label
+    # Folding never changes answers: both states serve the full column.
+    _assert_answers_match(hierarchy, reopened, full, label)
+
+
 def test_torn_write_persists_a_prefix(tmp_path, chaos_seed):
     """The torn-write crash leaves a real partial tmp file behind —
     and recovery still serves the old generation untouched."""

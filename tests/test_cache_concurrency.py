@@ -152,6 +152,82 @@ class TestSingleFlight:
         # Both flights retired; the dedup table is empty again.
         assert pool._inflight == {}
 
+    def test_invalidate_drops_whole_node_group_and_its_flight(self):
+        """Regression: invalidating a node whose base *and* delta
+        payloads are resident drops both tiers' copies and any
+        in-flight fetch of a group member — compaction must never
+        leave a reader able to pair a fresh base with a stale delta.
+        """
+        from repro.storage.manifest import delta_file_name
+
+        base = "node_3.wah"
+        delta_one = delta_file_name(1, 3)
+        delta_two = delta_file_name(2, 3)
+        bystander = "node_4.wah"
+        store = _BlockingStore()
+        for name, size in [
+            (base, 100),
+            (delta_one, 40),
+            (delta_two, 60),
+            (bystander, 80),
+        ]:
+            store.write(name, bytes(size))
+        pool = BufferPool(store)  # unbounded -> gets are LRU-cached
+        store.release.set()  # pre-population reads run unblocked
+        pool.pin([base])  # pinned tier
+        pool.get(delta_one)  # LRU tier
+        pool.get(bystander)
+        store.release.clear()
+
+        with collecting_metrics() as metrics:
+            with ThreadPoolExecutor(max_workers=2) as tpe:
+                # A leader parked mid-read of the second delta.
+                first = tpe.submit(pool.get, delta_two)
+                assert store.entered.wait(timeout=10)
+                calls_before = store.read_calls
+
+                pool.invalidate(base)
+
+                assert not pool.contains(base)
+                assert not pool.contains(delta_one)
+                assert pool.contains(bystander)  # different node
+                assert pool.pinned_bytes == 0
+                # The parked flight was abandoned: a new requester
+                # becomes a fresh leader instead of joining it.
+                second = tpe.submit(pool.get, delta_two)
+                for _ in range(100):
+                    if store.read_calls > calls_before:
+                        break
+                    threading.Event().wait(0.05)
+                assert store.read_calls == calls_before + 1
+                store.release.set()
+                assert first.result() == bytes(60)
+                assert second.result() == bytes(60)
+        assert pool._inflight == {}
+        assert (
+            metrics.counter("cache_invalidations_total", tier="pinned")
+            == 1
+        )
+        assert (
+            metrics.counter("cache_invalidations_total", tier="lru")
+            == 1
+        )
+
+    def test_invalidating_a_delta_name_drops_the_base_too(self):
+        from repro.storage.manifest import delta_file_name
+
+        base = "node_2.wah"
+        delta = delta_file_name(5, 2)
+        store = _fresh_store()
+        store.write(base, bytes(50))
+        store.write(delta, bytes(20))
+        pool = BufferPool(store)
+        pool.get(base)
+        pool.get(delta)
+        pool.invalidate(delta)
+        assert not pool.contains(base)
+        assert not pool.contains(delta)
+
 
 class TestBudgetInvariantProperty:
     @settings(max_examples=60, deadline=None)

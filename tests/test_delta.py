@@ -1,0 +1,290 @@
+"""DeltaAppender / DeltaBuild: LSM-style ingest into a durable store.
+
+Covers the write path of the delta lifecycle: append batches commit as
+delta generations through the atomic manifest-swap protocol, readers
+merge them on read bit-identically to a from-scratch rebuild, and the
+manifest round-trips deltas losslessly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import QueryExecutor, scan_answer
+from repro.errors import StorageError, WorkloadError
+from repro.hierarchy.tree import Hierarchy
+from repro.obs import TraceCollector, collecting_metrics, recording
+from repro.storage.cache import BufferPool
+from repro.storage.catalog import MaterializedNodeCatalog
+from repro.storage.delta import DeltaAppender
+from repro.storage.filestore import BitmapFileStore
+from repro.storage.manifest import (
+    DurableBitmapStore,
+    Manifest,
+    delta_file_name,
+    parse_delta_file_name,
+)
+from repro.workload.query import RangeQuery
+
+
+@pytest.fixture
+def hierarchy() -> Hierarchy:
+    return Hierarchy.from_nested([[2, 2], [3, 2], [3]])
+
+
+def _build(tmp_path, hierarchy, rows=500, seed=7):
+    rng = np.random.default_rng(seed)
+    column = rng.integers(
+        0, hierarchy.num_leaves, size=rows, dtype=np.int64
+    )
+    store = DurableBitmapStore(tmp_path / "store")
+    MaterializedNodeCatalog(hierarchy, column, store)
+    return store, column
+
+
+# ----------------------------------------------------------------------
+# Naming
+# ----------------------------------------------------------------------
+def test_delta_file_name_round_trip():
+    assert parse_delta_file_name(delta_file_name(3, 17)) == (3, 17)
+    assert parse_delta_file_name("node_3.wah") is None
+    assert parse_delta_file_name("delta_0001-node_2.bin") is None
+    assert parse_delta_file_name("delta_x-node_2.wah") is None
+    assert parse_delta_file_name("MANIFEST") is None
+
+
+# ----------------------------------------------------------------------
+# Commit path
+# ----------------------------------------------------------------------
+def test_append_commits_one_delta_generation(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    base_rows = store.manifest.num_rows
+    appender = DeltaAppender(store, hierarchy)
+    batch = np.array([0, 3, 3, 11], dtype=np.int64)
+
+    result = appender.append(batch)
+
+    assert result.committed
+    assert result.seq == 1
+    assert result.num_rows == batch.size
+    assert result.files_written == hierarchy.num_nodes
+    assert len(store.delta_manifests) == 1
+    delta = store.delta_manifests[0]
+    assert delta.seq == 1
+    assert delta.num_rows == batch.size
+    assert store.manifest.num_rows == base_rows  # base untouched
+    assert store.total_num_rows == base_rows + batch.size
+
+
+def test_appends_get_monotonic_seqs(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    appender = DeltaAppender(store, hierarchy)
+    seqs = [
+        appender.append(np.array([i], dtype=np.int64)).seq
+        for i in range(4)
+    ]
+    assert seqs == [1, 2, 3, 4]
+    assert store.manifest.delta_seq == 4
+
+
+def test_empty_append_is_a_no_op(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    generation = store.generation
+    result = DeltaAppender(store, hierarchy).append(
+        np.array([], dtype=np.int64)
+    )
+    assert not result.committed
+    assert result.seq == 0
+    assert store.generation == generation
+    assert store.delta_manifests == ()
+
+
+def test_delta_entries_are_readable_and_named(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    DeltaAppender(store, hierarchy).append(
+        np.array([5, 6], dtype=np.int64)
+    )
+    for node in hierarchy:
+        name = delta_file_name(1, node.node_id)
+        assert store.exists(name)
+        payload = store.read(name)
+        assert payload  # CRC-framed WAH bytes
+        assert name in store.names()
+
+
+def test_delta_survives_reopen_without_gc(tmp_path, hierarchy):
+    """Satellite: delta physicals are referenced by the manifest, so
+    reopen-time orphan GC must not reclaim them."""
+    store, _ = _build(tmp_path, hierarchy)
+    DeltaAppender(store, hierarchy).append(
+        np.array([1, 2, 3], dtype=np.int64)
+    )
+    before = {name: store.read(name) for name in store.names()}
+
+    reopened = DurableBitmapStore(tmp_path / "store")
+
+    assert len(reopened.delta_manifests) == 1
+    assert reopened.total_num_rows == store.total_num_rows
+    assert {
+        name: reopened.read(name) for name in reopened.names()
+    } == before
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_appender_rejects_non_durable_store(hierarchy):
+    with pytest.raises(StorageError, match="DurableBitmapStore"):
+        DeltaAppender(BitmapFileStore(), hierarchy)
+
+
+def test_appender_rejects_empty_store(tmp_path, hierarchy):
+    store = DurableBitmapStore(tmp_path)
+    with pytest.raises(StorageError, match="empty store"):
+        DeltaAppender(store, hierarchy)
+
+
+def test_appender_rejects_wrong_hierarchy(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    other = Hierarchy.from_nested([[3, 3], [2]])
+    with pytest.raises(StorageError):
+        DeltaAppender(store, other)
+
+
+@pytest.mark.parametrize(
+    "values,match",
+    [
+        (np.zeros((2, 2), dtype=np.int64), "1-D"),
+        (np.array([0.5, 1.5]), "integral"),
+        (np.array([-1], dtype=np.int64), "lie in"),
+        (np.array([10**6], dtype=np.int64), "lie in"),
+    ],
+)
+def test_append_rejects_bad_batches(tmp_path, hierarchy, values, match):
+    store, _ = _build(tmp_path, hierarchy)
+    appender = DeltaAppender(store, hierarchy)
+    with pytest.raises(WorkloadError, match=match):
+        appender.append(values)
+    assert store.delta_manifests == ()
+
+
+def test_stale_delta_build_commit_is_rejected(tmp_path, hierarchy):
+    """Two builds racing the same seq: the loser's commit raises
+    instead of silently aliasing delta file names."""
+    store, _ = _build(tmp_path, hierarchy)
+    first = store.begin_delta(2)
+    second = store.begin_delta(3)
+    assert first.seq == second.seq  # both claimed seq 1
+    from repro.bitmap.serialization import serialize_wah
+    from repro.bitmap.wah import WahBitmap
+
+    payload2 = serialize_wah(WahBitmap.from_positions([0], 2))
+    payload3 = serialize_wah(WahBitmap.from_positions([1], 3))
+    for node in hierarchy:
+        first.add(node.node_id, payload2)
+        second.add(node.node_id, payload3)
+    first.commit()
+    with pytest.raises(StorageError, match="serialize appends"):
+        second.commit()
+    second.abort()
+    assert [d.seq for d in store.delta_manifests] == [1]
+
+
+# ----------------------------------------------------------------------
+# Manifest round-trip
+# ----------------------------------------------------------------------
+def test_manifest_round_trips_deltas(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    appender = DeltaAppender(store, hierarchy)
+    appender.append(np.array([0, 1], dtype=np.int64))
+    appender.append(np.array([2], dtype=np.int64))
+    manifest = store.manifest
+    restored = Manifest.from_bytes(manifest.to_bytes())
+    assert restored.deltas == manifest.deltas
+    assert restored.delta_seq == manifest.delta_seq
+    assert restored.total_rows == manifest.total_rows
+
+
+def test_manifest_without_deltas_serializes_compactly():
+    """Pre-delta byte compatibility: trivial delta fields are omitted."""
+    manifest = Manifest(generation=1, entries={}, num_rows=0)
+    assert b"delta" not in manifest.to_bytes()
+    restored = Manifest.from_bytes(manifest.to_bytes())
+    assert restored.deltas == ()
+    assert restored.delta_seq == 0
+
+
+# ----------------------------------------------------------------------
+# Merge-on-read
+# ----------------------------------------------------------------------
+def _queries(hierarchy):
+    last = hierarchy.num_leaves - 1
+    return [
+        RangeQuery([(0, 2)]),
+        RangeQuery([(1, last - 1)]),
+        RangeQuery([(0, last)]),
+        RangeQuery([(0, 1), (4, last)]),
+    ]
+
+
+def test_merge_on_read_matches_full_rebuild(tmp_path, hierarchy):
+    store, column = _build(tmp_path, hierarchy)
+    rng = np.random.default_rng(11)
+    batches = [
+        rng.integers(0, hierarchy.num_leaves, size=size, dtype=np.int64)
+        for size in (17, 1, 40)
+    ]
+    appender = DeltaAppender(store, hierarchy)
+    for batch in batches:
+        appender.append(batch)
+    full = np.concatenate([column, *batches])
+
+    oracle_store = DurableBitmapStore(tmp_path / "oracle")
+    oracle_catalog = MaterializedNodeCatalog(
+        hierarchy, full, oracle_store
+    )
+    oracle = QueryExecutor(oracle_catalog, BufferPool(oracle_store))
+
+    catalog = MaterializedNodeCatalog.from_store(hierarchy, store)
+    executor = QueryExecutor(catalog, BufferPool(store))
+    internal_cut = hierarchy.node(hierarchy.root_id).children
+    for query in _queries(hierarchy):
+        expected = scan_answer(full, query)
+        for cut in ((), internal_cut):
+            answer = executor.execute_query(
+                query, cut_node_ids=cut
+            ).answer
+            # Word-identical canonical WAH, not just same positions.
+            assert answer == oracle.execute_query(
+                query, cut_node_ids=cut
+            ).answer
+            assert (
+                answer.to_positions().tolist()
+                == expected.to_positions().tolist()
+            )
+
+
+def test_merge_on_read_emits_delta_merge_trace(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    DeltaAppender(store, hierarchy).append(
+        np.array([0, 1, 2], dtype=np.int64)
+    )
+    catalog = MaterializedNodeCatalog.from_store(hierarchy, store)
+    executor = QueryExecutor(catalog, BufferPool(store))
+    collector = TraceCollector()
+    with recording(collector), collecting_metrics() as metrics:
+        executor.execute_query(RangeQuery([(0, 2)]))
+    assert collector.counts_by_kind().get("delta.merge", 0) >= 1
+    assert metrics.counter("delta_merges_total") >= 1
+
+
+def test_append_emits_events_and_metrics(tmp_path, hierarchy):
+    store, _ = _build(tmp_path, hierarchy)
+    collector = TraceCollector()
+    with recording(collector), collecting_metrics() as metrics:
+        DeltaAppender(store, hierarchy).append(
+            np.array([4, 4, 9], dtype=np.int64)
+        )
+    assert collector.counts_by_kind().get("delta.append") == 1
+    assert metrics.counter("delta_rows_appended_total") == 3

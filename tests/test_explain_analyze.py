@@ -170,6 +170,69 @@ class TestFaultyExecution:
         assert "fault.injected" in kinds
 
 
+class TestDeltaMergeRows:
+    """Merge-on-read shows up as honestly-accounted delta rows."""
+
+    def test_delta_reads_get_rows_but_do_not_fail_prediction(
+        self, tmp_path
+    ):
+        import numpy as np
+
+        from repro.hierarchy.tree import Hierarchy
+        from repro.storage.catalog import MaterializedNodeCatalog
+        from repro.storage.delta import DeltaAppender
+        from repro.storage.manifest import (
+            DurableBitmapStore,
+            parse_delta_file_name,
+        )
+
+        hierarchy = Hierarchy.from_nested([[2, 2], [3, 2], [3]])
+        rng = np.random.default_rng(19)
+        column = rng.integers(
+            0, hierarchy.num_leaves, size=800, dtype=np.int64
+        )
+        batch = rng.integers(
+            0, hierarchy.num_leaves, size=45, dtype=np.int64
+        )
+        store = DurableBitmapStore(tmp_path / "store")
+        MaterializedNodeCatalog(hierarchy, column, store)
+        DeltaAppender(store, hierarchy).append(batch)
+
+        catalog = MaterializedNodeCatalog.from_store(
+            hierarchy, store
+        )
+        last = hierarchy.num_leaves - 1
+        query = RangeQuery([(0, last)])
+        report = _cold_executor(catalog).explain_analyze(query)
+
+        delta_rows = [
+            node
+            for node in report.nodes
+            if node.role == "delta-merge"
+        ]
+        assert delta_rows
+        for row in delta_rows:
+            parsed = parse_delta_file_name(row.file_name)
+            assert parsed == (1, row.node_id)
+            assert row.measured_bytes > 0
+            # The cost model predicts base-generation IO only.
+            assert row.predicted_bytes == 0
+        assert report.delta_merge_bytes == sum(
+            row.measured_bytes for row in delta_rows
+        )
+        # Base rows still match exactly; the expected delta extras do
+        # not fail the report.
+        assert report.matches_prediction
+        assert report.measured_bytes == sum(
+            node.measured_bytes for node in report.nodes
+        )
+        full = np.concatenate([column, batch])
+        assert report.answer_count == scan_answer(
+            full, query
+        ).count()
+        assert "delta-merge" in report.to_text(catalog)
+
+
 class TestDeterminismAndSerialization:
     def test_identical_runs_yield_identical_event_streams(
         self, materialized_setup

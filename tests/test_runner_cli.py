@@ -109,3 +109,126 @@ class TestObservabilityFlags:
 
         main(["fig4", "--fast", "--metrics-out", str(tmp_path / "m.json")])
         assert get_metrics() is NULL_METRICS
+
+
+class TestMaintenanceIngestCompact:
+    """The delta-lifecycle maintenance commands: ingest and compact."""
+
+    @pytest.fixture
+    def durable_index(self, tmp_path):
+        import numpy as np
+
+        from repro.hierarchy.serialization import save_hierarchy
+        from repro.hierarchy.tree import Hierarchy
+        from repro.storage.catalog import MaterializedNodeCatalog
+        from repro.storage.manifest import DurableBitmapStore
+
+        hierarchy = Hierarchy.from_nested([[2, 2], [3], [2]])
+        rng = np.random.default_rng(2)
+        column = rng.integers(
+            0, hierarchy.num_leaves, size=300, dtype=np.int64
+        )
+        store_dir = tmp_path / "index"
+        store = DurableBitmapStore(store_dir)
+        MaterializedNodeCatalog(hierarchy, column, store)
+        hierarchy_path = tmp_path / "hierarchy.json"
+        save_hierarchy(hierarchy, hierarchy_path)
+        return store_dir, hierarchy_path
+
+    def test_ingest_then_compact_round_trip(
+        self, durable_index, capsys
+    ):
+        import json
+
+        from repro.storage.manifest import DurableBitmapStore
+
+        store_dir, hierarchy_path = durable_index
+        assert main(
+            [
+                "ingest",
+                "--store-dir", str(store_dir),
+                "--hierarchy-json", str(hierarchy_path),
+                "--ingest-rows", "40",
+                "--ingest-seed", "9",
+            ]
+        ) == 0
+        ingested = json.loads(capsys.readouterr().out)
+        assert ingested["committed"] is True
+        assert ingested["seq"] == 1
+        assert ingested["num_rows"] == 40
+
+        assert main(
+            [
+                "ingest",
+                "--store-dir", str(store_dir),
+                "--hierarchy-json", str(hierarchy_path),
+                "--ingest-values", "0, 2, 5",
+            ]
+        ) == 0
+        ingested = json.loads(capsys.readouterr().out)
+        assert ingested["seq"] == 2
+        assert ingested["num_rows"] == 3
+
+        assert main(
+            ["compact", "--store-dir", str(store_dir)]
+        ) == 0
+        compacted = json.loads(capsys.readouterr().out)
+        assert compacted["did_work"] is True
+        assert compacted["folded_seqs"] == [1, 2]
+        assert compacted["folded_rows"] == 43
+
+        store = DurableBitmapStore(store_dir)
+        assert store.delta_manifests == ()
+        assert store.manifest.num_rows == 343
+
+        # and the folded index scrubs clean
+        assert main(
+            [
+                "verify-index",
+                "--store-dir", str(store_dir),
+                "--hierarchy-json", str(hierarchy_path),
+            ]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["clean"]
+
+    def test_ingest_requires_hierarchy_json(
+        self, durable_index, capsys
+    ):
+        import json
+
+        store_dir, _hierarchy_path = durable_index
+        assert main(
+            [
+                "ingest",
+                "--store-dir", str(store_dir),
+                "--ingest-rows", "5",
+            ]
+        ) == 2
+        error = json.loads(capsys.readouterr().out)["error"]
+        assert "--hierarchy-json" in error
+
+    def test_ingest_requires_a_batch_specifier(
+        self, durable_index, capsys
+    ):
+        import json
+
+        store_dir, hierarchy_path = durable_index
+        assert main(
+            [
+                "ingest",
+                "--store-dir", str(store_dir),
+                "--hierarchy-json", str(hierarchy_path),
+            ]
+        ) == 2
+        error = json.loads(capsys.readouterr().out)["error"]
+        assert "--ingest-values or --ingest-rows" in error
+
+    def test_compact_on_missing_directory_fails(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        assert main(
+            ["compact", "--store-dir", str(tmp_path / "nope")]
+        ) == 2
+        assert "error" in json.loads(capsys.readouterr().out)

@@ -25,7 +25,11 @@ from repro.storage.catalog import (
     node_file_name,
     node_id_from_file_name,
 )
-from repro.storage.manifest import DurableBitmapStore
+from repro.storage.delta import DeltaAppender
+from repro.storage.manifest import (
+    DurableBitmapStore,
+    delta_file_name,
+)
 from repro.storage.scrub import Scrubber
 
 
@@ -264,6 +268,77 @@ def test_scrub_without_hierarchy_quarantines(tmp_path, hierarchy):
     ).run()
     assert [f.action for f in report.findings] == ["quarantined"]
     assert "no hierarchy" in report.findings[0].detail
+
+
+# ----------------------------------------------------------------------
+# Delta generations (satellite): scrub understands the LSM write path
+# ----------------------------------------------------------------------
+def _append_batches(store, hierarchy, sizes, seed=9):
+    appender = DeltaAppender(store, hierarchy)
+    rng = np.random.default_rng(seed)
+    for size in sizes:
+        appender.append(
+            rng.integers(
+                0, hierarchy.num_leaves, size=size, dtype=np.int64
+            )
+        )
+
+
+def test_scrub_clean_after_ingest_without_compaction(
+    tmp_path, hierarchy
+):
+    """Regression: delta files are first-class manifest entries, not
+    orphans — a scrub right after ingest repairs and quarantines
+    nothing, and checks every delta file too."""
+    store = _build_store(tmp_path, hierarchy)
+    _append_batches(store, hierarchy, (40, 7))
+
+    report = Scrubber(store, hierarchy).verify()
+    assert report.is_clean
+    # base generation + two delta generations, one file per node each
+    assert report.files_checked == hierarchy.num_nodes * 3
+
+    report = Scrubber(store, hierarchy).run()
+    assert report.repaired == ()
+    assert report.quarantined == ()
+    assert not store.quarantined_names()
+    assert len(store.delta_manifests) == 2
+
+
+def test_corrupt_internal_delta_repairs_from_same_seq_children(
+    tmp_path, hierarchy
+):
+    """An internal node's delta file heals from the *same* delta
+    generation's children, byte-identically — never from the base
+    generation's (different rows)."""
+    store = _build_store(tmp_path, hierarchy)
+    _append_batches(store, hierarchy, (60,))
+    internal = hierarchy.internal_ids_postorder()[0]
+    name = delta_file_name(1, internal)
+    original = store.read(name)
+    _corrupt_on_disk(tmp_path, store, name)
+
+    damaged = DurableBitmapStore(tmp_path, verify_files=False)
+    report = Scrubber(damaged, hierarchy).run()
+    assert [f.name for f in report.findings] == [name]
+    assert [f.action for f in report.findings] == ["repaired"]
+    healed = DurableBitmapStore(tmp_path)
+    assert healed.read(name) == original
+
+
+def test_corrupt_leaf_delta_is_quarantined(tmp_path, hierarchy):
+    store = _build_store(tmp_path, hierarchy)
+    _append_batches(store, hierarchy, (25,))
+    leaf = hierarchy.leaf_ids()[0]
+    name = delta_file_name(1, leaf)
+    _corrupt_on_disk(tmp_path, store, name, mode="truncate")
+
+    damaged = DurableBitmapStore(tmp_path, verify_files=False)
+    report = Scrubber(damaged, hierarchy).run()
+    assert [f.action for f in report.findings] == ["quarantined"]
+    healed = DurableBitmapStore(tmp_path, verify_files=False)
+    assert not healed.exists(name)
+    assert healed.quarantined_names()
 
 
 # ----------------------------------------------------------------------
