@@ -3,8 +3,9 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-chaos test-crash test-stress test-shard \
-	test-ingest bench-wah-smoke bench-wah bench-serve-smoke \
-	bench-serve bench docs
+	test-ingest test-gateway bench-wah-smoke bench-wah \
+	bench-serve-smoke bench-serve bench-gateway-smoke \
+	bench-gateway bench docs
 
 # Tier-1 verification (what CI must keep green).
 test:
@@ -37,6 +38,13 @@ test-ingest:
 test-shard:
 	$(PY) -m pytest -m shard -q
 
+# Asyncio serving-gateway tests: micro-batching, admission control,
+# deadlines, SLO metrics, replica failover (includes the chaos tests
+# that kill a shard worker mid-batch and assert oracle-identical
+# answers via failover).
+test-gateway:
+	$(PY) -m pytest -m gateway -q
+
 # Tier-1-adjacent smoke: execute the WAH kernel micro-benchmark with
 # small operands and no timing assertions, emitting BENCH_wah.json so
 # every run leaves a performance record.
@@ -59,13 +67,29 @@ bench-serve-smoke:
 bench-serve:
 	SERVE_BENCH_MODE=full $(PY) -m pytest benchmarks/test_serve_bench.py -q
 
+# Tier-1-adjacent smoke: drive the gateway client sweep with small
+# parameters and no throughput assertions, recording the rows under
+# the "gateway" key of BENCH_serve.json.
+bench-gateway-smoke:
+	SERVE_BENCH_MODE=check $(PY) -m pytest benchmarks/test_gateway_bench.py -q
+
+# Full-scale gateway benchmark (asserts the concurrent-client sweep
+# beats single-client throughput by >= 1.3x, every answer verified
+# against the serial oracle).
+bench-gateway:
+	SERVE_BENCH_MODE=full $(PY) -m pytest benchmarks/test_gateway_bench.py -q
+
 # Regenerate every paper figure/table benchmark.
 bench:
 	$(PY) -m pytest benchmarks/ -q
 
-# Documentation gate: public-API docstring coverage (>= 90%), relative
-# links, mkdocs nav completeness; runs `mkdocs build --strict` when
-# mkdocs is installed (CI does; offline dev images need not).
+# Documentation gate: public-API docstring coverage (>= 90% for the
+# package, 100% for the operator-facing gateway module), relative
+# links, mkdocs nav completeness, and CLI-reference freshness (the
+# generated docs/cli.md must match the live parser); runs
+# `mkdocs build --strict` when mkdocs is installed (CI does; offline
+# dev images need not).
 docs:
 	$(PY) tools/check_docstrings.py --fail-under 90
+	$(PY) tools/check_docstrings.py --module repro.serve.gateway --fail-under 100
 	python tools/check_docs.py

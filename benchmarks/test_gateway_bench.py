@@ -1,0 +1,95 @@
+"""Gateway benchmark: concurrent clients through the asyncio edge.
+
+Runs the ``gateway`` experiment — many concurrent clients submitting a
+Case-2 workload through :class:`repro.serve.Gateway` admission control
+and micro-batching into a thread-pool backend — and records the
+latency/throughput sweep as the ``"gateway"`` section of
+``BENCH_serve.json`` (merged into the file the compute-tier sweep
+writes, so the serving trajectory lives in one record).
+
+Every answered request inside the experiment is verified bit-identical
+to the serial ``QueryExecutor`` oracle before its latency counts; this
+harness adds the SLO sanity assertions and the JSON merge.
+
+Run modes (``SERVE_BENCH_MODE`` environment variable, shared with the
+compute-tier sweep):
+
+* ``full`` (default) — 48 queries, 2ms injected read latency, client
+  sweep 1/4/16; asserts concurrent clients raise throughput over the
+  single-client baseline (batching + IO overlap must buy something).
+* ``check`` — a small batch with sub-millisecond latency and **no
+  timing assertions**; proves the sweep executes and emits the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments import gateway_bench
+
+MODE = (
+    os.environ.get("SERVE_BENCH_MODE", "full").strip().lower()
+    or "full"
+)
+CHECK_MODE = MODE == "check"
+
+CLIENT_COUNTS = (1, 4) if CHECK_MODE else (1, 4, 16)
+NUM_QUERIES = 12 if CHECK_MODE else 48
+NUM_ROWS = 20_000 if CHECK_MODE else 100_000
+SLOW_DELAY_S = 0.0005 if CHECK_MODE else 0.002
+#: Concurrency must buy at least this much throughput at the widest
+#: client count (IO overlap alone clears it comfortably).
+MIN_CONCURRENT_SPEEDUP = 1.3
+
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+)
+
+
+def test_gateway_client_sweep():
+    """The acceptance sweep: all requests answered (none shed, none
+    expired), quantiles ordered, concurrency raising throughput."""
+    result = gateway_bench.run(
+        num_queries=NUM_QUERIES,
+        num_rows=NUM_ROWS,
+        client_counts=CLIENT_COUNTS,
+        slow_delay_s=SLOW_DELAY_S,
+    )
+    by_clients = {row["clients"]: row for row in result.rows}
+    assert set(by_clients) == set(CLIENT_COUNTS)
+    for row in result.rows:
+        assert row["ok"] == row["requests"] == NUM_QUERIES
+        assert row["shed"] == 0
+        assert row["deadline"] == 0
+        assert (
+            row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        ), f"latency quantiles out of order at {row['clients']} clients"
+    section = {
+        "benchmark": "gateway",
+        "mode": MODE,
+        "num_queries": NUM_QUERIES,
+        "num_rows": NUM_ROWS,
+        "slow_delay_s": SLOW_DELAY_S,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    # Merge into the serving record without clobbering the
+    # compute-tier sweep's top-level keys.
+    data = (
+        json.loads(RESULT_PATH.read_text())
+        if RESULT_PATH.exists()
+        else {}
+    )
+    data["gateway"] = section
+    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    if CHECK_MODE:
+        return
+    baseline = by_clients[CLIENT_COUNTS[0]]["qps"]
+    best = max(row["qps"] for row in result.rows)
+    assert best >= MIN_CONCURRENT_SPEEDUP * baseline, (
+        f"concurrent clients only reached {best:.1f} qps against a "
+        f"{baseline:.1f} qps single-client baseline "
+        f"(need >= {MIN_CONCURRENT_SPEEDUP}x)"
+    )

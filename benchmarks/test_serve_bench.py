@@ -78,22 +78,24 @@ def test_concurrent_serving_speedup():
     assert by_workers[1]["speedup"] == 1.0
     assert len(sharded_rows) == len(SHARD_CONFIGS)
     host_cpus = serve_bench.available_cpus()
-    RESULT_PATH.write_text(
-        json.dumps(
-            {
-                "benchmark": "serve_batch",
-                "mode": MODE,
-                "num_queries": NUM_QUERIES,
-                "num_rows": NUM_ROWS,
-                "slow_delay_s": SLOW_DELAY_S,
-                "host_cpus": host_cpus,
-                "rows": result.rows,
-                "notes": result.notes,
-            },
-            indent=2,
-        )
-        + "\n"
-    )
+    payload = {
+        "benchmark": "serve_batch",
+        "mode": MODE,
+        "num_queries": NUM_QUERIES,
+        "num_rows": NUM_ROWS,
+        "slow_delay_s": SLOW_DELAY_S,
+        "host_cpus": host_cpus,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    # Merge, don't clobber: the gateway sweep records its section into
+    # the same file (test files run in alphabetical order, so either
+    # may write first).
+    if RESULT_PATH.exists():
+        previous = json.loads(RESULT_PATH.read_text())
+        if "gateway" in previous:
+            payload["gateway"] = previous["gateway"]
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     if CHECK_MODE:
         return
     speedup = by_workers[8]["speedup"]

@@ -67,14 +67,19 @@ from .core import (
     select_cut_single,
 )
 from .errors import (
+    AllReplicasFailedError,
     BitmapError,
     BudgetExceededError,
     CalibrationError,
     ChecksumError,
+    DeadlineExceededError,
     FileMissingError,
+    GatewayClosedError,
+    GatewayError,
     HierarchyError,
     InvalidCutError,
     ManifestError,
+    OverloadedError,
     QueryFailedError,
     ReproError,
     ShardError,
@@ -103,10 +108,17 @@ from .obs import (
 )
 from .serve import (
     BatchExecutor,
+    BatchReplica,
     BatchReport,
+    Gateway,
+    GatewayBatchRecord,
+    GatewayConfig,
+    GatewayStats,
     QueryOutcome,
+    Replica,
     ShardedBatchReport,
     ShardedExecutor,
+    ShardedReplica,
     ShardSpec,
     shard_row_ranges,
 )
@@ -224,6 +236,14 @@ __all__ = [
     "ShardedBatchReport",
     "ShardedExecutor",
     "shard_row_ranges",
+    # gateway
+    "Gateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "GatewayBatchRecord",
+    "Replica",
+    "ShardedReplica",
+    "BatchReplica",
     # observability
     "ExplainReport",
     "NodeIOReport",
@@ -252,6 +272,11 @@ __all__ = [
     "QueryFailedError",
     "ShardError",
     "ShardFailedError",
+    "GatewayError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "GatewayClosedError",
+    "AllReplicasFailedError",
     "SimulatedCrashError",
     "FileMissingError",
     "TransientStorageError",

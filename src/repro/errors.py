@@ -215,6 +215,88 @@ class QueryFailedError(ReproError):
         )
 
 
+class GatewayError(ReproError):
+    """Base class for asyncio serving-gateway failures.
+
+    Everything the gateway raises *by design* — shedding under
+    overload, deadline expiry, closed-gateway submissions, exhausted
+    replicas — derives from this, so clients can separate operational
+    backpressure from programming errors with one ``except`` clause.
+    """
+
+
+class OverloadedError(GatewayError):
+    """The gateway shed a request at admission because its queue is full.
+
+    Raised synchronously by ``submit`` *before* the request enters the
+    batching queue, so a shed request can never poison a micro-batch —
+    already-admitted siblings are unaffected.
+
+    Attributes:
+        queue_depth: requests waiting when the request was refused.
+        max_queue_depth: the configured admission bound.
+    """
+
+    def __init__(self, queue_depth: int, max_queue_depth: int):
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        super().__init__(
+            f"gateway overloaded: {queue_depth} requests queued "
+            f"(max {max_queue_depth}); request shed"
+        )
+
+
+class DeadlineExceededError(GatewayError):
+    """A request's deadline expired before its answer could be returned.
+
+    Attributes:
+        deadline_s: the per-request deadline, in seconds.
+        phase: ``"queued"`` when the deadline expired while the request
+            waited for a micro-batch slot (the backend never saw it);
+            ``"inflight"`` when the backend computed an answer that
+            arrived too late (the result is discarded).
+    """
+
+    def __init__(self, deadline_s: float, phase: str):
+        self.deadline_s = deadline_s
+        self.phase = phase
+        super().__init__(
+            f"deadline of {deadline_s:.3f}s exceeded while {phase}"
+        )
+
+
+class GatewayClosedError(GatewayError):
+    """A request was submitted to (or stranded in) a closed gateway."""
+
+    def __init__(self, detail: str = "gateway is closed"):
+        super().__init__(detail)
+
+
+class AllReplicasFailedError(GatewayError):
+    """Every healthy replica failed while serving one micro-batch.
+
+    Failover retries a batch on the next healthy replica when a fleet
+    raises :class:`ShardError`; when the last one fails too, this is
+    raised to every request of the batch.  The per-replica reasons are
+    kept for the operator.
+
+    Attributes:
+        attempts: ``(replica_id, error type name, message)`` per failed
+            attempt, in the order they were tried.
+    """
+
+    def __init__(self, attempts: list[tuple[int, str, str]]):
+        self.attempts = list(attempts)
+        detail = "; ".join(
+            f"replica {replica_id}: {error_type}: {message}"
+            for replica_id, error_type, message in self.attempts
+        )
+        super().__init__(
+            f"all {len(self.attempts)} replica attempt(s) failed "
+            f"({detail})"
+        )
+
+
 class ShardError(ReproError):
     """Base class for sharded scatter-gather serving failures."""
 

@@ -1,0 +1,245 @@
+"""Gateway benchmark — concurrent clients through admission control.
+
+Where :mod:`~repro.experiments.serve_bench` measures the *compute*
+tier (threads, shard processes), this experiment measures the
+*network-edge* tier built on top of it: the asyncio
+:class:`~repro.serve.Gateway` taking many concurrent in-flight
+requests, coalescing them into bounded micro-batches, and answering
+under admission control.
+
+The sweep varies the number of concurrent clients while keeping the
+workload fixed, and reports for each configuration the SLO numbers an
+operator would alarm on: achieved throughput, latency p50/p95/p99, and
+the shed/deadline counts.  Every answered request is verified
+bit-identical against a serial :class:`~repro.core.QueryExecutor`
+oracle before its latency is allowed into the report — the gateway's
+batching and failover machinery must never change an answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from pathlib import Path
+
+from ..core.executor import QueryExecutor
+from ..core.multi import select_cut_multi
+from ..serve import (
+    BatchExecutor,
+    BatchReplica,
+    Gateway,
+    GatewayConfig,
+)
+from ..storage.cache import BufferPool
+from ..storage.catalog import MaterializedNodeCatalog
+from ..storage.faults import FaultPolicy
+from ..storage.filestore import BitmapFileStore
+from ..workload.datagen import sample_column
+from ..workload.generator import fraction_workload
+from .common import (
+    ExperimentResult,
+    hierarchy_for,
+    leaf_probabilities_for,
+)
+from .serve_bench import DEFAULT_SLOW_DELAY_S, available_cpus
+
+__all__ = ["run"]
+
+#: Concurrent-client counts swept by default.
+DEFAULT_CLIENT_COUNTS = (1, 4, 16)
+
+
+def run(
+    dataset: str = "tpch",
+    num_leaves: int = 20,
+    num_rows: int = 100_000,
+    num_queries: int = 48,
+    range_fraction: float = 0.5,
+    client_counts: tuple[int, ...] = DEFAULT_CLIENT_COUNTS,
+    max_batch_size: int = 16,
+    max_batch_delay_s: float = 0.002,
+    max_queue_depth: int = 256,
+    slow_delay_s: float = DEFAULT_SLOW_DELAY_S,
+    workers: int = 4,
+    seed: int = 11,
+    parallel: int | None = None,
+    shards: int | None = None,
+) -> ExperimentResult:
+    """Sweep concurrent clients through one gateway; report SLOs.
+
+    Args:
+        dataset: leaf distribution ("tpch", "normal", "uniform").
+        num_leaves: hierarchy width (paper shapes for 20/50/100).
+        num_rows: materialized column length.
+        num_queries: requests issued per configuration.
+        range_fraction: query range width as a fraction of the domain.
+        client_counts: concurrent-client counts to sweep.
+        max_batch_size: gateway micro-batch bound.
+        max_batch_delay_s: gateway micro-batch flush delay.
+        max_queue_depth: gateway admission bound (generous by default
+            so the sweep measures latency, not shedding).
+        slow_delay_s: injected per-read storage latency in seconds.
+        workers: backend thread-pool width under the gateway.
+        seed: column/workload seed.
+        parallel: convenience override (the CLI's ``--parallel N``) —
+            replaces ``workers``.
+        shards: accepted for CLI uniformity; the gateway bench always
+            serves through an in-process thread replica, so any value
+            other than ``None``/1 raises.
+
+    Returns:
+        Rows of ``clients, requests, ok, shed, deadline, batches,
+        wall_s, qps, p50_ms, p95_ms, p99_ms``.
+
+    Raises:
+        RuntimeError: if any gateway answer diverges from the serial
+            oracle, or a request fails for a non-admission reason.
+    """
+    if parallel is not None:
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        workers = parallel
+    if shards not in (None, 1):
+        raise ValueError(
+            "the gateway bench serves through a thread replica; "
+            "use `hcs-experiments serve --shards N` for the shard "
+            "sweep"
+        )
+    hierarchy = hierarchy_for(num_leaves)
+    column = sample_column(
+        leaf_probabilities_for(dataset, hierarchy.num_leaves),
+        num_rows,
+        seed=seed,
+    )
+    workload = fraction_workload(
+        hierarchy.num_leaves, range_fraction, num_queries, seed=seed
+    )
+    result = ExperimentResult(
+        title=(
+            "Gateway: concurrent clients through admission control "
+            "and micro-batching"
+        ),
+        columns=[
+            "clients",
+            "requests",
+            "ok",
+            "shed",
+            "deadline",
+            "batches",
+            "wall_s",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+        notes=[
+            f"dataset={dataset} num_leaves={num_leaves} "
+            f"num_rows={num_rows} num_queries={num_queries} "
+            f"range_fraction={range_fraction} "
+            f"slow_delay_s={slow_delay_s} seed={seed}",
+            f"gateway max_batch_size={max_batch_size} "
+            f"max_batch_delay_s={max_batch_delay_s} "
+            f"max_queue_depth={max_queue_depth} "
+            f"backend_workers={workers}",
+            "every answered request verified bit-identical to the "
+            "serial QueryExecutor oracle before its latency counts",
+            f"host_cpus={available_cpus()}",
+        ],
+    )
+    fault_kwargs = dict(
+        seed=seed, slow_rate=1.0, slow_delay_s=slow_delay_s
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = BitmapFileStore(
+            Path(tmp) / "column",
+            fault_policy=FaultPolicy(**fault_kwargs),
+        )
+        catalog = MaterializedNodeCatalog(hierarchy, column, store)
+        cut = select_cut_multi(catalog, workload).cut.node_ids
+        budget = sum(
+            store.size_bytes(catalog.file_name(node_id))
+            for node_id in cut
+        )
+        # Serial oracle over a fault-free twin of the same column.
+        oracle_store = BitmapFileStore(Path(tmp) / "oracle")
+        oracle_catalog = MaterializedNodeCatalog(
+            hierarchy, column, oracle_store
+        )
+        oracle_executor = QueryExecutor(
+            oracle_catalog,
+            BufferPool(oracle_store, budget_bytes=budget),
+        )
+        oracle_answers = [
+            oracle_executor.execute_query(query, cut).answer
+            for query in workload
+        ]
+        for clients in client_counts:
+            executor = QueryExecutor(
+                catalog, BufferPool(store, budget_bytes=budget)
+            )
+            replica = BatchReplica(
+                0, BatchExecutor(executor, max_workers=workers), cut
+            )
+            config = GatewayConfig(
+                max_batch_size=max_batch_size,
+                max_batch_delay_s=max_batch_delay_s,
+                max_queue_depth=max_queue_depth,
+            )
+            wall, stats = asyncio.run(
+                _drive(
+                    replica,
+                    config,
+                    list(workload),
+                    oracle_answers,
+                    clients,
+                )
+            )
+            result.add_row(
+                clients=clients,
+                requests=stats.requests_total,
+                ok=stats.ok,
+                shed=stats.shed,
+                deadline=(
+                    stats.deadline_queued + stats.deadline_inflight
+                ),
+                batches=stats.batches,
+                wall_s=wall,
+                qps=stats.ok / wall if wall > 0 else 0.0,
+                p50_ms=stats.latency_p50_s * 1e3,
+                p95_ms=stats.latency_p95_s * 1e3,
+                p99_ms=stats.latency_p99_s * 1e3,
+            )
+    return result
+
+
+async def _drive(
+    replica: BatchReplica,
+    config: GatewayConfig,
+    queries: list,
+    oracle_answers: list,
+    clients: int,
+) -> tuple[float, object]:
+    """Issue the workload through ``clients`` concurrent submitters;
+    verify every answer; return (wall seconds, gateway stats)."""
+    async with Gateway(
+        [replica], config, close_replicas_on_exit=False
+    ) as gateway:
+        semaphore = asyncio.Semaphore(clients)
+
+        async def one(index: int):
+            async with semaphore:
+                return await gateway.submit(queries[index])
+
+        started = time.perf_counter()
+        results = await asyncio.gather(
+            *(one(index) for index in range(len(queries)))
+        )
+        wall = time.perf_counter() - started
+        for index, result in enumerate(results):
+            if result.answer.words != oracle_answers[index].words:
+                raise RuntimeError(
+                    f"request {index} diverged from the serial "
+                    f"oracle at {clients} clients"
+                )
+        return wall, gateway.stats()

@@ -61,12 +61,20 @@ from . import (
     fig10_case3_sizes,
     fig11_opt_time_hierarchy,
     fig12_opt_time_queries,
+    gateway_bench,
     serve_bench,
     table_incomplete_cuts,
 )
 from .common import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "MAINTENANCE_COMMANDS", "run_experiment", "run_maintenance", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "MAINTENANCE_COMMANDS",
+    "build_parser",
+    "run_experiment",
+    "run_maintenance",
+    "main",
+]
 
 #: Index-maintenance subcommands (not experiments): detect-only
 #: verification, full scrub-and-repair, delta ingest, and delta
@@ -92,6 +100,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-kcut": ablations.run_kcut_replacement_ablation,
     "compression": compression.run,
     "serve": serve_bench.run,
+    "gateway": gateway_bench.run,
 }
 
 #: Cheaper parameters for smoke runs (--fast).
@@ -116,6 +125,12 @@ _FAST_OVERRIDES: dict[str, dict] = {
         "shard_configs": ((2, 2),),
         "slow_delay_s": 0.0005,
     },
+    "gateway": {
+        "num_queries": 12,
+        "num_rows": 20_000,
+        "client_counts": (1, 4),
+        "slow_delay_s": 0.0005,
+    },
 }
 
 
@@ -131,8 +146,9 @@ def run_experiment(
     ``runs`` overrides the number of seeded repetitions for the
     experiments that average (the paper uses 10).  ``parallel``
     overrides the worker count for the experiments that serve
-    concurrently (currently ``serve``); ``shards`` overrides their
-    shard-process count the same way; other experiments ignore both.
+    concurrently (``serve`` and ``gateway``); ``shards`` overrides
+    their shard-process count the same way; other experiments ignore
+    both.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -261,8 +277,13 @@ def run_maintenance(
     return 1
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``hcs-experiments`` argument parser.
+
+    Shared by :func:`main` and ``tools/gen_cli_docs.py``, which renders
+    the parser into ``docs/cli.md`` — so the CLI reference page cannot
+    drift from the flags the binary actually accepts.
+    """
     parser = argparse.ArgumentParser(
         prog="hcs-experiments",
         description=(
@@ -359,8 +380,9 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help=(
             "serve concurrent experiments with N worker threads "
-            "(currently 'serve': sweeps 1 and N workers and verifies "
-            "the concurrent answers against the serial oracle)"
+            "('serve': sweeps 1 and N workers and verifies the "
+            "concurrent answers against the serial oracle; 'gateway': "
+            "sets the backend thread-pool width)"
         ),
     )
     parser.add_argument(
@@ -419,6 +441,12 @@ def main(argv: list[str] | None = None) -> int:
             "as JSON to PATH ('-' for stdout)"
         ),
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
     args = parser.parse_args(argv)
     if any(name in MAINTENANCE_COMMANDS for name in args.names):
         if len(args.names) != 1:

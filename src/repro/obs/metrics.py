@@ -51,19 +51,34 @@ def _render_key(key: tuple) -> str:
     return f"{name}{{{inner}}}"
 
 
+#: Retained-sample cap per histogram; past it, samples are decimated
+#: deterministically (every other one kept, the keep-stride doubling),
+#: so quantiles stay available at bounded memory for any stream length.
+SAMPLE_CAP = 8192
+
+
 @dataclass
 class HistogramSummary:
-    """Streaming summary of an observed distribution (no buckets).
+    """Streaming summary of an observed distribution.
 
-    Tracks ``count`` / ``total`` / ``min`` / ``max``; ``mean`` derives.
-    Enough for the catalog's latency and width metrics without a bucket
-    scheme to mis-tune.
+    Tracks ``count`` / ``total`` / ``min`` / ``max`` (``mean`` derives)
+    plus a bounded sample buffer that supports :meth:`quantile` — what
+    the serving gateway's p50/p95/p99 latency SLOs read.  The buffer is
+    capped at :data:`SAMPLE_CAP`; past that it decimates by keeping
+    every other retained sample and doubling the keep stride, which is
+    deterministic (no RNG) and keeps quantile estimates spread across
+    the whole stream rather than its head.
     """
 
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        self._samples: list[float] = []
+        self._stride = 1
+        self._phase = 0
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
@@ -73,20 +88,46 @@ class HistogramSummary:
             self.min = value
         if value > self.max:
             self.max = value
+        if self._phase == 0:
+            if len(self._samples) >= SAMPLE_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._samples.append(value)
+        self._phase = (self._phase + 1) % self._stride
 
     @property
     def mean(self) -> float:
         """Average observed value (``nan`` when empty)."""
         return self.total / self.count if self.count else float("nan")
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the retained samples.
+
+        Nearest-rank on the sorted sample buffer — exact while the
+        stream fits in :data:`SAMPLE_CAP` observations, a deterministic
+        estimate beyond.  Returns 0.0 when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(
+            len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
+        )
+        return ordered[rank]
+
     def to_dict(self) -> dict[str, float]:
-        """JSON-ready summary."""
+        """JSON-ready summary (SLO quantiles included)."""
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": 0.0 if not self.count else self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -14,8 +14,13 @@ runs them that way, at two scales:
   worker processes (each with its own store, pool, cut, and local
   thread pool) and merges scatter-gather answers by row offset —
   the same contracts, held across process boundaries.
+* :class:`Gateway` is the asyncio network front-end over either:
+  concurrent request intake (in-process async API or TCP/JSON-lines),
+  bounded micro-batching, admission control with typed shedding and
+  deadlines, SLO latency metrics, and failover across replica fleets.
 
-See ``docs/serving.md`` for the threading and sharding models.
+See ``docs/serving.md`` for the threading and sharding models and
+``docs/gateway.md`` for the gateway.
 """
 
 from .batch import (
@@ -24,6 +29,15 @@ from .batch import (
     QueryOutcome,
     merge_event_streams,
     reconcile_exactly,
+)
+from .gateway import (
+    BatchReplica,
+    Gateway,
+    GatewayBatchRecord,
+    GatewayConfig,
+    GatewayStats,
+    Replica,
+    ShardedReplica,
 )
 from .sharded import (
     ShardCutInfo,
@@ -36,13 +50,20 @@ from .sharded import (
 
 __all__ = [
     "BatchExecutor",
+    "BatchReplica",
     "BatchReport",
+    "Gateway",
+    "GatewayBatchRecord",
+    "GatewayConfig",
+    "GatewayStats",
     "QueryOutcome",
+    "Replica",
     "ShardCutInfo",
     "ShardRunReport",
     "ShardSpec",
     "ShardedBatchReport",
     "ShardedExecutor",
+    "ShardedReplica",
     "merge_event_streams",
     "reconcile_exactly",
     "shard_row_ranges",

@@ -1,0 +1,963 @@
+"""Asyncio serving gateway: admission control, micro-batching, SLOs,
+and replica failover over the sharded fleet.
+
+PR 6/7 built the compute tier — :class:`~repro.serve.batch.
+BatchExecutor` threads and :class:`~repro.serve.sharded.
+ShardedExecutor` process fleets — but clients still called it
+in-process, one blocking batch at a time.  This module is the network
+front-end the ROADMAP asks for:
+
+* **Concurrent intake.**  Requests arrive over an in-process async API
+  (:meth:`Gateway.submit`) or a TCP/JSON-lines socket
+  (:meth:`Gateway.serve_tcp`); the event loop coalesces them into
+  bounded micro-batches for the blocking executors, which run on a
+  small thread pool so the loop never blocks.
+* **Admission control.**  The intake queue is bounded
+  (``max_queue_depth``); a request that would overflow it is shed
+  *synchronously* with a typed
+  :class:`~repro.errors.OverloadedError` — it never enters a batch, so
+  shedding cannot poison admitted siblings.  Per-request deadlines are
+  enforced both while queued (the backend never sees an expired
+  request) and in flight (a late answer is discarded), with the phase
+  recorded on the :class:`~repro.errors.DeadlineExceededError`.
+* **SLO metrics.**  Request latency lands in the PR 3
+  :class:`~repro.obs.MetricsRegistry` as ``gateway_request_seconds``
+  (p50/p95/p99 via the registry's quantile-capable histograms) next to
+  queue-depth and batch-size histograms and
+  ``gateway_requests_total{status=...}`` counters;
+  :meth:`Gateway.stats` snapshots the same numbers without any ambient
+  registry installed.
+* **Replica failover.**  The gateway holds N *replicas* — independent
+  serving fleets over the same logical column.  When a fleet raises
+  :class:`~repro.errors.ShardError` (a shard died, hung, or errored,
+  and the fleet tore itself down), the batch is retried on the next
+  healthy replica instead of surfacing the failure: the paper's
+  hierarchy re-derives a damaged internal node from its children, and
+  the gateway re-derives an answer from a sibling fleet the same way.
+  Failovers surface as ``gateway.failover`` trace events, the
+  ``gateway_failovers_total`` counter, and per-batch
+  :class:`GatewayBatchRecord` rows.
+
+Determinism discipline: gateway *trace events* carry no wall-clock
+data (latencies go to metrics), answers are whatever the backend
+produced — bit-identical to the serial oracle by the serving tier's
+own contracts — and failover retries are safe because the serving
+path is read-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..errors import (
+    AllReplicasFailedError,
+    DeadlineExceededError,
+    GatewayClosedError,
+    GatewayError,
+    OverloadedError,
+    ShardError,
+)
+from ..obs import TraceCollector, TraceEvent, get_metrics
+from ..workload.query import RangeQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.executor import ExecutionResult
+    from .batch import BatchExecutor, QueryOutcome
+    from .sharded import ShardedExecutor
+
+__all__ = [
+    "BatchReplica",
+    "Gateway",
+    "GatewayBatchRecord",
+    "GatewayConfig",
+    "GatewayStats",
+    "Replica",
+    "ShardedReplica",
+]
+
+#: Latency-histogram quantiles the gateway reports (the SLO trio).
+SLO_QUANTILES = (0.50, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tuning knobs for admission control and micro-batching.
+
+    Attributes:
+        max_batch_size: most requests coalesced into one backend batch.
+        max_batch_delay_s: how long an open micro-batch waits for more
+            requests before flushing (the latency the gateway *spends*
+            to buy batching throughput).
+        max_queue_depth: admission bound — requests beyond this many
+            queued are shed with :class:`~repro.errors.OverloadedError`.
+        max_inflight_batches: backend batches allowed to run
+            concurrently (also the size of the dispatch thread pool).
+        default_deadline_s: deadline applied to requests that do not
+            carry their own (``None`` = no deadline).
+    """
+
+    max_batch_size: int = 16
+    max_batch_delay_s: float = 0.002
+    max_queue_depth: int = 64
+    max_inflight_batches: int = 2
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_batch_delay_s < 0:
+            raise ValueError(
+                f"max_batch_delay_s must be >= 0, got "
+                f"{self.max_batch_delay_s}"
+            )
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got "
+                f"{self.max_queue_depth}"
+            )
+        if self.max_inflight_batches < 1:
+            raise ValueError(
+                f"max_inflight_batches must be >= 1, got "
+                f"{self.max_inflight_batches}"
+            )
+        if (
+            self.default_deadline_s is not None
+            and self.default_deadline_s <= 0
+        ):
+            raise ValueError(
+                f"default_deadline_s must be > 0, got "
+                f"{self.default_deadline_s}"
+            )
+
+
+class Replica:
+    """One independently-serving fleet the gateway can route batches to.
+
+    Subclasses adapt a concrete backend; the contract is small:
+    :meth:`run_batch` executes a tuple of queries *synchronously*
+    (the gateway calls it from its dispatch thread pool) and returns a
+    report exposing ``outcomes`` — per-query
+    :class:`~repro.serve.batch.QueryOutcome`\\ s in query order — and
+    ``reconciles()``.  A raise of
+    :class:`~repro.errors.ShardError` means "this fleet is gone";
+    the gateway marks the replica unhealthy, closes it, and retries the
+    batch on a sibling.
+
+    Args:
+        replica_id: dense id used in metrics, traces, and reports.
+    """
+
+    def __init__(self, replica_id: int):
+        self.replica_id = replica_id
+
+    def run_batch(self, queries: tuple[RangeQuery, ...]):
+        """Serve one micro-batch; return a report with ``outcomes``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def is_healthy(self) -> bool:
+        """Backend-level liveness (the gateway also tracks its own
+        view and stops routing to replicas that failed a batch)."""
+        return True
+
+
+class ShardedReplica(Replica):
+    """A replica backed by a started, prepared
+    :class:`~repro.serve.sharded.ShardedExecutor` fleet.
+
+    The executor must already be ``start()``-ed and ``prepare()``-d;
+    the gateway only sends read batches through it.  A
+    :class:`~repro.errors.ShardFailedError` from the fleet (which has
+    then torn itself down) triggers gateway failover.
+    """
+
+    def __init__(self, replica_id: int, executor: "ShardedExecutor"):
+        super().__init__(replica_id)
+        self.executor = executor
+
+    def run_batch(self, queries: tuple[RangeQuery, ...]):
+        """Scatter-gather the batch across the fleet's shards."""
+        return self.executor.run(queries)
+
+    def close(self) -> None:
+        """Tear the fleet down and reap its worker processes."""
+        self.executor.close()
+
+    def is_healthy(self) -> bool:
+        """Whether the fleet's worker processes are all alive."""
+        return self.executor.healthy
+
+
+class BatchReplica(Replica):
+    """A replica backed by an in-process thread-pool
+    :class:`~repro.serve.batch.BatchExecutor`.
+
+    Useful on single-core hosts (and in the gateway experiment's CI
+    runs) where process fleets buy nothing; thread replicas never
+    raise fleet-level :class:`~repro.errors.ShardError`, so they do
+    not exercise failover.
+
+    Args:
+        replica_id: dense replica id.
+        batch_executor: the executor serving this replica's batches.
+        cut_node_ids: cut members pinned for every batch.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        batch_executor: "BatchExecutor",
+        cut_node_ids: Sequence[int] = (),
+    ):
+        super().__init__(replica_id)
+        self.batch_executor = batch_executor
+        self.cut_node_ids = tuple(cut_node_ids)
+
+    def run_batch(self, queries: tuple[RangeQuery, ...]):
+        """Run the batch over the shared pool, pinning the cut."""
+        return self.batch_executor.run(
+            queries, self.cut_node_ids, pin=True
+        )
+
+
+@dataclass(frozen=True)
+class GatewayBatchRecord:
+    """One dispatched micro-batch, as seen by the gateway.
+
+    The ``explain_analyze``-style row stream for the serving tier:
+    which replica answered, how many fleets had to be tried, and the
+    backend report whose accounting the tests reconcile byte-exactly.
+
+    Attributes:
+        batch_id: dense dispatch counter.
+        size: requests in the batch after queued-deadline filtering.
+        replica_id: the replica that produced the answers.
+        attempts: replicas tried (1 = no failover).
+        failed_replica_ids: replicas that raised mid-batch, in order.
+        report: the backend's batch report (``BatchReport`` or
+            ``ShardedBatchReport``), carrying outcomes and IO.
+    """
+
+    batch_id: int
+    size: int
+    replica_id: int
+    attempts: int
+    failed_replica_ids: tuple[int, ...]
+    report: Any
+
+    @property
+    def failed_over(self) -> bool:
+        """Whether this batch needed at least one failover."""
+        return bool(self.failed_replica_ids)
+
+
+@dataclass
+class GatewayStats:
+    """A point-in-time snapshot of the gateway's SLO counters.
+
+    Attributes:
+        requests_total: requests submitted (admitted or shed).
+        ok: requests answered within their deadline.
+        shed: requests refused at admission (queue full).
+        deadline_queued: deadlines that expired while queued.
+        deadline_inflight: deadlines that expired during execution.
+        failed: requests whose query raised (typed per-query errors)
+            or whose every replica failed.
+        batches: backend batches dispatched (empty flushes excluded).
+        empty_flushes: micro-batches that emptied out (every member
+            expired while queued) and were never sent to a backend.
+        failovers: replica failovers performed.
+        replicas_healthy: replicas the gateway still routes to.
+        queue_depth_peak: highest observed intake-queue depth.
+        latency_p50_s: median request latency (seconds).
+        latency_p95_s: 95th-percentile request latency.
+        latency_p99_s: 99th-percentile request latency.
+    """
+
+    requests_total: int = 0
+    ok: int = 0
+    shed: int = 0
+    deadline_queued: int = 0
+    deadline_inflight: int = 0
+    failed: int = 0
+    batches: int = 0
+    empty_flushes: int = 0
+    failovers: int = 0
+    replicas_healthy: int = 0
+    queue_depth_peak: int = 0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready snapshot (what ``hcs-experiments gateway``
+        prints per sweep row)."""
+        return dict(vars(self))
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted request waiting for (or riding) a micro-batch."""
+
+    query: RangeQuery
+    future: "asyncio.Future[ExecutionResult]"
+    enqueued_at: float
+    deadline_at: float | None
+    deadline_s: float | None
+
+    def expired(self, now: float) -> bool:
+        """Whether the request's deadline has passed at ``now``."""
+        return self.deadline_at is not None and now >= self.deadline_at
+
+
+class Gateway:
+    """Asyncio front-end coalescing requests into backend micro-batches.
+
+    Lifecycle: construct over one or more :class:`Replica`\\ s, then
+    ``async with gateway:`` (or :meth:`start` / :meth:`aclose`).
+    Requests enter through :meth:`submit` (in-process) or the
+    TCP/JSON-lines listener from :meth:`serve_tcp`; both go through the
+    same admission control, batcher, and failover machinery.
+
+    Args:
+        replicas: serving fleets, tried round-robin; at least one.
+        config: admission/batching knobs (defaults are sensible for
+            tests; see ``docs/gateway.md`` for tuning guidance).
+        close_replicas_on_exit: close every replica in :meth:`aclose`
+            (set False when the caller manages replica lifecycle).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        config: GatewayConfig | None = None,
+        close_replicas_on_exit: bool = True,
+    ):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self._replicas = list(replicas)
+        self._config = config or GatewayConfig()
+        self._close_replicas = close_replicas_on_exit
+        self._queue: asyncio.Queue[_PendingRequest] | None = None
+        self._batcher_task: asyncio.Task | None = None
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._inflight: asyncio.Semaphore | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+        self._started = False
+        # Cross-thread state (dispatch threads mutate these).
+        self._lock = threading.Lock()
+        self._unhealthy: set[int] = set()
+        self._next_replica = 0
+        self._trace = TraceCollector()
+        self._stats = GatewayStats()
+        self._latencies = _LatencyReservoir()
+        self._batch_records: list[GatewayBatchRecord] = []
+        self._batch_counter = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> GatewayConfig:
+        """The gateway's admission/batching configuration."""
+        return self._config
+
+    @property
+    def replicas(self) -> tuple[Replica, ...]:
+        """All replicas, healthy or not, in construction order."""
+        return tuple(self._replicas)
+
+    @property
+    def healthy_replicas(self) -> tuple[Replica, ...]:
+        """Replicas the gateway still routes batches to."""
+        with self._lock:
+            return tuple(
+                replica
+                for replica in self._replicas
+                if replica.replica_id not in self._unhealthy
+            )
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """The gateway's deterministic trace stream (batches,
+        failovers, sheds, deadline expiries — no wall-clock data)."""
+        with self._lock:
+            return tuple(self._trace.events)
+
+    @property
+    def batch_records(self) -> tuple[GatewayBatchRecord, ...]:
+        """Per-batch dispatch records, in dispatch order."""
+        with self._lock:
+            return tuple(self._batch_records)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a micro-batch slot."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def stats(self) -> GatewayStats:
+        """Snapshot the SLO counters (latency quantiles included)."""
+        with self._lock:
+            snapshot = GatewayStats(**vars(self._stats))
+            snapshot.replicas_healthy = len(self._replicas) - len(
+                self._unhealthy
+            )
+            p50, p95, p99 = (
+                self._latencies.quantile(q) for q in SLO_QUANTILES
+            )
+            snapshot.latency_p50_s = p50
+            snapshot.latency_p95_s = p95
+            snapshot.latency_p99_s = p99
+        return snapshot
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind to the running event loop and start the batcher."""
+        if self._started:
+            raise GatewayError("gateway already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._inflight = asyncio.Semaphore(
+            self._config.max_inflight_batches
+        )
+        self._batcher_task = asyncio.create_task(
+            self._batcher(), name="hcs-gateway-batcher"
+        )
+        self._started = True
+        self._closed = False
+
+    async def aclose(self) -> None:
+        """Stop intake, fail stranded requests, reap dispatch tasks,
+        and (by default) close every replica.  Idempotent."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        if self._batcher_task is not None:
+            self._batcher_task.cancel()
+            try:
+                await self._batcher_task
+            except asyncio.CancelledError:
+                pass
+        # In-flight batches finish (their clients get real answers);
+        # requests still queued are stranded and must fail typed.
+        if self._dispatch_tasks:
+            await asyncio.gather(
+                *tuple(self._dispatch_tasks), return_exceptions=True
+            )
+        assert self._queue is not None
+        while not self._queue.empty():
+            request = self._queue.get_nowait()
+            if not request.future.done():
+                request.future.set_exception(
+                    GatewayClosedError(
+                        "gateway closed before the request was served"
+                    )
+                )
+        if self._close_replicas:
+            for replica in self._replicas:
+                replica.close()
+        self._started = False
+
+    async def __aenter__(self) -> "Gateway":
+        """Start the gateway and return it."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Close the gateway."""
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        query: RangeQuery,
+        deadline_s: float | None = None,
+    ) -> "ExecutionResult":
+        """Submit one range query; await its full-width answer.
+
+        Admission control happens *here*, synchronously: a full queue
+        sheds the request with :class:`~repro.errors.OverloadedError`
+        before it can touch any batch.  The returned result is exactly
+        what the backend executor produced (bit-identical to the
+        serial oracle by the serving tier's contracts).
+
+        Args:
+            query: the range query to answer.
+            deadline_s: per-request deadline in seconds (defaults to
+                ``config.default_deadline_s``; ``None`` = no deadline).
+
+        Raises:
+            OverloadedError: shed at admission (queue full).
+            DeadlineExceededError: the deadline expired while queued
+                or in flight.
+            QueryFailedError: the query itself failed on the backend.
+            AllReplicasFailedError: every replica failed the batch.
+            GatewayClosedError: the gateway is (or went) closed.
+        """
+        if not self._started or self._closed:
+            raise GatewayClosedError()
+        assert self._queue is not None and self._loop is not None
+        depth = self._queue.qsize()
+        if depth >= self._config.max_queue_depth:
+            with self._lock:
+                self._stats.requests_total += 1
+                self._stats.shed += 1
+                self._trace.emit(
+                    "gateway.shed",
+                    query.label or repr(query),
+                    queue_depth=depth,
+                )
+            get_metrics().inc(
+                "gateway_requests_total", status="shed"
+            )
+            raise OverloadedError(depth, self._config.max_queue_depth)
+        if deadline_s is None:
+            deadline_s = self._config.default_deadline_s
+        now = self._loop.time()
+        request = _PendingRequest(
+            query=query,
+            future=self._loop.create_future(),
+            enqueued_at=now,
+            deadline_at=(
+                now + deadline_s if deadline_s is not None else None
+            ),
+            deadline_s=deadline_s,
+        )
+        self._queue.put_nowait(request)
+        depth_after = self._queue.qsize()
+        with self._lock:
+            self._stats.requests_total += 1
+            if depth_after > self._stats.queue_depth_peak:
+                self._stats.queue_depth_peak = depth_after
+        metrics = get_metrics()
+        metrics.observe("gateway_queue_depth", depth_after)
+        return await request.future
+
+    # ------------------------------------------------------------------
+    async def _batcher(self) -> None:
+        """Coalesce queued requests into bounded micro-batches."""
+        assert self._queue is not None
+        assert self._inflight is not None
+        assert self._loop is not None
+        config = self._config
+        while True:
+            batch: list[_PendingRequest] = []
+            try:
+                batch.append(await self._queue.get())
+                flush_at = (
+                    self._loop.time() + config.max_batch_delay_s
+                )
+                while len(batch) < config.max_batch_size:
+                    timeout = flush_at - self._loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(
+                                self._queue.get(), timeout
+                            )
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                await self._inflight.acquire()
+            except asyncio.CancelledError:
+                # aclose() cancelled us: requests already pulled off
+                # the queue must fail typed, not hang forever.
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            GatewayClosedError(
+                                "gateway closed before the request "
+                                "was served"
+                            )
+                        )
+                raise
+            live = self._expire_queued(batch)
+            if not live:
+                # Zero-length flush: every member expired while
+                # queued; never bother a backend with it.
+                self._inflight.release()
+                with self._lock:
+                    self._stats.empty_flushes += 1
+                    self._trace.emit(
+                        "gateway.empty_flush",
+                        "batch",
+                        expired=len(batch),
+                    )
+                get_metrics().inc("gateway_empty_flushes_total")
+                continue
+            task = self._loop.create_task(self._dispatch(live))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_done)
+
+    def _dispatch_done(self, task: asyncio.Task) -> None:
+        self._dispatch_tasks.discard(task)
+        assert self._inflight is not None
+        self._inflight.release()
+
+    def _expire_queued(
+        self, batch: list[_PendingRequest]
+    ) -> list[_PendingRequest]:
+        """Fail queued-expired members; return the live remainder."""
+        assert self._loop is not None
+        now = self._loop.time()
+        live: list[_PendingRequest] = []
+        metrics = get_metrics()
+        for request in batch:
+            if request.expired(now):
+                with self._lock:
+                    self._stats.deadline_queued += 1
+                    self._trace.emit(
+                        "gateway.deadline",
+                        request.query.label or repr(request.query),
+                        phase="queued",
+                    )
+                metrics.inc(
+                    "gateway_requests_total", status="deadline_queued"
+                )
+                if not request.future.done():
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            request.deadline_s or 0.0, "queued"
+                        )
+                    )
+            else:
+                live.append(request)
+        return live
+
+    async def _dispatch(self, batch: list[_PendingRequest]) -> None:
+        """Run one micro-batch on a replica (thread side) and deliver
+        answers, enforcing in-flight deadlines."""
+        assert self._loop is not None
+        queries = tuple(request.query for request in batch)
+        metrics = get_metrics()
+        metrics.inc("gateway_batches_total")
+        metrics.observe("gateway_batch_size", len(batch))
+        try:
+            record = await self._loop.run_in_executor(
+                None, self._run_with_failover, queries
+            )
+        except GatewayError as exc:
+            now = self._loop.time()
+            for request in batch:
+                self._finish(request, now, error=exc)
+            return
+        now = self._loop.time()
+        for request, outcome in zip(batch, record.report.outcomes):
+            if request.expired(now):
+                self._finish(
+                    request,
+                    now,
+                    error=DeadlineExceededError(
+                        request.deadline_s or 0.0, "inflight"
+                    ),
+                )
+            elif outcome.error is not None:
+                self._finish(request, now, error=outcome.error)
+            else:
+                self._finish(request, now, result=outcome.result)
+
+    def _finish(
+        self,
+        request: _PendingRequest,
+        now: float,
+        result: "ExecutionResult | None" = None,
+        error: Exception | None = None,
+    ) -> None:
+        """Resolve one request's future and record its SLO numbers."""
+        latency = now - request.enqueued_at
+        metrics = get_metrics()
+        metrics.observe("gateway_request_seconds", latency)
+        if error is None:
+            status = "ok"
+        elif isinstance(error, DeadlineExceededError):
+            status = f"deadline_{error.phase}"
+        else:
+            status = "failed"
+        metrics.inc("gateway_requests_total", status=status)
+        with self._lock:
+            self._latencies.observe(latency)
+            if status == "ok":
+                self._stats.ok += 1
+            elif status == "deadline_inflight":
+                self._stats.deadline_inflight += 1
+                self._trace.emit(
+                    "gateway.deadline",
+                    request.query.label or repr(request.query),
+                    phase="inflight",
+                )
+            elif status == "failed":
+                self._stats.failed += 1
+        if request.future.done():  # pragma: no cover - defensive
+            return
+        if error is not None:
+            request.future.set_exception(error)
+        else:
+            request.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    def _pick_replicas(self) -> list[Replica]:
+        """Healthy replicas in round-robin try order."""
+        with self._lock:
+            healthy = [
+                replica
+                for replica in self._replicas
+                if replica.replica_id not in self._unhealthy
+            ]
+            if not healthy:
+                return []
+            start = self._next_replica % len(healthy)
+            self._next_replica += 1
+        return healthy[start:] + healthy[:start]
+
+    def _run_with_failover(
+        self, queries: tuple[RangeQuery, ...]
+    ) -> GatewayBatchRecord:
+        """Serve one batch, failing over across replicas on
+        :class:`~repro.errors.ShardError` (runs on a dispatch thread).
+        """
+        attempts: list[tuple[int, str, str]] = []
+        failed_ids: list[int] = []
+        candidates = self._pick_replicas()
+        metrics = get_metrics()
+        for replica in candidates:
+            try:
+                report = replica.run_batch(queries)
+            except ShardError as exc:
+                attempts.append(
+                    (replica.replica_id, type(exc).__name__, str(exc))
+                )
+                failed_ids.append(replica.replica_id)
+                self._mark_unhealthy(replica, exc)
+                metrics.inc(
+                    "gateway_failovers_total",
+                    replica=replica.replica_id,
+                )
+                continue
+            with self._lock:
+                batch_id = self._batch_counter
+                self._batch_counter += 1
+                self._stats.batches += 1
+                record = GatewayBatchRecord(
+                    batch_id=batch_id,
+                    size=len(queries),
+                    replica_id=replica.replica_id,
+                    attempts=len(attempts) + 1,
+                    failed_replica_ids=tuple(failed_ids),
+                    report=report,
+                )
+                self._batch_records.append(record)
+                self._trace.emit(
+                    "gateway.batch",
+                    f"batch-{batch_id}",
+                    size=len(queries),
+                    replica=replica.replica_id,
+                    attempts=len(attempts) + 1,
+                )
+            return record
+        raise AllReplicasFailedError(
+            attempts
+            or [(-1, "GatewayError", "no healthy replicas")]
+        )
+
+    def _mark_unhealthy(
+        self, replica: Replica, exc: Exception
+    ) -> None:
+        """Stop routing to a failed replica and reap its backend."""
+        with self._lock:
+            already = replica.replica_id in self._unhealthy
+            self._unhealthy.add(replica.replica_id)
+            self._stats.failovers += 1
+            self._trace.emit(
+                "gateway.failover",
+                f"replica-{replica.replica_id}",
+                error=type(exc).__name__,
+            )
+        if not already:
+            try:
+                replica.close()
+            except Exception:  # pragma: no cover - best-effort reap
+                pass
+
+    # ------------------------------------------------------------------
+    #: Per-line stream limit for the TCP endpoint.  Asyncio's default
+    #: (64 KiB) is too small for a ``"positions": true`` response over
+    #: a wide column; clients reading such responses need the same
+    #: limit on their side of the socket.
+    TCP_LINE_LIMIT = 16 * 1024 * 1024
+
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Listen for JSON-lines range queries on a TCP socket.
+
+        One request per line::
+
+            {"id": 7, "ranges": [[0, 3], [9, 12]],
+             "deadline_s": 0.5, "positions": false}
+
+        One response line per request (requests on a connection are
+        served concurrently; responses carry the request ``id``)::
+
+            {"id": 7, "status": "ok", "count": 1234,
+             "io_bytes": 5678}
+            {"id": 8, "status": "error", "error": "OverloadedError",
+             "message": "..."}
+
+        ``"positions": true`` adds the matching row positions to the
+        response (omitted by default — answers over wide columns are
+        large).  Request and response lines may be up to
+        ``TCP_LINE_LIMIT`` bytes; clients expecting large responses
+        should open their connection with the same ``limit``.  The
+        returned server is started; callers close it via
+        ``server.close()`` / ``await server.wait_closed()``.
+        """
+        if not self._started or self._closed:
+            raise GatewayClosedError(
+                "start the gateway before serving TCP"
+            )
+        return await asyncio.start_server(
+            self._handle_connection,
+            host=host,
+            port=port,
+            limit=self.TCP_LINE_LIMIT,
+        )
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one client connection, pipelining its requests."""
+        get_metrics().inc("gateway_connections_total")
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_request_line(
+                        text, writer, write_lock
+                    )
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_request_line(
+        self,
+        text: str,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Parse, serve, and answer one JSON-lines request."""
+        request_id: Any = None
+        try:
+            payload = json.loads(text)
+            request_id = payload.get("id")
+            ranges = payload["ranges"]
+            query = RangeQuery(
+                [(int(lo), int(hi)) for lo, hi in ranges],
+                label=str(payload.get("label", "")),
+            )
+            deadline_s = payload.get("deadline_s")
+            result = await self.submit(
+                query,
+                deadline_s=(
+                    float(deadline_s)
+                    if deadline_s is not None
+                    else None
+                ),
+            )
+            response: dict[str, Any] = {
+                "id": request_id,
+                "status": "ok",
+                "count": result.answer.count(),
+                "io_bytes": result.io_bytes,
+            }
+            if payload.get("positions"):
+                response["positions"] = [
+                    int(position)
+                    for position in result.answer.to_positions()
+                ]
+        except Exception as exc:
+            response = {
+                "id": request_id,
+                "status": "error",
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        data = (
+            json.dumps(response, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()
+
+    def __repr__(self) -> str:
+        healthy = len(self.healthy_replicas)
+        return (
+            f"Gateway(replicas={len(self._replicas)} "
+            f"({healthy} healthy), started={self._started}, "
+            f"closed={self._closed})"
+        )
+
+
+class _LatencyReservoir:
+    """Bounded latency sample buffer for the gateway's own SLO view.
+
+    Mirrors the deterministic decimation of
+    :class:`~repro.obs.metrics.HistogramSummary` so :meth:`quantile`
+    stays O(cap) regardless of traffic volume.  (The gateway also
+    observes into the ambient registry; this keeps :meth:`Gateway.
+    stats` self-contained when none is installed.)
+    """
+
+    CAP = 8192
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._stride = 1
+        self._phase = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one latency sample in (caller holds the gateway lock).
+        """
+        if self._phase == 0:
+            if len(self._samples) >= self.CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._samples.append(value)
+        self._phase = (self._phase + 1) % self._stride
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the retained samples (0.0 when
+        empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(
+            len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
+        )
+        return ordered[rank]

@@ -683,6 +683,19 @@ class ShardedExecutor:
         """Whether the worker processes are running."""
         return bool(self._handles)
 
+    @property
+    def healthy(self) -> bool:
+        """Whether the fleet is started with every worker alive.
+
+        The gateway's replica-failover hook: a fleet that lost a
+        worker (or was torn down) reads unhealthy and stops receiving
+        batches.
+        """
+        return bool(self._handles) and all(
+            process.is_alive()
+            for _spec, process, _conn in self._handles
+        )
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Spawn one worker process per shard and wait for each to
@@ -882,35 +895,41 @@ class ShardedExecutor:
         )
         wall = time.perf_counter() - started
         shard_reports = []
-        for (spec, _process, _conn), reply in zip(
-            self._handles, replies
-        ):
-            _kind, shard_id, report, resident_bytes = reply
-            if shard_id != spec.shard_id or len(
-                report.outcomes
-            ) != len(batch):
-                raise ShardFailedError(
-                    spec.shard_id,
-                    "reply does not match the scattered batch",
+        try:
+            for (spec, _process, _conn), reply in zip(
+                self._handles, replies
+            ):
+                _kind, shard_id, report, resident_bytes = reply
+                if shard_id != spec.shard_id or len(
+                    report.outcomes
+                ) != len(batch):
+                    raise ShardFailedError(
+                        spec.shard_id,
+                        "reply does not match the scattered batch",
+                    )
+                # Appended rows extend the *last* shard's range: its
+                # answers span base + delta rows after an ingest.
+                row_hi = spec.row_hi
+                if spec.shard_id == self._specs[-1].shard_id:
+                    row_hi += self._appended_rows
+                shard_reports.append(
+                    ShardRunReport(
+                        shard_id=shard_id,
+                        row_lo=spec.row_lo,
+                        row_hi=row_hi,
+                        outcomes=report.outcomes,
+                        pin_io=report.pin_io,
+                        io=report.io,
+                        wall_seconds=report.wall_seconds,
+                        workers=report.workers,
+                        resident_bytes=resident_bytes,
+                    )
                 )
-            # Appended rows extend the *last* shard's range: its
-            # answers span base + delta rows after an ingest.
-            row_hi = spec.row_hi
-            if spec.shard_id == self._specs[-1].shard_id:
-                row_hi += self._appended_rows
-            shard_reports.append(
-                ShardRunReport(
-                    shard_id=shard_id,
-                    row_lo=spec.row_lo,
-                    row_hi=row_hi,
-                    outcomes=report.outcomes,
-                    pin_io=report.pin_io,
-                    io=report.io,
-                    wall_seconds=report.wall_seconds,
-                    workers=report.workers,
-                    resident_bytes=resident_bytes,
-                )
-            )
+        except ShardError:
+            # A malformed reply is as fatal as a dead shard: tear the
+            # fleet down so worker processes are reaped, not leaked.
+            self.close()
+            raise
         return ShardedBatchReport(
             outcomes=self._merge_outcomes(batch, shard_reports),
             shard_reports=tuple(shard_reports),
@@ -1073,8 +1092,15 @@ class ShardedExecutor:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop every worker (politely, then by terminate) and release
-        the pipes.  Idempotent."""
+        """Stop every worker (politely, then by terminate, then by
+        kill) and release the pipes.  Idempotent.
+
+        The escalation ladder guarantees no worker process outlives
+        the fleet: a cooperative ``stop`` with a joint deadline, then
+        ``terminate()`` (SIGTERM), then ``kill()`` (SIGKILL) for a
+        worker wedged in uninterruptible state, each followed by a
+        bounded join.
+        """
         handles, self._handles = self._handles, []
         self._prepared = False
         for _spec, process, conn in handles:
@@ -1089,6 +1115,9 @@ class ShardedExecutor:
             )
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
                 process.join(timeout=5.0)
             conn.close()
 

@@ -219,6 +219,7 @@ class TestRunner:
             "ablation-costmodel",
             "ablation-kcut",
             "serve",
+            "gateway",
         }
         assert set(EXPERIMENTS) == expected
 

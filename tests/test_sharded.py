@@ -285,6 +285,54 @@ class TestShardFailure:
         with pytest.raises(QueryFailedError):
             report.results
 
+    def test_malformed_reply_tears_down_and_reaps_workers(
+        self, shard_base
+    ):
+        """Regression: a reply failing post-scatter batch validation
+        used to raise out of ``run()`` *without* teardown, leaking the
+        still-healthy worker processes behind the dead handle."""
+        hierarchy, _column, specs = shard_base
+        executor = ShardedExecutor(hierarchy, specs)
+        executor.start()
+        executor.prepare(Workload(QUERIES))
+        workers = executor.worker_processes
+        assert workers and all(
+            process.is_alive() for process in workers
+        )
+        original = executor._recv
+
+        def corrupted(handle, expected_kind):
+            message = original(handle, expected_kind)
+            if expected_kind == "report":
+                # Mis-label the shard id: the reply no longer matches
+                # the scattered batch.
+                return (message[0], message[1] + 100, *message[2:])
+            return message
+
+        executor._recv = corrupted
+        with pytest.raises(ShardFailedError):
+            executor.run(QUERIES)
+        assert not executor.started
+        for process in workers:
+            process.join(timeout=10.0)
+            assert not process.is_alive()
+
+    def test_healthy_tracks_worker_liveness(self, shard_base):
+        """``healthy`` (the gateway's failover hook) is True only
+        while every worker process is alive."""
+        hierarchy, _column, specs = shard_base
+        executor = ShardedExecutor(
+            hierarchy, specs, recv_timeout_s=30.0
+        )
+        assert not executor.healthy  # not started
+        with executor:
+            assert executor.healthy
+            victim = executor.worker_processes[0]
+            victim.terminate()
+            victim.join(timeout=10.0)
+            assert not executor.healthy
+        assert not executor.healthy  # closed
+
     def test_shard_failed_error_survives_pickling(self):
         import pickle
 

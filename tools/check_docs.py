@@ -6,7 +6,11 @@ Validates, without any external dependency:
 * every relative link/image in ``docs/*.md``, ``README.md``, and the
   other top-level markdown files resolves to a real file;
 * every page named in the ``mkdocs.yml`` nav exists in ``docs/``;
-* every markdown file under ``docs/`` is reachable from the nav.
+* every markdown file under ``docs/`` is reachable from the nav;
+* the generated CLI reference (``docs/cli.md``) matches what
+  ``tools/gen_cli_docs.py`` renders from the live argparse parser — a
+  new experiment, maintenance command, or flag that is not in the
+  committed page fails the check.
 
 When ``mkdocs`` is importable (CI installs it; the offline dev image
 does not) it additionally runs the real ``mkdocs build --strict``.
@@ -88,6 +92,31 @@ def check_nav() -> list[str]:
     return errors
 
 
+def check_cli_reference() -> list[str]:
+    """Re-render docs/cli.md from the live parser and diff it.
+
+    ``gen_cli_docs`` puts ``src/`` on ``sys.path`` itself, so this
+    works without ``PYTHONPATH`` — but an import failure there is a
+    real error, not a skip: the reference must track the binary.
+    """
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import gen_cli_docs
+    except Exception as exc:  # pragma: no cover - import environment
+        return [f"could not import tools/gen_cli_docs.py: {exc!r}"]
+    page = DOCS / "cli.md"
+    if not page.exists():
+        return ["docs/cli.md is missing; run tools/gen_cli_docs.py"]
+    if page.read_text(encoding="utf-8") != gen_cli_docs.render():
+        return [
+            "docs/cli.md is stale (the CLI grew a flag or subcommand "
+            "it does not document); regenerate with "
+            "`PYTHONPATH=src python tools/gen_cli_docs.py`"
+        ]
+    print("docs/cli.md matches the live hcs-experiments parser")
+    return []
+
+
 def run_mkdocs_if_available() -> list[str]:
     try:
         import mkdocs  # noqa: F401
@@ -114,6 +143,7 @@ def main() -> int:
     files += [REPO / name for name in TOP_LEVEL if (REPO / name).exists()]
     errors = check_relative_links(files)
     errors += check_nav()
+    errors += check_cli_reference()
     errors += run_mkdocs_if_available()
     if errors:
         print(f"{len(errors)} documentation error(s):")
