@@ -3,8 +3,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-chaos test-crash test-stress test-shard \
-	test-ingest test-gateway bench-wah-smoke bench-wah \
-	bench-serve-smoke bench-serve bench-gateway-smoke \
+	test-ingest test-gateway test-resilience bench-wah-smoke \
+	bench-wah bench-serve-smoke bench-serve bench-gateway-smoke \
 	bench-gateway bench docs
 
 # Tier-1 verification (what CI must keep green).
@@ -44,6 +44,14 @@ test-shard:
 # answers via failover).
 test-gateway:
 	$(PY) -m pytest -m gateway -q
+
+# Self-healing edge suite: replica lifecycle (suspect → probation →
+# re-admission or death), hedged requests, circuit breaking, and
+# priority-aware admission — including the chaos test that kills both
+# replica fleets sequentially and asserts both are re-admitted with
+# oracle-identical answers and zero fleet drain.
+test-resilience:
+	$(PY) -m pytest -m resilience -q
 
 # Tier-1-adjacent smoke: execute the WAH kernel micro-benchmark with
 # small operands and no timing assertions, emitting BENCH_wah.json so

@@ -50,22 +50,43 @@ RESULT_PATH = (
 
 def test_gateway_client_sweep():
     """The acceptance sweep: all requests answered (none shed, none
-    expired), quantiles ordered, concurrency raising throughput."""
+    expired), quantiles ordered, concurrency raising throughput, and
+    the resilience/hedge legs exercising the self-healing counters."""
     result = gateway_bench.run(
         num_queries=NUM_QUERIES,
         num_rows=NUM_ROWS,
         client_counts=CLIENT_COUNTS,
         slow_delay_s=SLOW_DELAY_S,
     )
-    by_clients = {row["clients"]: row for row in result.rows}
+    sweep_rows = [
+        row for row in result.rows if row["phase"] == "sweep"
+    ]
+    by_clients = {row["clients"]: row for row in sweep_rows}
     assert set(by_clients) == set(CLIENT_COUNTS)
-    for row in result.rows:
+    for row in sweep_rows:
         assert row["ok"] == row["requests"] == NUM_QUERIES
         assert row["shed"] == 0
         assert row["deadline"] == 0
+        assert row["failovers"] == 0
+        assert row["readmissions"] == 0
         assert (
             row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
         ), f"latency quantiles out of order at {row['clients']} clients"
+    # The resilience leg: one injected fleet failure, failed over and
+    # then re-admitted, with both waves fully answered.
+    (resilience,) = [
+        row for row in result.rows if row["phase"] == "resilience"
+    ]
+    assert resilience["ok"] == resilience["requests"] == 2 * NUM_QUERIES
+    assert resilience["shed"] == 0
+    assert resilience["failovers"] >= 1
+    assert resilience["readmissions"] >= 1
+    # The hedge leg: a slow primary forces hedged batches; every
+    # request is still answered (by whichever side won).
+    (hedge,) = [row for row in result.rows if row["phase"] == "hedge"]
+    assert hedge["ok"] == hedge["requests"] == NUM_QUERIES
+    assert hedge["shed"] == 0
+    assert hedge["hedges"] >= 1
     section = {
         "benchmark": "gateway",
         "mode": MODE,
@@ -87,7 +108,7 @@ def test_gateway_client_sweep():
     if CHECK_MODE:
         return
     baseline = by_clients[CLIENT_COUNTS[0]]["qps"]
-    best = max(row["qps"] for row in result.rows)
+    best = max(row["qps"] for row in sweep_rows)
     assert best >= MIN_CONCURRENT_SPEEDUP * baseline, (
         f"concurrent clients only reached {best:.1f} qps against a "
         f"{baseline:.1f} qps single-client baseline "

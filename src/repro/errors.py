@@ -230,19 +230,37 @@ class OverloadedError(GatewayError):
 
     Raised synchronously by ``submit`` *before* the request enters the
     batching queue, so a shed request can never poison a micro-batch —
-    already-admitted siblings are unaffected.
+    already-admitted siblings are unaffected.  Under priority-aware
+    admission the gateway sheds low-priority traffic first: an
+    incoming higher-priority request may *evict* the newest queued
+    request of a strictly lower class, whose pending future then
+    raises this error with ``kind="evicted"``.
 
     Attributes:
         queue_depth: requests waiting when the request was refused.
         max_queue_depth: the configured admission bound.
+        priority: the shed request's priority class (``None`` when the
+            gateway runs without priority classes).
+        kind: ``"refused"`` when the incoming request was turned away
+            at the door; ``"evicted"`` when an already-queued request
+            was displaced by higher-priority traffic.
     """
 
-    def __init__(self, queue_depth: int, max_queue_depth: int):
+    def __init__(
+        self,
+        queue_depth: int,
+        max_queue_depth: int,
+        priority: str | None = None,
+        kind: str = "refused",
+    ):
         self.queue_depth = queue_depth
         self.max_queue_depth = max_queue_depth
+        self.priority = priority
+        self.kind = kind
+        detail = f" ({kind}, priority={priority})" if priority else ""
         super().__init__(
             f"gateway overloaded: {queue_depth} requests queued "
-            f"(max {max_queue_depth}); request shed"
+            f"(max {max_queue_depth}); request shed{detail}"
         )
 
 

@@ -25,6 +25,7 @@ from pathlib import Path
 
 from ..core.executor import QueryExecutor
 from ..core.multi import select_cut_multi
+from ..errors import ShardFailedError
 from ..serve import (
     BatchExecutor,
     BatchReplica,
@@ -48,6 +49,36 @@ __all__ = ["run"]
 
 #: Concurrent-client counts swept by default.
 DEFAULT_CLIENT_COUNTS = (1, 4, 16)
+
+#: Concurrency used by the resilience and hedge legs.
+RESILIENCE_CLIENTS = 8
+
+#: Wall-clock budget for the supervisor to re-admit the failed
+#: replica during the resilience leg.
+READMIT_TIMEOUT_S = 30.0
+
+
+class _FlakyReplica(BatchReplica):
+    """A replica that fails its first batch, then serves cleanly.
+
+    Drives the resilience leg: the first batch raises a fleet-level
+    :class:`~repro.errors.ShardFailedError` (triggering gateway
+    failover), after which the replica behaves normally so the
+    supervisor's canary probe passes and it is re-admitted.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._failed_once = False
+
+    def run_batch(self, queries):
+        """Fail exactly once, then delegate to the real executor."""
+        if not self._failed_once:
+            self._failed_once = True
+            raise ShardFailedError(
+                self.replica_id, "injected bench failure"
+            )
+        return super().run_batch(queries)
 
 
 def run(
@@ -89,12 +120,20 @@ def run(
             other than ``None``/1 raises.
 
     Returns:
-        Rows of ``clients, requests, ok, shed, deadline, batches,
-        wall_s, qps, p50_ms, p95_ms, p99_ms``.
+        Rows of ``phase, clients, requests, ok, shed, deadline,
+        batches, failovers, readmissions, hedges, wall_s, qps,
+        p50_ms, p95_ms, p99_ms``.  The ``sweep`` phase varies
+        concurrent clients over a healthy single-replica gateway; the
+        ``resilience`` phase injects one fleet failure into a
+        two-replica gateway and measures failover plus supervised
+        re-admission; the ``hedge`` phase serves through a slow
+        primary so hedged requests fire and the fast peer's answers
+        win.
 
     Raises:
         RuntimeError: if any gateway answer diverges from the serial
-            oracle, or a request fails for a non-admission reason.
+            oracle, a request fails for a non-admission reason, or
+            the failed replica is never re-admitted.
     """
     if parallel is not None:
         if parallel < 1:
@@ -121,12 +160,16 @@ def run(
             "and micro-batching"
         ),
         columns=[
+            "phase",
             "clients",
             "requests",
             "ok",
             "shed",
             "deadline",
             "batches",
+            "failovers",
+            "readmissions",
+            "hedges",
             "wall_s",
             "qps",
             "p50_ms",
@@ -188,33 +231,109 @@ def run(
             )
             wall, stats = asyncio.run(
                 _drive(
-                    replica,
+                    [replica],
                     config,
                     list(workload),
                     oracle_answers,
                     clients,
                 )
             )
-            result.add_row(
-                clients=clients,
-                requests=stats.requests_total,
-                ok=stats.ok,
-                shed=stats.shed,
-                deadline=(
-                    stats.deadline_queued + stats.deadline_inflight
-                ),
-                batches=stats.batches,
-                wall_s=wall,
-                qps=stats.ok / wall if wall > 0 else 0.0,
-                p50_ms=stats.latency_p50_s * 1e3,
-                p95_ms=stats.latency_p95_s * 1e3,
-                p99_ms=stats.latency_p99_s * 1e3,
+            _add_row(result, "sweep", clients, wall, stats)
+
+        # Resilience leg: two replicas, one injected fleet failure —
+        # the gateway fails over, the supervisor probes and
+        # re-admits, and a second wave confirms the healed fleet.
+        def _replica(replica_cls, replica_id):
+            backend = QueryExecutor(
+                catalog, BufferPool(store, budget_bytes=budget)
             )
+            return replica_cls(
+                replica_id,
+                BatchExecutor(backend, max_workers=workers),
+                cut,
+            )
+
+        resilience_config = GatewayConfig(
+            max_batch_size=max_batch_size,
+            max_batch_delay_s=max_batch_delay_s,
+            max_queue_depth=max_queue_depth,
+            max_probe_attempts=10,
+            probe_backoff_base_s=0.01,
+            probe_backoff_max_s=0.1,
+            probe_jitter=0.0,
+            supervisor_interval_s=0.01,
+        )
+        wall, stats = asyncio.run(
+            _drive_resilience(
+                _replica(_FlakyReplica, 0),
+                _replica(BatchReplica, 1),
+                resilience_config,
+                list(workload),
+                oracle_answers,
+                RESILIENCE_CLIENTS,
+            )
+        )
+        _add_row(result, "resilience", RESILIENCE_CLIENTS, wall, stats)
+
+        # Hedge leg: the primary serves through the fault-injected
+        # (slow) store while the peer serves a fault-free twin, so
+        # batches stuck behind slow reads hedge to the fast replica.
+        fast_backend = QueryExecutor(
+            oracle_catalog,
+            BufferPool(oracle_store, budget_bytes=budget),
+        )
+        hedge_config = GatewayConfig(
+            max_batch_size=max_batch_size,
+            max_batch_delay_s=max_batch_delay_s,
+            max_queue_depth=max_queue_depth,
+            hedge_delay_s=max(slow_delay_s, 1e-4),
+            max_probe_attempts=0,
+        )
+        wall, stats = asyncio.run(
+            _drive(
+                [
+                    _replica(BatchReplica, 0),
+                    BatchReplica(
+                        1,
+                        BatchExecutor(
+                            fast_backend, max_workers=workers
+                        ),
+                        cut,
+                    ),
+                ],
+                hedge_config,
+                list(workload),
+                oracle_answers,
+                RESILIENCE_CLIENTS,
+            )
+        )
+        _add_row(result, "hedge", RESILIENCE_CLIENTS, wall, stats)
     return result
 
 
+def _add_row(result, phase, clients, wall, stats) -> None:
+    """Fold one gateway run's stats into an experiment row."""
+    result.add_row(
+        phase=phase,
+        clients=clients,
+        requests=stats.requests_total,
+        ok=stats.ok,
+        shed=stats.shed,
+        deadline=(stats.deadline_queued + stats.deadline_inflight),
+        batches=stats.batches,
+        failovers=stats.failovers,
+        readmissions=stats.readmissions,
+        hedges=stats.hedges,
+        wall_s=wall,
+        qps=stats.ok / wall if wall > 0 else 0.0,
+        p50_ms=stats.latency_p50_s * 1e3,
+        p95_ms=stats.latency_p95_s * 1e3,
+        p99_ms=stats.latency_p99_s * 1e3,
+    )
+
+
 async def _drive(
-    replica: BatchReplica,
+    replicas: list,
     config: GatewayConfig,
     queries: list,
     oracle_answers: list,
@@ -223,23 +342,66 @@ async def _drive(
     """Issue the workload through ``clients`` concurrent submitters;
     verify every answer; return (wall seconds, gateway stats)."""
     async with Gateway(
-        [replica], config, close_replicas_on_exit=False
+        replicas, config, close_replicas_on_exit=False
     ) as gateway:
-        semaphore = asyncio.Semaphore(clients)
-
-        async def one(index: int):
-            async with semaphore:
-                return await gateway.submit(queries[index])
-
         started = time.perf_counter()
-        results = await asyncio.gather(
-            *(one(index) for index in range(len(queries)))
-        )
+        await _issue_wave(gateway, queries, oracle_answers, clients)
         wall = time.perf_counter() - started
-        for index, result in enumerate(results):
-            if result.answer.words != oracle_answers[index].words:
-                raise RuntimeError(
-                    f"request {index} diverged from the serial "
-                    f"oracle at {clients} clients"
-                )
         return wall, gateway.stats()
+
+
+async def _drive_resilience(
+    flaky: BatchReplica,
+    healthy: BatchReplica,
+    config: GatewayConfig,
+    queries: list,
+    oracle_answers: list,
+    clients: int,
+) -> tuple[float, object]:
+    """Run the failover/re-admission scenario: a first wave through a
+    fleet whose replica 0 fails its opening batch (failover), a wait
+    for the supervisor to probe and re-admit it, and a second wave
+    through the healed fleet.  Every answer of both waves is oracle
+    verified."""
+    async with Gateway(
+        [flaky, healthy], config, close_replicas_on_exit=False
+    ) as gateway:
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        await _issue_wave(gateway, queries, oracle_answers, clients)
+        deadline = loop.time() + READMIT_TIMEOUT_S
+        while gateway.replica_states() != {0: "active", 1: "active"}:
+            if loop.time() > deadline:
+                raise RuntimeError(
+                    "the failed replica was never re-admitted "
+                    f"(states {gateway.replica_states()})"
+                )
+            await asyncio.sleep(0.01)
+        await _issue_wave(gateway, queries, oracle_answers, clients)
+        wall = time.perf_counter() - started
+        return wall, gateway.stats()
+
+
+async def _issue_wave(
+    gateway: Gateway,
+    queries: list,
+    oracle_answers: list,
+    clients: int,
+) -> None:
+    """Submit the whole workload through ``clients`` concurrent
+    submitters and verify every answer bit-identical to the oracle."""
+    semaphore = asyncio.Semaphore(clients)
+
+    async def one(index: int):
+        async with semaphore:
+            return await gateway.submit(queries[index])
+
+    results = await asyncio.gather(
+        *(one(index) for index in range(len(queries)))
+    )
+    for index, result in enumerate(results):
+        if result.answer.words != oracle_answers[index].words:
+            raise RuntimeError(
+                f"request {index} diverged from the serial "
+                f"oracle at {clients} clients"
+            )

@@ -12,6 +12,7 @@ from .metrics import (
     HistogramSummary,
     MetricsRegistry,
     NullMetrics,
+    QuantileReservoir,
     collecting_metrics,
     get_metrics,
     set_metrics,
@@ -48,6 +49,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "QuantileReservoir",
     "get_metrics",
     "set_metrics",
     "collecting_metrics",

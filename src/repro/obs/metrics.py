@@ -33,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "QuantileReservoir",
     "get_metrics",
     "set_metrics",
     "collecting_metrics",
@@ -57,55 +58,48 @@ def _render_key(key: tuple) -> str:
 SAMPLE_CAP = 8192
 
 
-@dataclass
-class HistogramSummary:
-    """Streaming summary of an observed distribution.
+class QuantileReservoir:
+    """Bounded deterministic sample buffer with nearest-rank quantiles.
 
-    Tracks ``count`` / ``total`` / ``min`` / ``max`` (``mean`` derives)
-    plus a bounded sample buffer that supports :meth:`quantile` — what
-    the serving gateway's p50/p95/p99 latency SLOs read.  The buffer is
-    capped at :data:`SAMPLE_CAP`; past that it decimates by keeping
-    every other retained sample and doubling the keep stride, which is
-    deterministic (no RNG) and keeps quantile estimates spread across
-    the whole stream rather than its head.
+    The shared decimation engine behind :class:`HistogramSummary` and
+    the gateway's own latency view (which must answer quantile queries
+    without an ambient registry installed).  The buffer is capped at
+    ``cap``; past that it decimates by keeping every other retained
+    sample and doubling the keep stride — deterministic (no RNG) and
+    spread across the whole stream rather than its head.
+
+    Not thread-safe on its own; callers synchronize (the registry and
+    the gateway both fold observations in under their own locks).
+
+    Args:
+        cap: retained-sample bound (defaults to :data:`SAMPLE_CAP`).
     """
 
-    count: int = 0
-    total: float = 0.0
-    min: float = float("inf")
-    max: float = float("-inf")
-
-    def __post_init__(self) -> None:
+    def __init__(self, cap: int = SAMPLE_CAP) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self._cap = cap
         self._samples: list[float] = []
         self._stride = 1
         self._phase = 0
+        self.observed = 0
 
     def observe(self, value: float) -> None:
-        """Fold one observation into the summary."""
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        """Fold one observation into the reservoir."""
+        self.observed += 1
         if self._phase == 0:
-            if len(self._samples) >= SAMPLE_CAP:
+            if len(self._samples) >= self._cap:
                 self._samples = self._samples[::2]
                 self._stride *= 2
             self._samples.append(value)
         self._phase = (self._phase + 1) % self._stride
 
-    @property
-    def mean(self) -> float:
-        """Average observed value (``nan`` when empty)."""
-        return self.total / self.count if self.count else float("nan")
-
     def quantile(self, q: float) -> float:
         """The ``q``-quantile (``0 <= q <= 1``) of the retained samples.
 
         Nearest-rank on the sorted sample buffer — exact while the
-        stream fits in :data:`SAMPLE_CAP` observations, a deterministic
-        estimate beyond.  Returns 0.0 when nothing was observed.
+        stream fits in ``cap`` observations, a deterministic estimate
+        beyond.  Returns 0.0 when nothing was observed.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -116,6 +110,56 @@ class HistogramSummary:
             len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
         )
         return ordered[rank]
+
+    def __len__(self) -> int:
+        """Samples currently retained (post-decimation)."""
+        return len(self._samples)
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of an observed distribution.
+
+    Tracks ``count`` / ``total`` / ``min`` / ``max`` (``mean`` derives)
+    plus a bounded :class:`QuantileReservoir` that supports
+    :meth:`quantile` — what the serving gateway's p50/p95/p99 latency
+    SLOs read.  The reservoir is capped at :data:`SAMPLE_CAP`; past
+    that it decimates deterministically (no RNG), keeping quantile
+    estimates spread across the whole stream rather than its head.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        self._reservoir = QuantileReservoir()
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._reservoir.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (``nan`` when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the retained samples.
+
+        Nearest-rank on the reservoir's sorted sample buffer — exact
+        while the stream fits in :data:`SAMPLE_CAP` observations, a
+        deterministic estimate beyond.  Returns 0.0 when nothing was
+        observed.
+        """
+        return self._reservoir.quantile(q)
 
     def to_dict(self) -> dict[str, float]:
         """JSON-ready summary (SLO quantiles included)."""

@@ -16,8 +16,10 @@ runs them that way, at two scales:
   the same contracts, held across process boundaries.
 * :class:`Gateway` is the asyncio network front-end over either:
   concurrent request intake (in-process async API or TCP/JSON-lines),
-  bounded micro-batching, admission control with typed shedding and
-  deadlines, SLO latency metrics, and failover across replica fleets.
+  bounded micro-batching, priority-aware admission control with typed
+  shedding and deadlines, SLO latency metrics, hedged requests, and a
+  self-healing replica lifecycle (failover, circuit breaking, canary
+  re-admission — see :mod:`repro.serve.lifecycle`).
 
 See ``docs/serving.md`` for the threading and sharding models and
 ``docs/gateway.md`` for the gateway.
@@ -35,10 +37,12 @@ from .gateway import (
     Gateway,
     GatewayBatchRecord,
     GatewayConfig,
+    GatewayHedgeRecord,
     GatewayStats,
     Replica,
     ShardedReplica,
 )
+from .lifecycle import ReplicaState, RollingBreaker
 from .sharded import (
     ShardCutInfo,
     ShardRunReport,
@@ -55,9 +59,12 @@ __all__ = [
     "Gateway",
     "GatewayBatchRecord",
     "GatewayConfig",
+    "GatewayHedgeRecord",
     "GatewayStats",
     "QueryOutcome",
     "Replica",
+    "ReplicaState",
+    "RollingBreaker",
     "ShardCutInfo",
     "ShardRunReport",
     "ShardSpec",

@@ -262,6 +262,25 @@ class BatchExecutor:
         """Thread count used for a batch."""
         return self._max_workers
 
+    @property
+    def healthy(self) -> bool:
+        """Whether the backing store can still serve this catalog.
+
+        The in-process mirror of
+        :attr:`~repro.serve.sharded.ShardedExecutor.healthy` — the
+        gateway's :class:`~repro.serve.gateway.BatchReplica` probes it
+        before re-admitting a replica.  Probes cheap store metadata
+        (existence of the hierarchy root's bitmap file) rather than
+        running a query; any storage-layer exception reads as
+        unhealthy.
+        """
+        try:
+            catalog = self._executor.catalog
+            name = catalog.file_name(catalog.hierarchy.root_id)
+            return bool(catalog.store.exists(name))
+        except Exception:
+            return False
+
     def _run_one(
         self,
         index: int,

@@ -1,5 +1,5 @@
 """Asyncio serving gateway: admission control, micro-batching, SLOs,
-and replica failover over the sharded fleet.
+and a self-healing replica fleet.
 
 PR 6/7 built the compute tier — :class:`~repro.serve.batch.
 BatchExecutor` threads and :class:`~repro.serve.sharded.
@@ -12,47 +12,62 @@ front-end the ROADMAP asks for:
   (:meth:`Gateway.serve_tcp`); the event loop coalesces them into
   bounded micro-batches for the blocking executors, which run on a
   small thread pool so the loop never blocks.
-* **Admission control.**  The intake queue is bounded
-  (``max_queue_depth``); a request that would overflow it is shed
-  *synchronously* with a typed
-  :class:`~repro.errors.OverloadedError` — it never enters a batch, so
-  shedding cannot poison admitted siblings.  Per-request deadlines are
-  enforced both while queued (the backend never sees an expired
+* **Priority-aware admission control.**  The intake queue is bounded
+  (``max_queue_depth``) and partitioned by priority class; a request
+  that would overflow it is shed *synchronously* with a typed
+  :class:`~repro.errors.OverloadedError` — low-priority traffic is
+  shed first (an incoming high-priority request may evict the newest
+  queued low-priority one), and a shed request never enters a batch,
+  so shedding cannot poison admitted siblings.  Per-request deadlines
+  are enforced both while queued (the backend never sees an expired
   request) and in flight (a late answer is discarded), with the phase
   recorded on the :class:`~repro.errors.DeadlineExceededError`.
 * **SLO metrics.**  Request latency lands in the PR 3
   :class:`~repro.obs.MetricsRegistry` as ``gateway_request_seconds``
   (p50/p95/p99 via the registry's quantile-capable histograms) next to
-  queue-depth and batch-size histograms and
-  ``gateway_requests_total{status=...}`` counters;
+  queue-depth and batch-size histograms, per-priority latency/shed
+  series, and ``gateway_requests_total{status=...}`` counters;
   :meth:`Gateway.stats` snapshots the same numbers without any ambient
   registry installed.
-* **Replica failover.**  The gateway holds N *replicas* — independent
-  serving fleets over the same logical column.  When a fleet raises
-  :class:`~repro.errors.ShardError` (a shard died, hung, or errored,
-  and the fleet tore itself down), the batch is retried on the next
-  healthy replica instead of surfacing the failure: the paper's
-  hierarchy re-derives a damaged internal node from its children, and
-  the gateway re-derives an answer from a sibling fleet the same way.
-  Failovers surface as ``gateway.failover`` trace events, the
-  ``gateway_failovers_total`` counter, and per-batch
-  :class:`GatewayBatchRecord` rows.
+* **Replica lifecycle with re-admission.**  The gateway holds N
+  *replicas* — independent serving fleets over the same logical
+  column — each tracked by the :mod:`~repro.serve.lifecycle` state
+  machine (``ACTIVE → SUSPECTED → PROBATION → ACTIVE | DEAD``).  A
+  fleet that raises :class:`~repro.errors.ShardError`, fails a health
+  scan, or trips its rolling circuit breaker is *suspected* (out of
+  rotation) and its batch retried on a sibling; a background
+  supervisor then revives the backend and re-admits it once a
+  deterministic canary query answers bit-identical to a healthy peer,
+  with seeded exponential backoff between probes.  Replicas only die
+  for good when the probe budget is exhausted (or re-admission is
+  disabled with ``max_probe_attempts=0``).
+* **Hedged requests.**  When a batch's inflight time exceeds a
+  quantile-derived hedge delay (from the same latency reservoir the
+  SLOs read), the gateway dispatches the identical batch to a second
+  healthy replica and takes the first answer — safe because the
+  serving path is read-only and any two healthy replicas answer
+  bit-identically.  Hedges are counted honestly
+  (``gateway_hedges_total{outcome}``) and the loser's work is recorded
+  separately (:attr:`Gateway.hedge_records`) so IO reconciliation
+  never double-charges a batch.
 
 Determinism discipline: gateway *trace events* carry no wall-clock
-data (latencies go to metrics), answers are whatever the backend
-produced — bit-identical to the serial oracle by the serving tier's
-own contracts — and failover retries are safe because the serving
-path is read-only.
+data (latencies go to metrics), the supervisor's probe schedule draws
+from a seeded RNG, and answers are whatever the backend produced —
+bit-identical to the serial oracle by the serving tier's own
+contracts, which is also what makes failover, hedging, and canary
+re-admission provably safe.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import threading
-import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..errors import (
     AllReplicasFailedError,
@@ -60,14 +75,22 @@ from ..errors import (
     GatewayClosedError,
     GatewayError,
     OverloadedError,
+    QueryFailedError,
     ShardError,
 )
 from ..obs import TraceCollector, TraceEvent, get_metrics
+from ..obs.metrics import QuantileReservoir
 from ..workload.query import RangeQuery
+from .lifecycle import (
+    ReplicaSlot,
+    ReplicaState,
+    RollingBreaker,
+    probe_backoff,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.executor import ExecutionResult
-    from .batch import BatchExecutor, QueryOutcome
+    from .batch import BatchExecutor
     from .sharded import ShardedExecutor
 
 __all__ = [
@@ -75,6 +98,7 @@ __all__ = [
     "Gateway",
     "GatewayBatchRecord",
     "GatewayConfig",
+    "GatewayHedgeRecord",
     "GatewayStats",
     "Replica",
     "ShardedReplica",
@@ -86,7 +110,7 @@ SLO_QUANTILES = (0.50, 0.95, 0.99)
 
 @dataclass(frozen=True)
 class GatewayConfig:
-    """Tuning knobs for admission control and micro-batching.
+    """Tuning knobs for admission, batching, and self-healing.
 
     Attributes:
         max_batch_size: most requests coalesced into one backend batch.
@@ -94,11 +118,47 @@ class GatewayConfig:
             requests before flushing (the latency the gateway *spends*
             to buy batching throughput).
         max_queue_depth: admission bound — requests beyond this many
-            queued are shed with :class:`~repro.errors.OverloadedError`.
+            queued are shed with :class:`~repro.errors.OverloadedError`
+            (lowest priority class first).
         max_inflight_batches: backend batches allowed to run
             concurrently (also the size of the dispatch thread pool).
         default_deadline_s: deadline applied to requests that do not
             carry their own (``None`` = no deadline).
+        priority_classes: admission classes from most to least
+            important; under overload the *last* class sheds first.
+        default_priority: class assigned to requests that do not name
+            one (must be a member of ``priority_classes``).
+        hedge_quantile: latency quantile (of the gateway's own request
+            reservoir) that sets the hedge delay — a batch still
+            inflight past that delay is hedged to a second healthy
+            replica.  ``None`` disables quantile-derived hedging.
+        hedge_delay_s: fixed hedge delay in seconds, taking precedence
+            over ``hedge_quantile`` (useful for deterministic tests
+            and known-SLO deployments).  ``None`` defers to the
+            quantile.
+        hedge_min_samples: observed request latencies required before
+            a quantile-derived hedge delay is trusted (cold reservoirs
+            would hedge everything).
+        breaker_window: per-replica rolling window of per-query
+            outcomes feeding the circuit breaker.
+        breaker_failures: failures within ``breaker_window`` that open
+            the breaker and suspect the replica.
+        max_probe_attempts: re-admission probes before a suspected
+            replica is declared ``DEAD``.  ``0`` disables the
+            supervisor entirely — a failed replica is retired
+            permanently (the pre-self-healing behavior).
+        probe_backoff_base_s: delay before the first re-admission
+            probe; doubles per failed probe.
+        probe_backoff_max_s: cap on the un-jittered probe delay.
+        probe_jitter: fractional jitter on probe delays, drawn from
+            the seeded supervisor RNG (deterministic per seed).
+        supervisor_interval_s: how often the supervisor scans replica
+            health and checks for due probes.
+        supervisor_seed: seed for the supervisor's backoff RNG.
+        canary_query: query replayed to a probed replica before
+            re-admission; its answer must be bit-identical to a
+            healthy peer's.  ``None`` uses the most recent
+            successfully-served query as the canary.
     """
 
     max_batch_size: int = 16
@@ -106,6 +166,20 @@ class GatewayConfig:
     max_queue_depth: int = 64
     max_inflight_batches: int = 2
     default_deadline_s: float | None = None
+    priority_classes: tuple[str, ...] = ("high", "normal", "low")
+    default_priority: str = "normal"
+    hedge_quantile: float | None = None
+    hedge_delay_s: float | None = None
+    hedge_min_samples: int = 16
+    breaker_window: int = 16
+    breaker_failures: int = 4
+    max_probe_attempts: int = 6
+    probe_backoff_base_s: float = 0.05
+    probe_backoff_max_s: float = 2.0
+    probe_jitter: float = 0.1
+    supervisor_interval_s: float = 0.05
+    supervisor_seed: int = 0
+    canary_query: RangeQuery | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -135,6 +209,70 @@ class GatewayConfig:
                 f"default_deadline_s must be > 0, got "
                 f"{self.default_deadline_s}"
             )
+        if not self.priority_classes:
+            raise ValueError("need at least one priority class")
+        if len(set(self.priority_classes)) != len(
+            self.priority_classes
+        ):
+            raise ValueError(
+                f"priority classes must be unique, got "
+                f"{self.priority_classes}"
+            )
+        if self.default_priority not in self.priority_classes:
+            raise ValueError(
+                f"default_priority {self.default_priority!r} is not "
+                f"one of {self.priority_classes}"
+            )
+        if self.hedge_quantile is not None and not (
+            0.0 < self.hedge_quantile <= 1.0
+        ):
+            raise ValueError(
+                f"hedge_quantile must be in (0, 1], got "
+                f"{self.hedge_quantile}"
+            )
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise ValueError(
+                f"hedge_delay_s must be > 0, got {self.hedge_delay_s}"
+            )
+        if self.hedge_min_samples < 1:
+            raise ValueError(
+                f"hedge_min_samples must be >= 1, got "
+                f"{self.hedge_min_samples}"
+            )
+        if self.breaker_window < 1:
+            raise ValueError(
+                f"breaker_window must be >= 1, got "
+                f"{self.breaker_window}"
+            )
+        if not 1 <= self.breaker_failures <= self.breaker_window:
+            raise ValueError(
+                f"breaker_failures must be in [1, "
+                f"{self.breaker_window}], got {self.breaker_failures}"
+            )
+        if self.max_probe_attempts < 0:
+            raise ValueError(
+                f"max_probe_attempts must be >= 0, got "
+                f"{self.max_probe_attempts}"
+            )
+        if self.probe_backoff_base_s <= 0:
+            raise ValueError(
+                f"probe_backoff_base_s must be > 0, got "
+                f"{self.probe_backoff_base_s}"
+            )
+        if self.probe_backoff_max_s < self.probe_backoff_base_s:
+            raise ValueError(
+                f"probe_backoff_max_s must be >= "
+                f"probe_backoff_base_s, got {self.probe_backoff_max_s}"
+            )
+        if self.probe_jitter < 0:
+            raise ValueError(
+                f"probe_jitter must be >= 0, got {self.probe_jitter}"
+            )
+        if self.supervisor_interval_s <= 0:
+            raise ValueError(
+                f"supervisor_interval_s must be > 0, got "
+                f"{self.supervisor_interval_s}"
+            )
 
 
 class Replica:
@@ -142,32 +280,90 @@ class Replica:
 
     Subclasses adapt a concrete backend; the contract is small:
     :meth:`run_batch` executes a tuple of queries *synchronously*
-    (the gateway calls it from its dispatch thread pool) and returns a
-    report exposing ``outcomes`` — per-query
-    :class:`~repro.serve.batch.QueryOutcome`\\ s in query order — and
-    ``reconciles()``.  A raise of
-    :class:`~repro.errors.ShardError` means "this fleet is gone";
-    the gateway marks the replica unhealthy, closes it, and retries the
-    batch on a sibling.
+    (the gateway calls it from its dispatch thread pool, via
+    :meth:`serve_batch`) and returns a report exposing ``outcomes`` —
+    per-query :class:`~repro.serve.batch.QueryOutcome`\\ s in query
+    order — and ``reconciles()``.  A raise of
+    :class:`~repro.errors.ShardError` means "this fleet is gone"; the
+    gateway suspects the replica, closes it, and retries the batch on
+    a sibling.  The supervisor may later call :meth:`revive` and
+    replay a canary query to re-admit it.
+
+    :meth:`close` is idempotent and race-safe: the supervisor, a
+    failover path, and :meth:`Gateway.aclose` may all reach for it
+    concurrently and the backend is torn down exactly once.
 
     Args:
         replica_id: dense id used in metrics, traces, and reports.
     """
 
+    #: Whether the gateway must serialize batches through this replica
+    #: (backends that multiplex a single channel, like the sharded
+    #: fleet's per-shard pipes, are not safe to call concurrently).
+    serialize_batches = False
+
     def __init__(self, replica_id: int):
         self.replica_id = replica_id
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._batch_lock = threading.Lock()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (and no revive since)."""
+        return self._closed
+
+    def serve_batch(self, queries: tuple[RangeQuery, ...]):
+        """Run one micro-batch, serializing when the backend needs it.
+
+        The gateway's entry point; dispatch threads (and the
+        supervisor's canary probe) call this instead of
+        :meth:`run_batch` directly so backends that are not safe to
+        call concurrently (``serialize_batches = True``) see one batch
+        at a time.
+        """
+        if self.serialize_batches:
+            with self._batch_lock:
+                return self.run_batch(queries)
+        return self.run_batch(queries)
 
     def run_batch(self, queries: tuple[RangeQuery, ...]):
         """Serve one micro-batch; return a report with ``outcomes``."""
         raise NotImplementedError
 
     def close(self) -> None:
-        """Release backend resources (idempotent)."""
+        """Release backend resources (idempotent and race-safe).
+
+        Concurrent callers race on a lock; exactly one runs
+        :meth:`_do_close`, the rest return immediately.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._do_close()
+
+    def _do_close(self) -> None:
+        """Subclass hook releasing backend resources (called once per
+        close/revive cycle)."""
 
     def is_healthy(self) -> bool:
         """Backend-level liveness (the gateway also tracks its own
-        view and stops routing to replicas that failed a batch)."""
-        return True
+        lifecycle view and stops routing to suspected replicas)."""
+        return not self._closed
+
+    def revive(self) -> bool:
+        """Attempt to restore the backend after a failure.
+
+        Called by the gateway supervisor (on a dispatch thread) before
+        the canary check.  The base implementation just reopens intake
+        — clears the closed flag and reports backend health;
+        subclasses rebuild real backends.  Returns ``True`` when the
+        replica is ready to probe.
+        """
+        with self._close_lock:
+            self._closed = False
+        return self.is_healthy()
 
 
 class ShardedReplica(Replica):
@@ -177,8 +373,12 @@ class ShardedReplica(Replica):
     The executor must already be ``start()``-ed and ``prepare()``-d;
     the gateway only sends read batches through it.  A
     :class:`~repro.errors.ShardFailedError` from the fleet (which has
-    then torn itself down) triggers gateway failover.
+    then torn itself down) triggers gateway failover; the supervisor
+    later rebuilds the fleet via
+    :meth:`~repro.serve.sharded.ShardedExecutor.restart`.
     """
+
+    serialize_batches = True
 
     def __init__(self, replica_id: int, executor: "ShardedExecutor"):
         super().__init__(replica_id)
@@ -188,12 +388,28 @@ class ShardedReplica(Replica):
         """Scatter-gather the batch across the fleet's shards."""
         return self.executor.run(queries)
 
-    def close(self) -> None:
+    def _do_close(self) -> None:
         """Tear the fleet down and reap its worker processes."""
         self.executor.close()
 
     def is_healthy(self) -> bool:
         """Whether the fleet's worker processes are all alive."""
+        return not self._closed and self.executor.healthy
+
+    def revive(self) -> bool:
+        """Rebuild the fleet from its on-disk shard stores.
+
+        Respawns the worker processes and replays the last
+        ``prepare()`` so the restarted fleet pins the same cut it
+        served before; any failure reads as an unsuccessful revive
+        (the supervisor will back off and retry).
+        """
+        try:
+            self.executor.restart()
+        except Exception:
+            return False
+        with self._close_lock:
+            self._closed = False
         return self.executor.healthy
 
 
@@ -202,9 +418,10 @@ class BatchReplica(Replica):
     :class:`~repro.serve.batch.BatchExecutor`.
 
     Useful on single-core hosts (and in the gateway experiment's CI
-    runs) where process fleets buy nothing; thread replicas never
-    raise fleet-level :class:`~repro.errors.ShardError`, so they do
-    not exercise failover.
+    runs) where process fleets buy nothing.  Health is probed for real
+    via :attr:`~repro.serve.batch.BatchExecutor.healthy` (cheap store
+    metadata, not a query), so the supervisor can notice a store that
+    went away underneath the executor.
 
     Args:
         replica_id: dense replica id.
@@ -228,23 +445,43 @@ class BatchReplica(Replica):
             queries, self.cut_node_ids, pin=True
         )
 
+    def is_healthy(self) -> bool:
+        """Whether the executor's store still answers metadata reads."""
+        return not self._closed and self.batch_executor.healthy
+
+    def revive(self) -> bool:
+        """Reopen intake and re-probe the store.
+
+        The thread-pool executor holds no processes to respawn; a
+        revive succeeds exactly when the underlying store is readable
+        again.
+        """
+        with self._close_lock:
+            self._closed = False
+        return self.batch_executor.healthy
+
 
 @dataclass(frozen=True)
 class GatewayBatchRecord:
     """One dispatched micro-batch, as seen by the gateway.
 
     The ``explain_analyze``-style row stream for the serving tier:
-    which replica answered, how many fleets had to be tried, and the
-    backend report whose accounting the tests reconcile byte-exactly.
+    which replica answered, how many fleets had to be tried, whether
+    the batch was hedged, and the backend report whose accounting the
+    tests reconcile byte-exactly.
 
     Attributes:
         batch_id: dense dispatch counter.
         size: requests in the batch after queued-deadline filtering.
-        replica_id: the replica that produced the answers.
+        replica_id: the replica that produced the answers (the hedge
+            winner, for hedged batches).
         attempts: replicas tried (1 = no failover).
         failed_replica_ids: replicas that raised mid-batch, in order.
         report: the backend's batch report (``BatchReport`` or
             ``ShardedBatchReport``), carrying outcomes and IO.
+        hedged: whether a hedge request was dispatched for this batch.
+        hedge_replica_id: the replica the hedge ran on (``None`` when
+            not hedged).
     """
 
     batch_id: int
@@ -253,11 +490,47 @@ class GatewayBatchRecord:
     attempts: int
     failed_replica_ids: tuple[int, ...]
     report: Any
+    hedged: bool = False
+    hedge_replica_id: int | None = None
 
     @property
     def failed_over(self) -> bool:
         """Whether this batch needed at least one failover."""
         return bool(self.failed_replica_ids)
+
+
+@dataclass(frozen=True)
+class GatewayHedgeRecord:
+    """One side of a hedged batch (winner or discarded loser).
+
+    Hedge work must be counted honestly: the winner's report is the
+    one clients are billed from (it rides the
+    :class:`GatewayBatchRecord`), and the loser's report — real IO a
+    backend performed for an answer nobody used — is recorded here so
+    reconciliation can account for it byte-exactly without ever
+    double-charging the batch.
+
+    Attributes:
+        batch_id: the batch this hedge side served.
+        replica_id: the replica that ran this side.
+        role: ``"primary"`` or ``"hedge"``.
+        used: whether this side's answers were delivered to clients.
+        error: ``type(exc).__name__`` when this side failed instead of
+            completing (``None`` on success).
+        report: the side's backend report (``None`` when it failed).
+    """
+
+    batch_id: int
+    replica_id: int
+    role: str
+    used: bool
+    error: str | None
+    report: Any
+
+    @property
+    def discarded(self) -> bool:
+        """Whether this side's work was thrown away (hedge loser)."""
+        return not self.used
 
 
 @dataclass
@@ -267,7 +540,7 @@ class GatewayStats:
     Attributes:
         requests_total: requests submitted (admitted or shed).
         ok: requests answered within their deadline.
-        shed: requests refused at admission (queue full).
+        shed: requests refused or evicted at admission (queue full).
         deadline_queued: deadlines that expired while queued.
         deadline_inflight: deadlines that expired during execution.
         failed: requests whose query raised (typed per-query errors)
@@ -276,8 +549,19 @@ class GatewayStats:
         empty_flushes: micro-batches that emptied out (every member
             expired while queued) and were never sent to a backend.
         failovers: replica failovers performed.
-        replicas_healthy: replicas the gateway still routes to.
+        hedges: hedge requests dispatched.
+        hedges_won: hedged batches answered by the hedge replica.
+        breaker_opens: circuit-breaker trips (rolling per-query
+            failure windows).
+        readmissions: suspected replicas returned to ``ACTIVE`` after
+            passing a canary probe.
+        replicas_healthy: replicas in ``ACTIVE`` rotation.
+        replicas_suspected: replicas out of rotation but still being
+            probed (``SUSPECTED`` or ``PROBATION``).
+        replicas_dead: replicas whose probe budget is exhausted.
         queue_depth_peak: highest observed intake-queue depth.
+        shed_by_priority: sheds per priority class (refusals and
+            evictions combined).
         latency_p50_s: median request latency (seconds).
         latency_p95_s: 95th-percentile request latency.
         latency_p99_s: 99th-percentile request latency.
@@ -292,13 +576,20 @@ class GatewayStats:
     batches: int = 0
     empty_flushes: int = 0
     failovers: int = 0
+    hedges: int = 0
+    hedges_won: int = 0
+    breaker_opens: int = 0
+    readmissions: int = 0
     replicas_healthy: int = 0
+    replicas_suspected: int = 0
+    replicas_dead: int = 0
     queue_depth_peak: int = 0
+    shed_by_priority: dict[str, int] = field(default_factory=dict)
     latency_p50_s: float = 0.0
     latency_p95_s: float = 0.0
     latency_p99_s: float = 0.0
 
-    def to_dict(self) -> dict[str, float]:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot (what ``hcs-experiments gateway``
         prints per sweep row)."""
         return dict(vars(self))
@@ -313,10 +604,79 @@ class _PendingRequest:
     enqueued_at: float
     deadline_at: float | None
     deadline_s: float | None
+    priority: str
+    priority_index: int
 
     def expired(self, now: float) -> bool:
         """Whether the request's deadline has passed at ``now``."""
         return self.deadline_at is not None and now >= self.deadline_at
+
+
+class _PriorityIntake:
+    """Per-priority-class FIFO intake with eviction for admission.
+
+    One deque per priority class (most important first); the batcher
+    drains the most important non-empty class, and admission may evict
+    the *newest* member of the *least* important non-empty class
+    strictly below an incoming request.  Runs entirely on the event
+    loop — no internal locking needed.
+    """
+
+    def __init__(self, num_classes: int):
+        self._queues = [deque() for _ in range(num_classes)]
+        self._ready = asyncio.Event()
+
+    def qsize(self) -> int:
+        """Requests queued across every class."""
+        return sum(len(queue) for queue in self._queues)
+
+    def put_nowait(self, request: _PendingRequest) -> None:
+        """Enqueue into the request's priority class."""
+        self._queues[request.priority_index].append(request)
+        self._ready.set()
+
+    def _pop_nowait(self) -> _PendingRequest | None:
+        for queue in self._queues:
+            if queue:
+                request = queue.popleft()
+                if not any(self._queues):
+                    self._ready.clear()
+                return request
+        return None
+
+    async def get(self) -> _PendingRequest:
+        """Await and return the most important queued request."""
+        while True:
+            request = self._pop_nowait()
+            if request is not None:
+                return request
+            self._ready.clear()
+            await self._ready.wait()
+
+    def evict_lower(
+        self, priority_index: int
+    ) -> _PendingRequest | None:
+        """Evict the newest request of the least important class
+        strictly below ``priority_index`` (``None`` when no such
+        request is queued)."""
+        for cls in range(len(self._queues) - 1, priority_index, -1):
+            queue = self._queues[cls]
+            if queue:
+                request = queue.pop()
+                if not any(self._queues):
+                    self._ready.clear()
+                return request
+        return None
+
+    def drain(self) -> list[_PendingRequest]:
+        """Remove and return every queued request (shutdown path)."""
+        stranded = [
+            request for queue in self._queues for request in queue
+        ]
+        for queue in self._queues:
+            queue.clear()
+        self._ready.clear()
+        return stranded
 
 
 class Gateway:
@@ -325,13 +685,17 @@ class Gateway:
     Lifecycle: construct over one or more :class:`Replica`\\ s, then
     ``async with gateway:`` (or :meth:`start` / :meth:`aclose`).
     Requests enter through :meth:`submit` (in-process) or the
-    TCP/JSON-lines listener from :meth:`serve_tcp`; both go through the
-    same admission control, batcher, and failover machinery.
+    TCP/JSON-lines listener from :meth:`serve_tcp`; both go through
+    the same admission control, batcher, failover, and hedging
+    machinery.  A background supervisor task (enabled whenever
+    ``config.max_probe_attempts > 0``) probes suspected replicas and
+    re-admits the ones that pass a canary check.
 
     Args:
         replicas: serving fleets, tried round-robin; at least one.
-        config: admission/batching knobs (defaults are sensible for
-            tests; see ``docs/gateway.md`` for tuning guidance).
+        config: admission/batching/self-healing knobs (defaults are
+            sensible for tests; see ``docs/gateway.md`` for tuning
+            guidance).
         close_replicas_on_exit: close every replica in :meth:`aclose`
             (set False when the caller manages replica lifecycle).
     """
@@ -347,22 +711,40 @@ class Gateway:
         self._replicas = list(replicas)
         self._config = config or GatewayConfig()
         self._close_replicas = close_replicas_on_exit
-        self._queue: asyncio.Queue[_PendingRequest] | None = None
+        self._intake: _PriorityIntake | None = None
         self._batcher_task: asyncio.Task | None = None
+        self._supervisor_task: asyncio.Task | None = None
         self._dispatch_tasks: set[asyncio.Task] = set()
+        self._hedge_tasks: set[asyncio.Task] = set()
         self._inflight: asyncio.Semaphore | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed = False
         self._started = False
         # Cross-thread state (dispatch threads mutate these).
         self._lock = threading.Lock()
-        self._unhealthy: set[int] = set()
+        self._slots: dict[int, ReplicaSlot] = {
+            replica.replica_id: ReplicaSlot(
+                replica=replica,
+                breaker=RollingBreaker(
+                    self._config.breaker_window,
+                    self._config.breaker_failures,
+                ),
+            )
+            for replica in self._replicas
+        }
+        if len(self._slots) != len(self._replicas):
+            raise ValueError("replica ids must be unique")
+        self._rng = random.Random(self._config.supervisor_seed)
         self._next_replica = 0
         self._trace = TraceCollector()
         self._stats = GatewayStats()
-        self._latencies = _LatencyReservoir()
+        self._latencies = QuantileReservoir()
         self._batch_records: list[GatewayBatchRecord] = []
+        self._hedge_records: list[GatewayHedgeRecord] = []
         self._batch_counter = 0
+        self._canary_ref: (
+            tuple[RangeQuery, tuple[int, ...]] | None
+        ) = None
 
     # ------------------------------------------------------------------
     @property
@@ -372,23 +754,32 @@ class Gateway:
 
     @property
     def replicas(self) -> tuple[Replica, ...]:
-        """All replicas, healthy or not, in construction order."""
+        """All replicas, whatever their state, in construction order."""
         return tuple(self._replicas)
 
     @property
     def healthy_replicas(self) -> tuple[Replica, ...]:
-        """Replicas the gateway still routes batches to."""
+        """Replicas in ``ACTIVE`` rotation (batches route here)."""
         with self._lock:
             return tuple(
-                replica
-                for replica in self._replicas
-                if replica.replica_id not in self._unhealthy
+                slot.replica
+                for slot in self._iter_slots()
+                if slot.state is ReplicaState.ACTIVE
             )
+
+    def replica_states(self) -> dict[int, str]:
+        """Each replica's lifecycle state, keyed by replica id."""
+        with self._lock:
+            return {
+                replica_id: slot.state.value
+                for replica_id, slot in sorted(self._slots.items())
+            }
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:
         """The gateway's deterministic trace stream (batches,
-        failovers, sheds, deadline expiries — no wall-clock data)."""
+        failovers, sheds, state transitions, probes, hedges — no
+        wall-clock data)."""
         with self._lock:
             return tuple(self._trace.events)
 
@@ -399,17 +790,36 @@ class Gateway:
             return tuple(self._batch_records)
 
     @property
+    def hedge_records(self) -> tuple[GatewayHedgeRecord, ...]:
+        """Both sides of every hedged batch, winners and discarded
+        losers, in completion order (how tests reconcile hedge IO
+        without double-charging)."""
+        with self._lock:
+            return tuple(self._hedge_records)
+
+    @property
     def queue_depth(self) -> int:
         """Requests currently waiting for a micro-batch slot."""
-        return self._queue.qsize() if self._queue is not None else 0
+        return self._intake.qsize() if self._intake is not None else 0
 
     def stats(self) -> GatewayStats:
         """Snapshot the SLO counters (latency quantiles included)."""
         with self._lock:
             snapshot = GatewayStats(**vars(self._stats))
-            snapshot.replicas_healthy = len(self._replicas) - len(
-                self._unhealthy
+            snapshot.shed_by_priority = dict(
+                self._stats.shed_by_priority
             )
+            healthy = suspected = dead = 0
+            for slot in self._slots.values():
+                if slot.state is ReplicaState.ACTIVE:
+                    healthy += 1
+                elif slot.state is ReplicaState.DEAD:
+                    dead += 1
+                else:
+                    suspected += 1
+            snapshot.replicas_healthy = healthy
+            snapshot.replicas_suspected = suspected
+            snapshot.replicas_dead = dead
             p50, p95, p99 = (
                 self._latencies.quantile(q) for q in SLO_QUANTILES
             )
@@ -420,42 +830,57 @@ class Gateway:
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind to the running event loop and start the batcher."""
+        """Bind to the running event loop and start the batcher (and
+        the self-healing supervisor, unless re-admission is disabled).
+        """
         if self._started:
             raise GatewayError("gateway already started")
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue()
+        self._intake = _PriorityIntake(
+            len(self._config.priority_classes)
+        )
         self._inflight = asyncio.Semaphore(
             self._config.max_inflight_batches
         )
         self._batcher_task = asyncio.create_task(
             self._batcher(), name="hcs-gateway-batcher"
         )
+        if self._config.max_probe_attempts > 0:
+            self._supervisor_task = asyncio.create_task(
+                self._supervisor(), name="hcs-gateway-supervisor"
+            )
         self._started = True
         self._closed = False
 
     async def aclose(self) -> None:
-        """Stop intake, fail stranded requests, reap dispatch tasks,
-        and (by default) close every replica.  Idempotent."""
+        """Stop intake, fail stranded requests, reap dispatch and
+        hedge tasks, and (by default) close every replica.  Idempotent.
+        """
         if not self._started or self._closed:
             self._closed = True
             return
         self._closed = True
-        if self._batcher_task is not None:
-            self._batcher_task.cancel()
-            try:
-                await self._batcher_task
-            except asyncio.CancelledError:
-                pass
+        for task in (self._batcher_task, self._supervisor_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._batcher_task = None
+        self._supervisor_task = None
         # In-flight batches finish (their clients get real answers);
         # requests still queued are stranded and must fail typed.
         if self._dispatch_tasks:
             await asyncio.gather(
                 *tuple(self._dispatch_tasks), return_exceptions=True
             )
-        assert self._queue is not None
-        while not self._queue.empty():
-            request = self._queue.get_nowait()
+        if self._hedge_tasks:
+            await asyncio.gather(
+                *tuple(self._hedge_tasks), return_exceptions=True
+            )
+        assert self._intake is not None
+        for request in self._intake.drain():
             if not request.future.done():
                 request.future.set_exception(
                     GatewayClosedError(
@@ -464,7 +889,10 @@ class Gateway:
                 )
         if self._close_replicas:
             for replica in self._replicas:
-                replica.close()
+                try:
+                    replica.close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
         self._started = False
 
     async def __aenter__(self) -> "Gateway":
@@ -481,22 +909,30 @@ class Gateway:
         self,
         query: RangeQuery,
         deadline_s: float | None = None,
+        priority: str | None = None,
     ) -> "ExecutionResult":
         """Submit one range query; await its full-width answer.
 
         Admission control happens *here*, synchronously: a full queue
-        sheds the request with :class:`~repro.errors.OverloadedError`
-        before it can touch any batch.  The returned result is exactly
-        what the backend executor produced (bit-identical to the
-        serial oracle by the serving tier's contracts).
+        sheds a request with :class:`~repro.errors.OverloadedError`
+        before it can touch any batch, preferring to evict queued
+        traffic of a strictly lower priority class over refusing the
+        incoming request.  The returned result is exactly what the
+        backend executor produced (bit-identical to the serial oracle
+        by the serving tier's contracts).
 
         Args:
             query: the range query to answer.
             deadline_s: per-request deadline in seconds (defaults to
                 ``config.default_deadline_s``; ``None`` = no deadline).
+            priority: priority class name (defaults to
+                ``config.default_priority``).
 
         Raises:
-            OverloadedError: shed at admission (queue full).
+            ValueError: ``priority`` is not a configured class.
+            OverloadedError: shed at admission (queue full), either
+                refused at the door or evicted by higher-priority
+                traffic.
             DeadlineExceededError: the deadline expired while queued
                 or in flight.
             QueryFailedError: the query itself failed on the backend.
@@ -505,21 +941,43 @@ class Gateway:
         """
         if not self._started or self._closed:
             raise GatewayClosedError()
-        assert self._queue is not None and self._loop is not None
-        depth = self._queue.qsize()
-        if depth >= self._config.max_queue_depth:
-            with self._lock:
-                self._stats.requests_total += 1
-                self._stats.shed += 1
-                self._trace.emit(
-                    "gateway.shed",
-                    query.label or repr(query),
-                    queue_depth=depth,
-                )
-            get_metrics().inc(
-                "gateway_requests_total", status="shed"
+        assert self._intake is not None and self._loop is not None
+        if priority is None:
+            priority = self._config.default_priority
+        try:
+            priority_index = self._config.priority_classes.index(
+                priority
             )
-            raise OverloadedError(depth, self._config.max_queue_depth)
+        except ValueError:
+            raise ValueError(
+                f"unknown priority {priority!r}; configured classes: "
+                f"{self._config.priority_classes}"
+            ) from None
+        depth = self._intake.qsize()
+        if depth >= self._config.max_queue_depth:
+            victim = self._intake.evict_lower(priority_index)
+            if victim is None:
+                self._note_shed(query, priority, depth, "refused")
+                with self._lock:
+                    self._stats.requests_total += 1
+                raise OverloadedError(
+                    depth,
+                    self._config.max_queue_depth,
+                    priority=priority,
+                    kind="refused",
+                )
+            self._note_shed(
+                victim.query, victim.priority, depth, "evicted"
+            )
+            if not victim.future.done():
+                victim.future.set_exception(
+                    OverloadedError(
+                        depth,
+                        self._config.max_queue_depth,
+                        priority=victim.priority,
+                        kind="evicted",
+                    )
+                )
         if deadline_s is None:
             deadline_s = self._config.default_deadline_s
         now = self._loop.time()
@@ -531,28 +989,50 @@ class Gateway:
                 now + deadline_s if deadline_s is not None else None
             ),
             deadline_s=deadline_s,
+            priority=priority,
+            priority_index=priority_index,
         )
-        self._queue.put_nowait(request)
-        depth_after = self._queue.qsize()
+        self._intake.put_nowait(request)
+        depth_after = self._intake.qsize()
         with self._lock:
             self._stats.requests_total += 1
             if depth_after > self._stats.queue_depth_peak:
                 self._stats.queue_depth_peak = depth_after
-        metrics = get_metrics()
-        metrics.observe("gateway_queue_depth", depth_after)
+        get_metrics().observe("gateway_queue_depth", depth_after)
         return await request.future
+
+    def _note_shed(
+        self, query: RangeQuery, priority: str, depth: int, kind: str
+    ) -> None:
+        """Record one shed (refusal or eviction) in stats/metrics."""
+        with self._lock:
+            self._stats.shed += 1
+            by_priority = self._stats.shed_by_priority
+            by_priority[priority] = by_priority.get(priority, 0) + 1
+            self._trace.emit(
+                "gateway.shed",
+                query.label or repr(query),
+                queue_depth=depth,
+                priority=priority,
+                shed=kind,
+            )
+        metrics = get_metrics()
+        metrics.inc("gateway_requests_total", status="shed")
+        metrics.inc(
+            "gateway_sheds_total", priority=priority, kind=kind
+        )
 
     # ------------------------------------------------------------------
     async def _batcher(self) -> None:
         """Coalesce queued requests into bounded micro-batches."""
-        assert self._queue is not None
+        assert self._intake is not None
         assert self._inflight is not None
         assert self._loop is not None
         config = self._config
         while True:
             batch: list[_PendingRequest] = []
             try:
-                batch.append(await self._queue.get())
+                batch.append(await self._intake.get())
                 flush_at = (
                     self._loop.time() + config.max_batch_delay_s
                 )
@@ -563,7 +1043,7 @@ class Gateway:
                     try:
                         batch.append(
                             await asyncio.wait_for(
-                                self._queue.get(), timeout
+                                self._intake.get(), timeout
                             )
                         )
                     except asyncio.TimeoutError:
@@ -635,7 +1115,7 @@ class Gateway:
         return live
 
     async def _dispatch(self, batch: list[_PendingRequest]) -> None:
-        """Run one micro-batch on a replica (thread side) and deliver
+        """Serve one micro-batch (failover + hedging) and deliver
         answers, enforcing in-flight deadlines."""
         assert self._loop is not None
         queries = tuple(request.query for request in batch)
@@ -643,9 +1123,7 @@ class Gateway:
         metrics.inc("gateway_batches_total")
         metrics.observe("gateway_batch_size", len(batch))
         try:
-            record = await self._loop.run_in_executor(
-                None, self._run_with_failover, queries
-            )
+            record = await self._serve_batch(queries)
         except GatewayError as exc:
             now = self._loop.time()
             for request in batch:
@@ -677,6 +1155,11 @@ class Gateway:
         latency = now - request.enqueued_at
         metrics = get_metrics()
         metrics.observe("gateway_request_seconds", latency)
+        metrics.observe(
+            "gateway_priority_request_seconds",
+            latency,
+            priority=request.priority,
+        )
         if error is None:
             status = "ok"
         elif isinstance(error, DeadlineExceededError):
@@ -684,6 +1167,11 @@ class Gateway:
         else:
             status = "failed"
         metrics.inc("gateway_requests_total", status=status)
+        metrics.inc(
+            "gateway_priority_requests_total",
+            status=status,
+            priority=request.priority,
+        )
         with self._lock:
             self._latencies.observe(latency)
             if status == "ok":
@@ -705,88 +1193,595 @@ class Gateway:
             request.future.set_result(result)
 
     # ------------------------------------------------------------------
-    def _pick_replicas(self) -> list[Replica]:
-        """Healthy replicas in round-robin try order."""
-        with self._lock:
-            healthy = [
-                replica
-                for replica in self._replicas
-                if replica.replica_id not in self._unhealthy
-            ]
-            if not healthy:
-                return []
-            start = self._next_replica % len(healthy)
-            self._next_replica += 1
-        return healthy[start:] + healthy[:start]
+    def _iter_slots(self) -> list[ReplicaSlot]:
+        """Slots in construction order (caller holds the lock)."""
+        return [
+            self._slots[replica.replica_id]
+            for replica in self._replicas
+        ]
 
-    def _run_with_failover(
+    def _next_candidate(self, tried: set[int]) -> Replica | None:
+        """Round-robin pick of an ``ACTIVE`` replica not yet tried
+        for the current batch (``None`` when none remain)."""
+        with self._lock:
+            active = [
+                slot.replica
+                for slot in self._iter_slots()
+                if slot.state is ReplicaState.ACTIVE
+                and slot.replica.replica_id not in tried
+            ]
+            if not active:
+                return None
+            start = self._next_replica % len(active)
+            self._next_replica += 1
+        return active[start]
+
+    async def _attempt(
+        self, replica: Replica, queries: tuple[RangeQuery, ...]
+    ) -> tuple[str, Any]:
+        """Run one batch attempt on a dispatch thread; never raises
+        :class:`~repro.errors.ShardError` (returned as data so hedge
+        races can reap losers without exception plumbing)."""
+        assert self._loop is not None
+        try:
+            report = await self._loop.run_in_executor(
+                None, replica.serve_batch, queries
+            )
+        except ShardError as exc:
+            return ("error", exc)
+        return ("ok", report)
+
+    def _hedge_delay(self) -> float | None:
+        """The effective hedge delay in seconds, or ``None`` when
+        hedging is disabled (or the latency reservoir is too cold for
+        a quantile-derived delay)."""
+        config = self._config
+        if config.hedge_delay_s is not None:
+            return config.hedge_delay_s
+        if config.hedge_quantile is None:
+            return None
+        with self._lock:
+            if self._latencies.observed < config.hedge_min_samples:
+                return None
+            return self._latencies.quantile(config.hedge_quantile)
+
+    async def _serve_batch(
         self, queries: tuple[RangeQuery, ...]
     ) -> GatewayBatchRecord:
-        """Serve one batch, failing over across replicas on
-        :class:`~repro.errors.ShardError` (runs on a dispatch thread).
-        """
+        """Serve one batch with failover and (first attempt only)
+        hedging; raises :class:`~repro.errors.AllReplicasFailedError`
+        when the fleet is exhausted."""
+        assert self._loop is not None
         attempts: list[tuple[int, str, str]] = []
         failed_ids: list[int] = []
-        candidates = self._pick_replicas()
+        tried: set[int] = set()
+        hedged = False
+        hedge_replica_id: int | None = None
         metrics = get_metrics()
-        for replica in candidates:
-            try:
-                report = replica.run_batch(queries)
-            except ShardError as exc:
-                attempts.append(
-                    (replica.replica_id, type(exc).__name__, str(exc))
+        while True:
+            replica = self._next_candidate(tried)
+            if replica is None:
+                raise AllReplicasFailedError(
+                    attempts
+                    or [(-1, "GatewayError", "no healthy replicas")]
                 )
-                failed_ids.append(replica.replica_id)
-                self._mark_unhealthy(replica, exc)
-                metrics.inc(
-                    "gateway_failovers_total",
-                    replica=replica.replica_id,
+            tried.add(replica.replica_id)
+            primary_fut = asyncio.ensure_future(
+                self._attempt(replica, queries)
+            )
+            hedge_fut: asyncio.Future | None = None
+            hedge_replica: Replica | None = None
+            delay = None if (attempts or hedged) else self._hedge_delay()
+            if delay is not None:
+                done, _pending = await asyncio.wait(
+                    {primary_fut}, timeout=delay
                 )
-                continue
-            with self._lock:
-                batch_id = self._batch_counter
-                self._batch_counter += 1
-                self._stats.batches += 1
-                record = GatewayBatchRecord(
-                    batch_id=batch_id,
-                    size=len(queries),
-                    replica_id=replica.replica_id,
-                    attempts=len(attempts) + 1,
-                    failed_replica_ids=tuple(failed_ids),
-                    report=report,
+                if not done:
+                    hedge_replica = self._next_candidate(tried)
+                    if hedge_replica is not None:
+                        tried.add(hedge_replica.replica_id)
+                        hedged = True
+                        hedge_replica_id = hedge_replica.replica_id
+                        with self._lock:
+                            self._stats.hedges += 1
+                            self._trace.emit(
+                                "gateway.hedge",
+                                f"replica-{hedge_replica.replica_id}",
+                                primary=replica.replica_id,
+                                size=len(queries),
+                            )
+                        metrics.inc(
+                            "gateway_hedges_total", outcome="fired"
+                        )
+                        hedge_fut = asyncio.ensure_future(
+                            self._attempt(hedge_replica, queries)
+                        )
+            if hedge_fut is not None:
+                assert hedge_replica is not None
+                winner, outcome, loser = await self._race_hedge(
+                    replica, primary_fut, hedge_replica, hedge_fut
                 )
-                self._batch_records.append(record)
-                self._trace.emit(
-                    "gateway.batch",
-                    f"batch-{batch_id}",
-                    size=len(queries),
-                    replica=replica.replica_id,
-                    attempts=len(attempts) + 1,
+                if winner is None:
+                    # Both sides failed; fail over past both of them.
+                    for side, fut in (
+                        (replica, primary_fut),
+                        (hedge_replica, hedge_fut),
+                    ):
+                        exc = fut.result()[1]
+                        attempts.append(
+                            (
+                                side.replica_id,
+                                type(exc).__name__,
+                                str(exc),
+                            )
+                        )
+                        failed_ids.append(side.replica_id)
+                        await self._note_failover(side, exc)
+                    metrics.inc(
+                        "gateway_hedges_total", outcome="failed"
+                    )
+                    continue
+                report = outcome[1]
+                hedge_won = winner is hedge_replica
+                if hedge_won:
+                    with self._lock:
+                        self._stats.hedges_won += 1
+                    metrics.inc("gateway_hedges_total", outcome="won")
+                record, tripped = self._record_batch(
+                    queries,
+                    winner,
+                    report,
+                    attempts,
+                    failed_ids,
+                    hedged=True,
+                    hedge_replica_id=hedge_replica_id,
                 )
-            return record
-        raise AllReplicasFailedError(
-            attempts
-            or [(-1, "GatewayError", "no healthy replicas")]
-        )
+                with self._lock:
+                    self._hedge_records.append(
+                        GatewayHedgeRecord(
+                            batch_id=record.batch_id,
+                            replica_id=winner.replica_id,
+                            role="hedge" if hedge_won else "primary",
+                            used=True,
+                            error=None,
+                            report=report,
+                        )
+                    )
+                loser_replica, loser_fut = loser
+                loser_role = (
+                    "primary" if hedge_won else "hedge"
+                )
+                self._spawn_hedge_reaper(
+                    record.batch_id,
+                    loser_replica,
+                    loser_fut,
+                    loser_role,
+                )
+                if tripped:
+                    await self._suspect(winner, "breaker")
+                return record
+            kind, payload = await primary_fut
+            if kind == "ok":
+                record, tripped = self._record_batch(
+                    queries,
+                    replica,
+                    payload,
+                    attempts,
+                    failed_ids,
+                    hedged=hedged,
+                    hedge_replica_id=hedge_replica_id,
+                )
+                if tripped:
+                    await self._suspect(replica, "breaker")
+                return record
+            exc = payload
+            attempts.append(
+                (replica.replica_id, type(exc).__name__, str(exc))
+            )
+            failed_ids.append(replica.replica_id)
+            await self._note_failover(replica, exc)
 
-    def _mark_unhealthy(
+    async def _race_hedge(
+        self,
+        primary: Replica,
+        primary_fut: asyncio.Future,
+        hedge: Replica,
+        hedge_fut: asyncio.Future,
+    ):
+        """Race the primary and hedge attempts; return
+        ``(winner_replica, winner_outcome, (loser_replica,
+        loser_future))`` — or ``(None, None, None)`` when both sides
+        failed.  The primary wins ties."""
+        pair = ((primary, primary_fut), (hedge, hedge_fut))
+        pending = {primary_fut, hedge_fut}
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for side_replica, side_fut in pair:
+                if side_fut.done() and side_fut.result()[0] == "ok":
+                    loser = next(
+                        (r, f) for r, f in pair if f is not side_fut
+                    )
+                    return side_replica, side_fut.result(), loser
+        return None, None, None
+
+    def _spawn_hedge_reaper(
+        self,
+        batch_id: int,
+        replica: Replica,
+        future: asyncio.Future,
+        role: str,
+    ) -> None:
+        """Track the hedge loser until it completes so its work is
+        recorded (and its failure suspected) honestly."""
+        assert self._loop is not None
+        task = self._loop.create_task(
+            self._reap_hedge_loser(batch_id, replica, future, role)
+        )
+        self._hedge_tasks.add(task)
+        task.add_done_callback(self._hedge_tasks.discard)
+
+    async def _reap_hedge_loser(
+        self,
+        batch_id: int,
+        replica: Replica,
+        future: asyncio.Future,
+        role: str,
+    ) -> None:
+        """Await the losing side of a hedge race; its report (real IO
+        for an unused answer) is recorded but never billed to the
+        batch, and a loser that *failed* is suspected like any other
+        fleet fault."""
+        kind, payload = await future
+        metrics = get_metrics()
+        if kind == "ok":
+            with self._lock:
+                self._hedge_records.append(
+                    GatewayHedgeRecord(
+                        batch_id=batch_id,
+                        replica_id=replica.replica_id,
+                        role=role,
+                        used=False,
+                        error=None,
+                        report=payload,
+                    )
+                )
+            if role == "hedge":
+                metrics.inc("gateway_hedges_total", outcome="lost")
+            return
+        exc = payload
+        with self._lock:
+            self._hedge_records.append(
+                GatewayHedgeRecord(
+                    batch_id=batch_id,
+                    replica_id=replica.replica_id,
+                    role=role,
+                    used=False,
+                    error=type(exc).__name__,
+                    report=None,
+                )
+            )
+        if role == "hedge":
+            metrics.inc("gateway_hedges_total", outcome="failed")
+        await self._suspect(replica, type(exc).__name__)
+
+    async def _note_failover(
         self, replica: Replica, exc: Exception
     ) -> None:
-        """Stop routing to a failed replica and reap its backend."""
+        """Count one failover and suspect the failed replica."""
         with self._lock:
-            already = replica.replica_id in self._unhealthy
-            self._unhealthy.add(replica.replica_id)
             self._stats.failovers += 1
             self._trace.emit(
                 "gateway.failover",
                 f"replica-{replica.replica_id}",
                 error=type(exc).__name__,
             )
-        if not already:
+        get_metrics().inc(
+            "gateway_failovers_total", replica=replica.replica_id
+        )
+        await self._suspect(replica, type(exc).__name__)
+
+    def _record_batch(
+        self,
+        queries: tuple[RangeQuery, ...],
+        replica: Replica,
+        report: Any,
+        attempts: list[tuple[int, str, str]],
+        failed_ids: list[int],
+        hedged: bool,
+        hedge_replica_id: int | None,
+    ) -> tuple[GatewayBatchRecord, bool]:
+        """Record a served batch; returns the record and whether the
+        replica's circuit breaker just tripped."""
+        tripped = False
+        with self._lock:
+            batch_id = self._batch_counter
+            self._batch_counter += 1
+            self._stats.batches += 1
+            record = GatewayBatchRecord(
+                batch_id=batch_id,
+                size=len(queries),
+                replica_id=replica.replica_id,
+                attempts=len(attempts) + 1,
+                failed_replica_ids=tuple(failed_ids),
+                report=report,
+                hedged=hedged,
+                hedge_replica_id=hedge_replica_id,
+            )
+            self._batch_records.append(record)
+            self._trace.emit(
+                "gateway.batch",
+                f"batch-{batch_id}",
+                size=len(queries),
+                replica=replica.replica_id,
+                attempts=len(attempts) + 1,
+                hedged=hedged,
+            )
+            slot = self._slots[replica.replica_id]
+            for query, batch_outcome in zip(queries, report.outcomes):
+                ok = batch_outcome.error is None
+                slot.breaker.record(ok)
+                if (
+                    ok
+                    and batch_outcome.result is not None
+                    and self._canary_ref is None
+                ):
+                    self._canary_ref = (
+                        query,
+                        tuple(batch_outcome.result.answer.words),
+                    )
+            if (
+                slot.state is ReplicaState.ACTIVE
+                and slot.breaker.open
+            ):
+                tripped = True
+                self._stats.breaker_opens += 1
+                self._trace.emit(
+                    "gateway.breaker_open",
+                    f"replica-{replica.replica_id}",
+                    failures=slot.breaker.failure_count,
+                    window=slot.breaker.window,
+                )
+        if tripped:
+            get_metrics().inc("gateway_breaker_opens_total")
+        return record, tripped
+
+    # ------------------------------------------------------------------
+    def _set_state_locked(
+        self, slot: ReplicaSlot, state: ReplicaState, reason: str
+    ) -> None:
+        """Transition one slot (caller holds the gateway lock)."""
+        slot.state = state
+        self._trace.emit(
+            "gateway.replica_state",
+            f"replica-{slot.replica.replica_id}",
+            to=state.value,
+            reason=reason,
+        )
+        get_metrics().inc(
+            "gateway_replica_transitions_total", to=state.value
+        )
+
+    async def _suspect(self, replica: Replica, reason: str) -> None:
+        """Take a replica out of rotation (idempotent) and close its
+        backend off the event loop."""
+        assert self._loop is not None
+        with self._lock:
+            slot = self._slots[replica.replica_id]
+            if slot.state is not ReplicaState.ACTIVE:
+                return
+            slot.last_error = reason
+            self._set_state_locked(
+                slot, ReplicaState.SUSPECTED, reason
+            )
+            slot.probe_attempts = 0
+            slot.breaker.reset()
+            if self._config.max_probe_attempts > 0:
+                slot.next_probe_at = self._loop.time() + probe_backoff(
+                    0,
+                    self._config.probe_backoff_base_s,
+                    self._config.probe_backoff_max_s,
+                    self._config.probe_jitter,
+                    self._rng,
+                )
+            else:
+                self._set_state_locked(
+                    slot, ReplicaState.DEAD, "re-admission disabled"
+                )
+        await self._loop.run_in_executor(
+            None, self._close_replica, replica
+        )
+
+    @staticmethod
+    def _close_replica(replica: Replica) -> None:
+        try:
+            replica.close()
+        except Exception:  # pragma: no cover - best-effort reap
+            pass
+
+    # ------------------------------------------------------------------
+    async def _supervisor(self) -> None:
+        """Background self-healing loop: health-scan active replicas,
+        probe suspected ones, re-admit canary passers."""
+        interval = self._config.supervisor_interval_s
+        while True:
+            await asyncio.sleep(interval)
             try:
-                replica.close()
-            except Exception:  # pragma: no cover - best-effort reap
-                pass
+                await self._supervise_once()
+            except asyncio.CancelledError:  # pragma: no cover
+                raise
+            except Exception:  # pragma: no cover - must survive
+                continue
+
+    async def _supervise_once(self) -> None:
+        """One supervisor tick: scan health, run due probes."""
+        assert self._loop is not None
+        with self._lock:
+            active = [
+                slot.replica
+                for slot in self._iter_slots()
+                if slot.state is ReplicaState.ACTIVE
+            ]
+        for replica in active:
+            healthy = await self._loop.run_in_executor(
+                None, self._probe_health, replica
+            )
+            if not healthy:
+                await self._suspect(replica, "health-scan")
+        now = self._loop.time()
+        due: list[ReplicaSlot] = []
+        with self._lock:
+            for slot in self._iter_slots():
+                if (
+                    slot.state is ReplicaState.SUSPECTED
+                    and now >= slot.next_probe_at
+                ):
+                    self._set_state_locked(
+                        slot, ReplicaState.PROBATION, "probe"
+                    )
+                    due.append(slot)
+        for slot in due:
+            await self._probe_slot(slot)
+
+    @staticmethod
+    def _probe_health(replica: Replica) -> bool:
+        try:
+            return bool(replica.is_healthy())
+        except Exception:
+            return False
+
+    async def _probe_slot(self, slot: ReplicaSlot) -> None:
+        """Run one re-admission probe for a slot in ``PROBATION``."""
+        assert self._loop is not None
+        replica = slot.replica
+        passed = await self._loop.run_in_executor(
+            None, self._probe_replica_sync, replica
+        )
+        metrics = get_metrics()
+        dead = False
+        with self._lock:
+            if slot.state is not ReplicaState.PROBATION:
+                return  # pragma: no cover - raced with shutdown
+            if passed:
+                attempt = slot.probe_attempts
+                slot.probe_attempts = 0
+                slot.breaker.reset()
+                self._set_state_locked(
+                    slot, ReplicaState.ACTIVE, "readmitted"
+                )
+                self._stats.readmissions += 1
+                self._trace.emit(
+                    "gateway.readmit",
+                    f"replica-{replica.replica_id}",
+                    attempt=attempt,
+                )
+            else:
+                slot.probe_attempts += 1
+                if (
+                    slot.probe_attempts
+                    >= self._config.max_probe_attempts
+                ):
+                    self._set_state_locked(
+                        slot,
+                        ReplicaState.DEAD,
+                        "probe budget exhausted",
+                    )
+                    dead = True
+                else:
+                    self._set_state_locked(
+                        slot, ReplicaState.SUSPECTED, "probe failed"
+                    )
+                    slot.next_probe_at = (
+                        self._loop.time()
+                        + probe_backoff(
+                            slot.probe_attempts,
+                            self._config.probe_backoff_base_s,
+                            self._config.probe_backoff_max_s,
+                            self._config.probe_jitter,
+                            self._rng,
+                        )
+                    )
+        if passed:
+            metrics.inc("gateway_readmissions_total")
+            metrics.inc("gateway_probes_total", outcome="readmitted")
+        elif dead:
+            metrics.inc("gateway_probes_total", outcome="dead")
+            await self._loop.run_in_executor(
+                None, self._close_replica, replica
+            )
+        else:
+            metrics.inc("gateway_probes_total", outcome="retry")
+
+    def _canary_expectation(
+        self,
+    ) -> tuple[RangeQuery, tuple[int, ...] | None] | None:
+        """The canary query and (when known) its expected answer words.
+        ``None`` when no canary is available yet."""
+        with self._lock:
+            configured = self._config.canary_query
+            ref = self._canary_ref
+        if configured is not None:
+            if ref is not None and ref[0] == configured:
+                return configured, ref[1]
+            return configured, None
+        if ref is not None:
+            return ref
+        return None
+
+    def _active_peer(self, exclude: int) -> Replica | None:
+        """An ``ACTIVE`` replica other than ``exclude`` (canary
+        reference source), or ``None``."""
+        with self._lock:
+            for slot in self._iter_slots():
+                if (
+                    slot.state is ReplicaState.ACTIVE
+                    and slot.replica.replica_id != exclude
+                ):
+                    return slot.replica
+        return None
+
+    def _probe_replica_sync(self, replica: Replica) -> bool:
+        """Revive a replica's backend and canary-check it (runs on a
+        dispatch thread).
+
+        The canary answer must be bit-identical to the expected words
+        — recorded from live traffic, or replayed on a healthy peer.
+        With no reference available (no traffic served yet and no
+        peer), a clean canary run is accepted.
+        """
+        try:
+            if not replica.revive():
+                return False
+            if not replica.is_healthy():
+                return False
+            canary = self._canary_expectation()
+            if canary is None:
+                return True
+            query, expected_words = canary
+            report = replica.serve_batch((query,))
+            outcome = report.outcomes[0]
+            if outcome.error is not None or outcome.result is None:
+                return False
+            words = tuple(outcome.result.answer.words)
+            if expected_words is None:
+                peer = self._active_peer(exclude=replica.replica_id)
+                if peer is None:
+                    return True
+                peer_report = peer.serve_batch((query,))
+                peer_outcome = peer_report.outcomes[0]
+                if (
+                    peer_outcome.error is not None
+                    or peer_outcome.result is None
+                ):
+                    # The peer's trouble is not the candidate's fault.
+                    return True
+                expected_words = tuple(
+                    peer_outcome.result.answer.words
+                )
+            return words == tuple(expected_words)
+        except Exception:
+            return False
 
     # ------------------------------------------------------------------
     #: Per-line stream limit for the TCP endpoint.  Asyncio's default
@@ -803,7 +1798,8 @@ class Gateway:
         One request per line::
 
             {"id": 7, "ranges": [[0, 3], [9, 12]],
-             "deadline_s": 0.5, "positions": false}
+             "deadline_s": 0.5, "priority": "high",
+             "positions": false}
 
         One response line per request (requests on a connection are
         served concurrently; responses carry the request ``id``)::
@@ -811,7 +1807,17 @@ class Gateway:
             {"id": 7, "status": "ok", "count": 1234,
              "io_bytes": 5678}
             {"id": 8, "status": "error", "error": "OverloadedError",
-             "message": "..."}
+             "message": "...",
+             "detail": {"kind": "refused", "priority": "low",
+                        "queue_depth": 64, "max_queue_depth": 64,
+                        "retryable": true}}
+
+        Error responses carry a typed ``detail`` object so clients can
+        tell shed from failure: ``OverloadedError`` reports the queue
+        state, shed ``kind``, and ``priority``;
+        ``DeadlineExceededError`` reports the ``phase`` (queued vs
+        inflight) and the deadline; ``AllReplicasFailedError`` lists
+        every per-replica attempt; all carry a ``retryable`` hint.
 
         ``"positions": true`` adds the matching row positions to the
         response (omitted by default — answers over wide columns are
@@ -865,6 +1871,51 @@ class Gateway:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    @staticmethod
+    def _error_response(request_id: Any, exc: Exception) -> dict:
+        """Build a typed JSON error response for the TCP endpoint."""
+        response: dict[str, Any] = {
+            "id": request_id,
+            "status": "error",
+            "error": type(exc).__name__,
+            "message": str(exc),
+        }
+        detail: dict[str, Any] = {}
+        if isinstance(exc, OverloadedError):
+            detail = {
+                "kind": exc.kind,
+                "priority": exc.priority,
+                "queue_depth": exc.queue_depth,
+                "max_queue_depth": exc.max_queue_depth,
+                "retryable": True,
+            }
+        elif isinstance(exc, DeadlineExceededError):
+            detail = {
+                "phase": exc.phase,
+                "deadline_s": exc.deadline_s,
+                "retryable": True,
+            }
+        elif isinstance(exc, AllReplicasFailedError):
+            detail = {
+                "attempts": [
+                    [replica_id, error_type, message]
+                    for replica_id, error_type, message in exc.attempts
+                ],
+                "retryable": False,
+            }
+        elif isinstance(exc, QueryFailedError):
+            detail = {
+                "query_index": exc.query_index,
+                "error_type": exc.error_type,
+                "shard_id": exc.shard_id,
+                "retryable": False,
+            }
+        elif isinstance(exc, GatewayClosedError):
+            detail = {"retryable": False}
+        if detail:
+            response["detail"] = detail
+        return response
+
     async def _handle_request_line(
         self,
         text: str,
@@ -882,12 +1933,16 @@ class Gateway:
                 label=str(payload.get("label", "")),
             )
             deadline_s = payload.get("deadline_s")
+            priority = payload.get("priority")
             result = await self.submit(
                 query,
                 deadline_s=(
                     float(deadline_s)
                     if deadline_s is not None
                     else None
+                ),
+                priority=(
+                    str(priority) if priority is not None else None
                 ),
             )
             response: dict[str, Any] = {
@@ -902,12 +1957,7 @@ class Gateway:
                     for position in result.answer.to_positions()
                 ]
         except Exception as exc:
-            response = {
-                "id": request_id,
-                "status": "error",
-                "error": type(exc).__name__,
-                "message": str(exc),
-            }
+            response = self._error_response(request_id, exc)
         data = (
             json.dumps(response, sort_keys=True) + "\n"
         ).encode("utf-8")
@@ -922,42 +1972,3 @@ class Gateway:
             f"({healthy} healthy), started={self._started}, "
             f"closed={self._closed})"
         )
-
-
-class _LatencyReservoir:
-    """Bounded latency sample buffer for the gateway's own SLO view.
-
-    Mirrors the deterministic decimation of
-    :class:`~repro.obs.metrics.HistogramSummary` so :meth:`quantile`
-    stays O(cap) regardless of traffic volume.  (The gateway also
-    observes into the ambient registry; this keeps :meth:`Gateway.
-    stats` self-contained when none is installed.)
-    """
-
-    CAP = 8192
-
-    def __init__(self) -> None:
-        self._samples: list[float] = []
-        self._stride = 1
-        self._phase = 0
-
-    def observe(self, value: float) -> None:
-        """Fold one latency sample in (caller holds the gateway lock).
-        """
-        if self._phase == 0:
-            if len(self._samples) >= self.CAP:
-                self._samples = self._samples[::2]
-                self._stride *= 2
-            self._samples.append(value)
-        self._phase = (self._phase + 1) % self._stride
-
-    def quantile(self, q: float) -> float:
-        """Nearest-rank quantile of the retained samples (0.0 when
-        empty)."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = min(
-            len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
-        )
-        return ordered[rank]

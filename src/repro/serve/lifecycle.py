@@ -1,0 +1,183 @@
+"""Replica lifecycle primitives for the self-healing gateway.
+
+PR 8's failover was a one-way door: a replica that raised
+:class:`~repro.errors.ShardError` was retired and reaped permanently,
+so transient faults (the same class the chaos suite injects) slowly
+drained the fleet to :class:`~repro.errors.AllReplicasFailedError`.
+This module holds the pieces the gateway composes into a
+*self-healing* edge instead:
+
+* :class:`ReplicaState` — the four-state lifecycle machine
+  (``ACTIVE → SUSPECTED → PROBATION → ACTIVE | DEAD``).
+* :class:`ReplicaSlot` — one replica's mutable lifecycle record
+  (state, probe bookkeeping, breaker) inside the gateway.
+* :class:`RollingBreaker` — a per-replica circuit breaker over a
+  rolling window of per-query outcomes; an open breaker feeds the
+  ``SUSPECTED`` transition so a replica that *answers* but keeps
+  erroring is taken out of rotation just like one that crashes.
+* :func:`probe_backoff` — seeded exponential backoff between
+  re-admission probes (deterministic given the supervisor's RNG).
+
+Everything here is policy-free data + pure functions; the gateway's
+supervisor task owns the transitions (see ``docs/gateway.md`` for the
+operator-facing description of each state).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .gateway import Replica
+
+__all__ = [
+    "ReplicaSlot",
+    "ReplicaState",
+    "RollingBreaker",
+    "probe_backoff",
+]
+
+
+class ReplicaState(str, Enum):
+    """Where a replica sits in the self-healing lifecycle.
+
+    The machine is ``ACTIVE → SUSPECTED → PROBATION → ACTIVE | DEAD``:
+
+    * ``ACTIVE`` — in rotation; the gateway routes batches to it.
+    * ``SUSPECTED`` — failed a batch (:class:`~repro.errors.
+      ShardError`), failed a health scan, or tripped its circuit
+      breaker.  Out of rotation; the supervisor will probe it after a
+      seeded exponential backoff.
+    * ``PROBATION`` — a probe is in flight: the supervisor revives the
+      backend and replays a deterministic canary query, checking the
+      answer bit-identical against a healthy peer's.
+    * ``DEAD`` — the probe budget (``max_probe_attempts``) is
+      exhausted (or re-admission is disabled); the replica is never
+      routed to again.
+    """
+
+    ACTIVE = "active"
+    SUSPECTED = "suspected"
+    PROBATION = "probation"
+    DEAD = "dead"
+
+
+class RollingBreaker:
+    """Per-replica circuit breaker over a rolling outcome window.
+
+    Each served query contributes one ok/fail outcome; when the last
+    ``window`` outcomes contain at least ``failures`` failures the
+    breaker reads *open* and the gateway moves the replica to
+    ``SUSPECTED`` (its queries keep erroring even though the fleet
+    itself has not crashed).  Re-admission resets the window so a
+    healed replica starts clean.
+
+    Args:
+        window: rolling outcomes retained (must be >= 1).
+        failures: failures within the window that open the breaker
+            (must be >= 1 and <= ``window``).
+    """
+
+    def __init__(self, window: int, failures: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 1 <= failures <= window:
+            raise ValueError(
+                f"failures must be in [1, {window}], got {failures}"
+            )
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._failures_to_open = failures
+
+    @property
+    def window(self) -> int:
+        """The configured rolling-window length."""
+        return self._outcomes.maxlen or 0
+
+    @property
+    def failure_count(self) -> int:
+        """Failures currently inside the rolling window."""
+        return sum(1 for ok in self._outcomes if not ok)
+
+    @property
+    def open(self) -> bool:
+        """Whether the window holds enough failures to trip."""
+        return self.failure_count >= self._failures_to_open
+
+    def record(self, ok: bool) -> bool:
+        """Fold one per-query outcome in; return :attr:`open` after."""
+        self._outcomes.append(ok)
+        return self.open
+
+    def reset(self) -> None:
+        """Clear the window (used when a replica is re-admitted)."""
+        self._outcomes.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"RollingBreaker({self.failure_count}/"
+            f"{self._failures_to_open} failures in "
+            f"window={self.window}, open={self.open})"
+        )
+
+
+def probe_backoff(
+    attempt: int,
+    base_s: float,
+    max_s: float,
+    jitter: float,
+    rng: random.Random,
+) -> float:
+    """Delay before re-admission probe number ``attempt`` (0-based).
+
+    Classic capped exponential backoff with *seeded* jitter::
+
+        min(max_s, base_s * 2**attempt) * (1 + jitter * rng.random())
+
+    The jitter draws from the supervisor's own
+    :class:`random.Random` (seeded from ``GatewayConfig.
+    supervisor_seed``), so two runs with the same seed probe at the
+    same offsets — chaos tests can replay the healing schedule.
+
+    Args:
+        attempt: probes already failed for this replica (0 for the
+            first probe after suspicion).
+        base_s: delay before the first probe.
+        max_s: cap on the un-jittered delay.
+        jitter: fractional jitter in ``[0, 1]`` added on top.
+        rng: the supervisor's seeded RNG.
+    """
+    delay = min(max_s, base_s * (2.0 ** attempt))
+    if jitter > 0:
+        delay *= 1.0 + jitter * rng.random()
+    return delay
+
+
+@dataclass
+class ReplicaSlot:
+    """One replica's mutable lifecycle record inside the gateway.
+
+    The gateway holds one slot per replica (keyed by ``replica_id``)
+    and mutates it under its own lock; the supervisor task drives the
+    state transitions.
+
+    Attributes:
+        replica: the replica this slot tracks.
+        breaker: the replica's rolling circuit breaker.
+        state: current :class:`ReplicaState`.
+        probe_attempts: failed re-admission probes since suspicion.
+        next_probe_at: event-loop time before which the supervisor
+            must not probe (seeded backoff).
+        last_error: ``type(exc).__name__`` of the fault that caused
+            the most recent suspicion (``""`` when never suspected).
+    """
+
+    replica: "Replica"
+    breaker: RollingBreaker
+    state: ReplicaState = ReplicaState.ACTIVE
+    probe_attempts: int = 0
+    next_probe_at: float = 0.0
+    last_error: str = ""

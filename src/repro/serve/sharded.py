@@ -597,6 +597,7 @@ class ShardedExecutor:
         self._handles: list = []
         self._prepared = False
         self._appended_rows = 0
+        self._last_prepare: dict | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -695,6 +696,11 @@ class ShardedExecutor:
             process.is_alive()
             for _spec, process, _conn in self._handles
         )
+
+    @property
+    def prepared(self) -> bool:
+        """Whether the fleet has a pinned cut and can serve batches."""
+        return self._prepared
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -858,6 +864,12 @@ class ShardedExecutor:
             "prepared",
         )
         self._prepared = True
+        self._last_prepare = {
+            "workload": queries if workload is not None else None,
+            "budget_bytes_total": budget_bytes_total,
+            "cut_node_ids": explicit_cut,
+            "k": k,
+        }
         return tuple(
             ShardCutInfo(
                 shard_id=reply[1],
@@ -1120,6 +1132,41 @@ class ShardedExecutor:
                 process.kill()
                 process.join(timeout=5.0)
             conn.close()
+
+    def restart(self) -> tuple[ShardCutInfo, ...]:
+        """Rebuild the fleet: close, respawn workers, replay the last
+        :meth:`prepare`.
+
+        The gateway supervisor's repair hook: a fleet that raised
+        :class:`~repro.errors.ShardError` (and tore itself down) is
+        rebuilt from its on-disk shard stores with the same cut
+        selection it served before.  Raises
+        :class:`~repro.errors.ShardError` when there is no remembered
+        ``prepare()`` to replay, or when rows were appended via
+        :meth:`ingest` (worker-resident delta generations do not
+        survive a respawn, so a restart would silently lose them).
+
+        Returns:
+            The replayed per-shard cut selections, in shard order.
+        """
+        if self._last_prepare is None:
+            raise ShardError(
+                "restart() needs a previous prepare() to replay"
+            )
+        if self._appended_rows:
+            raise ShardError(
+                f"cannot restart a fleet with {self._appended_rows} "
+                f"ingested rows resident in worker memory"
+            )
+        remembered = self._last_prepare
+        self.close()
+        self.start()
+        return self.prepare(
+            workload=remembered["workload"],
+            budget_bytes_total=remembered["budget_bytes_total"],
+            cut_node_ids=remembered["cut_node_ids"],
+            k=remembered["k"],
+        )
 
     def __enter__(self) -> "ShardedExecutor":
         """Start the workers (if not already) and return self."""

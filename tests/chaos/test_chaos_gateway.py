@@ -119,8 +119,12 @@ class TestGatewayShardKillFailover:
         victim = primary.executor.worker_processes[0]
         victim.kill()
         victim.join(timeout=10.0)
+        # Re-admission is exercised by test_chaos_selfheal; this test
+        # pins the retire-forever contract.
         config = GatewayConfig(
-            max_batch_size=len(QUERIES), max_batch_delay_s=0.05
+            max_batch_size=len(QUERIES),
+            max_batch_delay_s=0.05,
+            max_probe_attempts=0,
         )
 
         async def scenario():
@@ -165,7 +169,9 @@ class TestGatewayShardKillFailover:
         primary = _replica_fleet(gateway_shard_base, 0, slow=True)
         backup = _replica_fleet(gateway_shard_base, 1, slow=False)
         config = GatewayConfig(
-            max_batch_size=len(QUERIES), max_batch_delay_s=0.05
+            max_batch_size=len(QUERIES),
+            max_batch_delay_s=0.05,
+            max_probe_attempts=0,
         )
 
         async def scenario():

@@ -85,7 +85,6 @@ class StubReplica(Replica):
         super().__init__(replica_id)
         self.delay_s = delay_s
         self.batches_run = 0
-        self.closed = False
 
     def run_batch(self, queries):
         self.batches_run += 1
@@ -111,9 +110,6 @@ class StubReplica(Replica):
                 )
             )
         return _StubReport(outcomes)
-
-    def close(self) -> None:
-        self.closed = True
 
 
 class FailingReplica(StubReplica):
@@ -357,13 +353,15 @@ class TestAdmissionControl:
 class TestFailover:
     def test_failed_replica_fails_over_and_is_retired(self):
         """A fleet-level failure reroutes the batch to the next
-        healthy replica; the failed one is closed and never tried
-        again."""
+        healthy replica; with re-admission disabled
+        (``max_probe_attempts=0``) the failed one is closed and never
+        tried again — the pre-self-healing contract."""
         bad = FailingReplica(0)
         good = StubReplica(1)
+        config = GatewayConfig(max_probe_attempts=0)
 
         async def scenario():
-            async with Gateway([bad, good]) as gateway:
+            async with Gateway([bad, good], config) as gateway:
                 first = await gateway.submit(QUERIES[0])
                 second = await gateway.submit(QUERIES[1])
                 return (
@@ -411,9 +409,11 @@ class TestFailover:
         )
 
     def test_all_replicas_failing_surfaces_every_attempt(self):
+        config = GatewayConfig(max_probe_attempts=0)
+
         async def scenario():
             async with Gateway(
-                [FailingReplica(0), FailingReplica(1)]
+                [FailingReplica(0), FailingReplica(1)], config
             ) as gateway:
                 with pytest.raises(AllReplicasFailedError) as info:
                     await gateway.submit(QUERIES[0])
@@ -449,7 +449,9 @@ class TestFailover:
         )
         bad = FailingReplica(0)
         config = GatewayConfig(
-            max_batch_size=len(QUERIES), max_batch_delay_s=0.05
+            max_batch_size=len(QUERIES),
+            max_batch_delay_s=0.05,
+            max_probe_attempts=0,
         )
 
         async def scenario():
